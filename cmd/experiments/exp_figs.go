@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"topmine"
+	"topmine/internal/baselines"
+	"topmine/internal/corpus"
+	"topmine/internal/eval"
+)
+
+// studyCache shares the expensive five-method study run across the
+// fig3/fig4/fig5 experiments within one process invocation; re-running
+// any single figure recomputes it from the same seeds, so results are
+// identical either way.
+var studyCache struct {
+	sync.Once
+	results map[string]map[string][]baselines.TopicPhrases
+	indexes map[string]*eval.Index
+}
+
+// runStudyMethods runs all five methods on both study corpora (cached
+// per process). Returns per-dataset, per-method topic lists.
+func runStudyMethods(cfg config, w io.Writer) (map[string]map[string][]baselines.TopicPhrases, map[string]*eval.Index) {
+	studyCache.Do(func() {
+		studyCache.results, studyCache.indexes = runStudyMethodsUncached(cfg, w)
+	})
+	return studyCache.results, studyCache.indexes
+}
+
+func runStudyMethodsUncached(cfg config, w io.Writer) (map[string]map[string][]baselines.TopicPhrases, map[string]*eval.Index) {
+	corpora := studyCorpora(cfg)
+	// The paper enables hyperparameter optimisation for its user-study
+	// runs (§7.4); with it, the per-document topic prior adapts to the
+	// short titles instead of over-smoothing them. 300 sweeps trades a
+	// little of the paper's 1000-sweep mixing for harness runtime.
+	opt := baselines.Options{
+		K: 5, Iterations: cfg.iters(300), Seed: cfg.seed,
+		TopPhrases: 10, MinSupport: 3, OptimizeHyper: true,
+	}
+	results := make(map[string]map[string][]baselines.TopicPhrases)
+	indexes := make(map[string]*eval.Index)
+	var datasets []string
+	for name := range corpora {
+		datasets = append(datasets, name)
+	}
+	sort.Strings(datasets)
+	for _, ds := range datasets {
+		c := corpora[ds]
+		indexes[ds] = eval.BuildIndex(c)
+		results[ds] = make(map[string][]baselines.TopicPhrases)
+		for _, m := range methodsForUserStudy() {
+			fmt.Fprintf(w, "# running %s on %s...\n", m.Name(), ds)
+			results[ds][m.Name()] = m.Run(c, opt)
+		}
+	}
+	return results, indexes
+}
+
+var studyMethodOrder = []string{"PDLDA", "ToPMine", "KERT", "TNG", "Turbo"}
+
+// fig3 reproduces Figure 3: the phrase-intrusion task, 20 questions,
+// 3 annotators, average number answered correctly.
+func fig3(cfg config, w io.Writer) error {
+	results, indexes := runStudyMethods(cfg, w)
+	fmt.Fprintf(w, "\nPhrase intrusion: avg # of correct answers (out of 20), 3 simulated annotators\n")
+	fmt.Fprintf(w, "%-10s %8s %8s\n", "method", "ACL", "20Conf")
+	for _, m := range studyMethodOrder {
+		fmt.Fprintf(w, "%-10s", m)
+		for _, ds := range []string{"ACL", "20Conf"} {
+			r := eval.Intrusion(indexes[ds], m, results[ds][m], 20, 3, 0.05, cfg.seed+9)
+			if r.Questions == 0 {
+				fmt.Fprintf(w, " %8s", "n/a") // method yielded too few phrases
+				continue
+			}
+			fmt.Fprintf(w, " %8.1f", r.Avg)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nPaper's Fig. 3 shape: ToPMine and KERT near the top, PDLDA and TNG weakest.\n")
+	return nil
+}
+
+// zRow computes per-dataset z-scores across methods with 5 noisy
+// raters, mirroring the paper's expert-score standardisation.
+func zRow(values map[string]float64) map[string]float64 {
+	var names []string
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	raw := make([]float64, len(names))
+	for i, n := range names {
+		raw[i] = values[n]
+	}
+	z := eval.ZScores(raw)
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = z[i]
+	}
+	return out
+}
+
+// fig4 reproduces Figure 4: topical coherence z-scores.
+func fig4(cfg config, w io.Writer) error {
+	results, indexes := runStudyMethods(cfg, w)
+	fmt.Fprintf(w, "\nTopical coherence (NPMI rater), z-scored across methods per dataset\n")
+	fmt.Fprintf(w, "%-10s %8s %8s\n", "method", "ACL", "20Conf")
+	scores := map[string]map[string]float64{}
+	for _, ds := range []string{"ACL", "20Conf"} {
+		vals := map[string]float64{}
+		for _, m := range studyMethodOrder {
+			vals[m] = eval.Coherence(indexes[ds], results[ds][m], 10)
+		}
+		scores[ds] = zRow(vals)
+	}
+	for _, m := range studyMethodOrder {
+		fmt.Fprintf(w, "%-10s %8.2f %8.2f\n", m, scores["ACL"][m], scores["20Conf"][m])
+	}
+	fmt.Fprintf(w, "\nPaper's Fig. 4 shape: ToPMine highest coherence on both datasets.\n")
+	return nil
+}
+
+// fig5 reproduces Figure 5: phrase-quality z-scores.
+func fig5(cfg config, w io.Writer) error {
+	results, indexes := runStudyMethods(cfg, w)
+	fmt.Fprintf(w, "\nPhrase quality (collocation-strength rater), z-scored across methods per dataset\n")
+	fmt.Fprintf(w, "%-10s %8s %8s\n", "method", "ACL", "20Conf")
+	scores := map[string]map[string]float64{}
+	for _, ds := range []string{"ACL", "20Conf"} {
+		vals := map[string]float64{}
+		for _, m := range studyMethodOrder {
+			vals[m] = eval.Quality(indexes[ds], results[ds][m], 10)
+		}
+		scores[ds] = zRow(vals)
+	}
+	for _, m := range studyMethodOrder {
+		fmt.Fprintf(w, "%-10s %8.2f %8.2f\n", m, scores["ACL"][m], scores["20Conf"][m])
+	}
+	fmt.Fprintf(w, "\nPaper's Fig. 5 shape: ToPMine top or near-top; KERT lowest (unordered itemsets).\n")
+	return nil
+}
+
+// perplexityCurves runs the Figure 6/7 experiment on one domain.
+func perplexityCurves(cfg config, w io.Writer, domain string, docs, k, iters, minSup int, figure string, paperShape string) error {
+	raw, err := topmine.GenerateExampleCorpus(domain, cfg.sz(docs), cfg.seed)
+	if err != nil {
+		return err
+	}
+	c := topmine.BuildCorpus(raw, topmine.DefaultCorpusOptions())
+	ho := topmine.SplitHeldOut(c, 0.2)
+	fmt.Fprintf(w, "%s: PhraseLDA vs LDA held-out perplexity, %v, %d held-out tokens, K=%d\n\n",
+		figure, c.ComputeStats(), ho.TestTokens, k)
+
+	opt := topmine.DefaultOptions()
+	opt.Topics = k
+	opt.Iterations = cfg.iters(iters)
+	opt.MinSupport = minSup
+	opt.Seed = cfg.seed
+	// §7.4: "we use hyperparameter optimization for our qualitative
+	// user-study tests and perplexity calculations".
+	opt.OptimizeHyper = true
+
+	mined := topmine.MinePhrases(ho.Train, opt)
+	segs := topmine.SegmentCorpus(ho.Train, mined, opt)
+
+	every := opt.Iterations / 15
+	if every == 0 {
+		every = 1
+	}
+	type point struct{ plda, lda float64 }
+	curve := map[int]*point{}
+	at := func(it int) *point {
+		p := curve[it]
+		if p == nil {
+			p = &point{}
+			curve[it] = p
+		}
+		return p
+	}
+	topmine.TrainModelWithCallback(ho.Train, segs, opt, func(it int, m *topmine.Model) {
+		if it%every == 0 {
+			at(it).plda = topmine.Perplexity(m, ho)
+		}
+	})
+	topmine.TrainLDAWithCallback(ho.Train, opt, func(it int, m *topmine.Model) {
+		if it%every == 0 {
+			at(it).lda = topmine.Perplexity(m, ho)
+		}
+	})
+	fmt.Fprintf(w, "%6s %12s %12s %10s\n", "iter", "PhraseLDA", "LDA", "gap")
+	var its []int
+	for it := range curve {
+		its = append(its, it)
+	}
+	sort.Ints(its)
+	var last *point
+	for _, it := range its {
+		p := curve[it]
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %+9.1f\n", it, p.plda, p.lda, p.plda-p.lda)
+		last = p
+	}
+	if last != nil {
+		fmt.Fprintf(w, "\nfinal gap (PhraseLDA - LDA): %+.1f\n", last.plda-last.lda)
+	}
+	fmt.Fprintf(w, "%s\n", paperShape)
+	return nil
+}
+
+// fig6 reproduces Figure 6 (Yelp perplexity).
+func fig6(cfg config, w io.Writer) error {
+	return perplexityCurves(cfg, w, "yelp-reviews", 2500, 10, 450, 6, "Figure 6",
+		"Paper's Fig. 6 shape: on reviews PhraseLDA converges to distinctly LOWER\n"+
+			"perplexity than LDA (paper: ~45 bits lower on Yelp, ~3%).\n"+
+			"Known deviation of this reproduction (see EXPERIMENTS.md): on the small-\n"+
+			"vocabulary synthetic corpus LDA already captures the planted collocations\n"+
+			"from unigram co-occurrence, so the clique constraint adds rigidity without\n"+
+			"information and PhraseLDA lands slightly ABOVE LDA; both curves must still\n"+
+			"fall together and stay within ~10%.")
+}
+
+// fig7 reproduces Figure 7 (DBLP abstracts perplexity).
+func fig7(cfg config, w io.Writer) error {
+	return perplexityCurves(cfg, w, "dblp-abstracts", 1200, 10, 450, 8, "Figure 7",
+		"Paper's Fig. 7 shape: on abstracts PhraseLDA is COMPARABLE to LDA\n"+
+			"(curves close). Same small-vocabulary caveat as Figure 6 applies to the\n"+
+			"sign of the residual gap.")
+}
+
+// buildAbstracts builds a scaled DBLP-abstracts corpus for fig8/table3.
+func buildAbstracts(cfg config, docs int, seed uint64) *corpus.Corpus {
+	raw, _ := topmine.GenerateExampleCorpus("dblp-abstracts", docs, seed)
+	return topmine.BuildCorpus(raw, topmine.DefaultCorpusOptions())
+}

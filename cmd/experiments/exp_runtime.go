@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"topmine"
+	"topmine/internal/baselines"
+	"topmine/internal/corpus"
+	"topmine/internal/synth"
+)
+
+// fig8 reproduces Figure 8: decomposition of ToPMine's runtime into
+// phrase mining and PhraseLDA across corpus sizes. The paper plots
+// abstracts from 5K to 40K documents on a log scale with 10 topics and
+// 2000 Gibbs iterations, finding both components linear and topic
+// modeling consistently ~40x the mining time.
+func fig8(cfg config, w io.Writer) error {
+	iters := cfg.iters(150)
+	fmt.Fprintf(w, "Figure 8: runtime decomposition on DBLP-abstract corpora, K=10, %d Gibbs iterations\n\n", iters)
+	fmt.Fprintf(w, "%8s %10s %14s %14s %8s\n", "docs", "tokens", "PhraseMining", "PhraseLDA", "ratio")
+
+	sizes := []int{625, 1250, 2500, 5000}
+	type row struct {
+		docs, tokens   int
+		mining, topics time.Duration
+	}
+	var rows []row
+	for _, n := range sizes {
+		docs := cfg.sz(n)
+		c := buildAbstracts(cfg, docs, cfg.seed)
+		opt := topmine.DefaultOptions()
+		opt.Topics = 10
+		opt.Iterations = iters
+		opt.MinSupport = 5
+		opt.Seed = cfg.seed
+		opt.OptimizeHyper = false
+		opt.Workers = 1
+
+		t0 := time.Now()
+		mined := topmine.MinePhrases(c, opt)
+		segs := topmine.SegmentCorpus(c, mined, opt)
+		tMine := time.Since(t0)
+
+		t0 = time.Now()
+		topmine.TrainModel(c, segs, opt)
+		tTopic := time.Since(t0)
+		rows = append(rows, row{docs, c.TotalTokens, tMine, tTopic})
+		fmt.Fprintf(w, "%8d %10d %14s %14s %7.1fx\n", docs, c.TotalTokens,
+			tMine.Round(time.Millisecond), tTopic.Round(time.Millisecond),
+			float64(tTopic)/float64(tMine))
+	}
+	// Linearity check: time per token at the largest vs smallest size.
+	first, last := rows[0], rows[len(rows)-1]
+	mineRatio := (float64(last.mining) / float64(last.tokens)) /
+		(float64(first.mining) / float64(first.tokens))
+	topicRatio := (float64(last.topics) / float64(last.tokens)) /
+		(float64(first.topics) / float64(first.tokens))
+	fmt.Fprintf(w, "\nper-token cost growth %dx corpus: mining %.2fx, topic modeling %.2fx (1.0 = perfectly linear)\n",
+		last.tokens/first.tokens, mineRatio, topicRatio)
+	fmt.Fprintf(w, "Paper's Fig. 8 shape: both components linear in corpus size; PhraseLDA\n"+
+		"dominates total runtime (paper: ~40x at 2000 iterations; ratio scales with\n"+
+		"iteration count — at %d iterations expect roughly %d/2000 of that).\n",
+		iters, iters)
+	return nil
+}
+
+// table3Dataset describes one column of Table 3.
+type table3Dataset struct {
+	name  string
+	build func() *corpus.Corpus
+	k     int
+}
+
+// table3 reproduces Table 3: runtime of all six methods on four
+// dataset scales. PD-LDA and Turbo Topics are run at reduced iteration
+// counts and extrapolated (marked ~), exactly as the paper did for its
+// intractable cells.
+func table3(cfg config, w io.Writer) error {
+	iters := cfg.iters(100)
+	build := corpus.DefaultBuildOptions()
+	datasets := []table3Dataset{
+		{"titles-s (k=5)", func() *corpus.Corpus {
+			return synth.GenerateCorpus(synth.DBLPTitles(), synth.Options{Docs: cfg.sz(1500), Seed: cfg.seed}, build)
+		}, 5},
+		{"titles (k=30)", func() *corpus.Corpus {
+			return synth.GenerateCorpus(synth.DBLPTitles(), synth.Options{Docs: cfg.sz(6000), Seed: cfg.seed}, build)
+		}, 30},
+		{"abstracts-s (k=5)", func() *corpus.Corpus {
+			return synth.GenerateCorpus(synth.DBLPAbstracts(), synth.Options{Docs: cfg.sz(400), Seed: cfg.seed}, build)
+		}, 5},
+		{"abstracts (k=10)", func() *corpus.Corpus {
+			return synth.GenerateCorpus(synth.DBLPAbstracts(), synth.Options{Docs: cfg.sz(1600), Seed: cfg.seed}, build)
+		}, 10},
+	}
+	// The two expensive methods run 10x fewer sweeps, extrapolated.
+	const slowFactor = 10
+	methods := []struct {
+		m           baselines.Method
+		extrapolate bool
+	}{
+		{baselines.PDLDA{}, true},
+		{baselines.TurboTopics{Permutations: 3, MaxRounds: 3}, true},
+		{baselines.TNG{}, false},
+		{baselines.LDAUnigrams{}, false},
+		{baselines.KERT{}, false},
+		{baselines.ToPMine{}, false},
+	}
+
+	fmt.Fprintf(w, "Table 3: runtime (seconds), %d Gibbs iterations per method ("+
+		"~ = measured at %d iterations and extrapolated, as the paper did)\n\n", iters, iters/slowFactor)
+	fmt.Fprintf(w, "%-10s", "method")
+	for _, ds := range datasets {
+		fmt.Fprintf(w, " %18s", ds.name)
+	}
+	fmt.Fprintln(w)
+	for _, spec := range methods {
+		fmt.Fprintf(w, "%-10s", spec.m.Name())
+		for _, ds := range datasets {
+			c := ds.build()
+			opt := baselines.Options{
+				K: ds.k, Iterations: iters, Seed: cfg.seed,
+				TopPhrases: 10, MinSupport: 5,
+			}
+			mark := ""
+			factor := 1.0
+			if spec.extrapolate {
+				opt.Iterations = iters / slowFactor
+				if opt.Iterations < 1 {
+					opt.Iterations = 1
+				}
+				factor = float64(iters) / float64(opt.Iterations)
+				mark = "~"
+			}
+			t0 := time.Now()
+			spec.m.Run(c, opt)
+			secs := time.Since(t0).Seconds() * factor
+			fmt.Fprintf(w, " %17s", fmt.Sprintf("%s%.1fs", mark, secs))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nPaper's Table 3 shape: PDLDA and Turbo orders of magnitude slower than the\n"+
+		"rest; TNG and KERT above LDA; ToPMine within the same order as LDA (often\n"+
+		"faster per sweep, since PhraseLDA samples once per multi-word phrase).\n")
+	return nil
+}

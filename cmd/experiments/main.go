@@ -1,0 +1,118 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (§7) on synthetic stand-in corpora (DESIGN.md §5).
+// Each experiment prints the same rows/series the paper reports and
+// writes a copy under -out.
+//
+//	experiments table1|fig3|fig4|fig5|fig6|fig7|fig8|table3|table4|table5|table6|all
+//	experiments -scale 2 all     # double every corpus size
+//
+// Absolute numbers differ from the paper (different hardware, corpus
+// scale, and synthetic data); the *shapes* — method ordering, runtime
+// ratios, perplexity gaps, crossovers — are the reproduction target.
+// EXPERIMENTS.md records paper-vs-measured for every experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type config struct {
+	scale float64
+	seed  uint64
+	out   string
+	fast  bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	cfg := config{}
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "corpus size multiplier")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "random seed")
+	flag.StringVar(&cfg.out, "out", "results", "output directory")
+	flag.BoolVar(&cfg.fast, "fast", false, "reduced iterations for smoke runs")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <experiment>|all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 table3 table4 table5 table6 recovery")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	experiments := map[string]func(config, io.Writer) error{
+		"table1":   table1,
+		"fig3":     fig3,
+		"fig4":     fig4,
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"table3":   table3,
+		"table4":   table4,
+		"table5":   table5,
+		"table6":   table6,
+		"recovery": recovery, // extra: ground-truth scoring (see exp_recovery.go)
+		"ablation": ablation, // extra: design-choice ablations (see exp_ablation.go)
+	}
+	order := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "table3", "table4", "table5", "table6", "recovery", "ablation"}
+
+	var names []string
+	for _, arg := range flag.Args() {
+		if arg == "all" {
+			names = order
+			break
+		}
+		if _, ok := experiments[arg]; !ok {
+			log.Fatalf("unknown experiment %q", arg)
+		}
+		names = append(names, arg)
+	}
+	for _, name := range names {
+		path := filepath.Join(cfg.out, name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := io.MultiWriter(os.Stdout, f)
+		fmt.Fprintf(w, "==== %s ====\n", strings.ToUpper(name))
+		if err := experiments[name](cfg, w); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintln(w)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+// sz scales a corpus size.
+func (c config) sz(n int) int {
+	v := int(float64(n) * c.scale)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// iters scales iteration counts down in -fast mode.
+func (c config) iters(n int) int {
+	if c.fast {
+		n /= 5
+		if n < 5 {
+			n = 5
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every experiment must run end to end at miniature scale
+// and produce plausible output. These keep the regeneration harness
+// from rotting as the library evolves; the real runs use
+// `go run ./cmd/experiments all`.
+
+func tinyConfig() config {
+	return config{scale: 0.05, seed: 7, out: "", fast: true}
+}
+
+func runExperiment(t *testing.T, f func(config, *bytes.Buffer) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("experiment produced no output")
+	}
+	return out
+}
+
+func TestTable1Smoke(t *testing.T) {
+	out := runExperiment(t, func(c config, b *bytes.Buffer) error { return table1(c, b) })
+	if !strings.Contains(out, "Terms") || !strings.Contains(out, "Phrases") {
+		t.Fatalf("table1 output malformed:\n%s", out)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	out := runExperiment(t, func(c config, b *bytes.Buffer) error { return fig8(c, b) })
+	if !strings.Contains(out, "PhraseMining") || !strings.Contains(out, "ratio") {
+		t.Fatalf("fig8 output malformed:\n%s", out)
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	out := runExperiment(t, func(c config, b *bytes.Buffer) error { return fig6(c, b) })
+	if !strings.Contains(out, "PhraseLDA") || !strings.Contains(out, "final gap") {
+		t.Fatalf("fig6 output malformed:\n%s", out)
+	}
+}
+
+func TestTable6Smoke(t *testing.T) {
+	out := runExperiment(t, func(c config, b *bytes.Buffer) error { return table6(c, b) })
+	if !strings.Contains(out, "n-grams:") {
+		t.Fatalf("table6 output malformed:\n%s", out)
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := config{scale: 2}
+	if c.sz(100) != 200 {
+		t.Fatalf("sz scaling wrong: %d", c.sz(100))
+	}
+	c.scale = 0.001
+	if c.sz(100) != 10 {
+		t.Fatalf("sz floor wrong: %d", c.sz(100))
+	}
+	f := config{fast: true}
+	if f.iters(100) != 20 {
+		t.Fatalf("fast iters wrong: %d", f.iters(100))
+	}
+	if f.iters(10) != 5 {
+		t.Fatalf("fast iters floor wrong: %d", f.iters(10))
+	}
+	n := config{}
+	if n.iters(100) != 100 {
+		t.Fatal("non-fast iters changed")
+	}
+}

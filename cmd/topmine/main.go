@@ -1,0 +1,130 @@
+// Command topmine runs the full ToPMine pipeline on a text corpus (one
+// document per line) or a built-in synthetic domain, and prints the
+// mined phrases and topical phrase visualisation.
+//
+// Usage:
+//
+//	topmine -input corpus.txt -k 10 -iters 1000
+//	topmine -synth yelp-reviews -docs 2000 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"topmine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topmine: ")
+
+	input := flag.String("input", "", "path to corpus file, one document per line")
+	synthDomain := flag.String("synth", "", "generate a synthetic corpus instead: "+
+		strings.Join(topmine.ExampleDomains(), ", "))
+	docs := flag.Int("docs", 2000, "documents to generate with -synth")
+	k := flag.Int("k", 10, "number of topics")
+	iters := flag.Int("iters", 1000, "Gibbs iterations")
+	minSupport := flag.Int("minsup", 5, "minimum phrase support (epsilon)")
+	relSupport := flag.Float64("relsup", 0, "relative support as a fraction of corpus tokens (overrides -minsup when larger)")
+	sig := flag.Float64("alpha", 5, "significance threshold for merging (Algorithm 2)")
+	maxLen := flag.Int("maxlen", 8, "maximum phrase length (0 = unbounded)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "parallel workers for mining/segmentation (0 = all cores)")
+	topN := flag.Int("top", 10, "phrases and unigrams to display per topic")
+	noHyper := flag.Bool("nohyper", false, "disable hyperparameter optimisation")
+	filterBG := flag.Bool("filterbg", false, "filter background phrases from topic lists")
+	phrasesOnly := flag.Bool("phrases-only", false, "stop after phrase mining and print frequent phrases")
+	segmentOnly := flag.Bool("segment", false, "stop after segmentation and print each document as a bag of phrases")
+	saveModel := flag.String("save", "", "save the trained model to this path (gob)")
+	flag.Parse()
+
+	var (
+		c   *topmine.Corpus
+		err error
+	)
+	switch {
+	case *input != "" && *synthDomain != "":
+		log.Fatal("use either -input or -synth, not both")
+	case *input != "":
+		c, err = topmine.LoadCorpusFile(*input, topmine.DefaultCorpusOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *synthDomain != "":
+		raw, gerr := topmine.GenerateExampleCorpus(*synthDomain, *docs, *seed)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		c = topmine.BuildCorpus(raw, topmine.DefaultCorpusOptions())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "corpus: %v\n", c.ComputeStats())
+
+	opt := topmine.DefaultOptions()
+	opt.Topics = *k
+	opt.Iterations = *iters
+	opt.MinSupport = *minSupport
+	opt.RelativeSupport = *relSupport
+	opt.SigThreshold = *sig
+	opt.MaxPhraseLen = *maxLen
+	opt.Seed = *seed
+	opt.Workers = *workers
+	opt.TopPhrases = *topN
+	opt.TopUnigrams = *topN
+	opt.OptimizeHyper = !*noHyper
+	opt.FilterBackground = *filterBG
+
+	t0 := time.Now()
+	mined := topmine.MinePhrases(c, opt)
+	fmt.Fprintf(os.Stderr, "phrase mining: %v (%d frequent phrases, support %d, longest %d)\n",
+		time.Since(t0).Round(time.Millisecond), mined.Counts.Len(), mined.MinSupport, mined.MaxPhraseLen)
+
+	if *phrasesOnly {
+		for _, p := range mined.Counts.Entries(2) {
+			fmt.Printf("%8d  %s\n", p.Count, c.DisplayWords(p.Words))
+		}
+		return
+	}
+
+	t0 = time.Now()
+	segs := topmine.SegmentCorpus(c, mined, opt)
+	fmt.Fprintf(os.Stderr, "segmentation: %v\n", time.Since(t0).Round(time.Millisecond))
+
+	if *segmentOnly {
+		for _, sd := range segs {
+			d := c.Docs[sd.DocID]
+			for si, spans := range sd.Spans {
+				seg := &d.Segments[si]
+				for _, sp := range spans {
+					fmt.Printf("[%s] ", c.DisplayPhrase(seg, sp.Start, sp.End))
+				}
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	t0 = time.Now()
+	model := topmine.TrainModel(c, segs, opt)
+	fmt.Fprintf(os.Stderr, "topic modeling: %v (%d sweeps)\n",
+		time.Since(t0).Round(time.Millisecond), *iters)
+
+	sums := model.Visualize(c, topmine.VisualizeOptions{
+		TopUnigrams: *topN, TopPhrases: *topN, FilterBackground: *filterBG,
+	})
+	fmt.Print(topmine.FormatTopics(sums))
+
+	if *saveModel != "" {
+		if err := model.SaveFile(*saveModel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveModel)
+	}
+}

@@ -1,0 +1,78 @@
+package topmine_test
+
+import (
+	"fmt"
+
+	"topmine"
+)
+
+// The runnable documentation examples below double as regression tests
+// (go test verifies their output).
+
+func ExampleRun() {
+	docs := []string{
+		"Mining frequent patterns without candidate generation.",
+		"Frequent pattern mining: current status and future directions.",
+		"Efficient frequent pattern mining in large databases.",
+		"Frequent pattern mining over data streams.",
+		"Parallel frequent pattern mining at scale.",
+	}
+	opt := topmine.DefaultOptions()
+	opt.Topics = 1
+	opt.Iterations = 50
+	opt.MinSupport = 3
+	opt.SigThreshold = 1.5
+	opt.Seed = 1
+
+	res, err := topmine.Run(docs, opt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	top := res.FrequentPhrases(2)[0]
+	fmt.Printf("%s (count %d)\n", res.PhraseString(top), top.Count)
+	// Output:
+	// frequent pattern (count 5)
+}
+
+func ExampleBuildCorpus() {
+	c := topmine.BuildCorpus([]string{
+		"The house and senate passed the bill.",
+	}, topmine.DefaultCorpusOptions())
+	st := c.ComputeStats()
+	fmt.Println(st.Docs, "doc,", st.Tokens, "content tokens")
+	// Stop words are removed for mining but re-inserted for display.
+	seg := &c.Docs[0].Segments[0]
+	fmt.Println(c.DisplayPhrase(seg, 0, 2))
+	// Output:
+	// 1 doc, 4 content tokens
+	// house and senate
+}
+
+func ExampleGenerateExampleCorpus() {
+	docs, err := topmine.GenerateExampleCorpus("yelp-reviews", 3, 7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(docs), "synthetic reviews generated")
+	// Output:
+	// 3 synthetic reviews generated
+}
+
+func ExampleResult_InferTopics() {
+	train, _ := topmine.GenerateExampleCorpus("20conf", 400, 3)
+	opt := topmine.DefaultOptions()
+	opt.Topics = 5
+	opt.Iterations = 60
+	opt.Seed = 3
+	res, err := topmine.Run(train, opt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	theta := res.InferTopics("support vector machines for classification", 30)
+	fmt.Println(len(theta) == 5)
+	// Output:
+	// true
+}

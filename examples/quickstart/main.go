@@ -1,0 +1,54 @@
+// Quickstart: mine topical phrases from a handful of documents with
+// one call. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topmine"
+)
+
+func main() {
+	// A miniature corpus: computer-science paper titles. Real usage
+	// would load one document per line via topmine.LoadCorpusFile.
+	docs := []string{
+		"Mining frequent patterns without candidate generation: a frequent pattern tree approach.",
+		"Frequent pattern mining: current status and future directions.",
+		"Fast algorithms for mining association rules in large databases.",
+		"Mining association rules between sets of items in large databases.",
+		"Efficient frequent pattern mining over data streams.",
+		"Support vector machines for text classification.",
+		"Text classification using support vector machines and kernels.",
+		"Training support vector machines in linear time.",
+		"A tutorial on support vector machines for pattern recognition.",
+		"Large margin classification with support vector machines.",
+		"Latent dirichlet allocation for topic models.",
+		"Topic models for information retrieval.",
+		"Probabilistic topic models of text corpora.",
+		"Evaluating topic models for digital libraries.",
+		"Dynamic topic models for streaming documents.",
+	}
+
+	opt := topmine.DefaultOptions()
+	opt.Topics = 3
+	opt.Iterations = 200
+	opt.MinSupport = 3 // tiny corpus: lower the support floor
+	opt.SigThreshold = 2
+	opt.Seed = 1
+
+	res, err := topmine.Run(docs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Frequent multi-word phrases (Algorithm 1) ==")
+	for _, p := range res.FrequentPhrases(2) {
+		fmt.Printf("  %-40s %d\n", res.PhraseString(p), p.Count)
+	}
+
+	fmt.Println("\n== Topics (PhraseLDA, topical-frequency ranking) ==")
+	fmt.Print(topmine.FormatTopics(res.Topics))
+}

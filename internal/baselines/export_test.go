@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"fmt"
+
+	"topmine/internal/corpus"
+	"topmine/internal/xrand"
+)
+
+// Test-only hooks into unexported state.
+
+// pdldaStateForTest runs PD-LDA's sampler for iters sweeps and returns
+// the internal state for invariant checking.
+func pdldaStateForTest(c *corpus.Corpus, k, iters int, seed uint64) *pdldaState {
+	st := &pdldaState{
+		k: k, v: c.Vocab.Size(),
+		disc: 0.5, strength: 1.0, alpha: 50.0 / float64(k),
+		rng:   xrand.New(seed + 7),
+		rest1: make(map[int64]*restaurant),
+		rest0: make([]*restaurant, k),
+		ndk:   make([][]int32, c.NumDocs()),
+		nd:    make([]int32, c.NumDocs()),
+	}
+	for i := range st.rest0 {
+		st.rest0[i] = newRestaurant()
+	}
+	st.docs = make([][]int32, c.NumDocs())
+	st.join = make([][]int8, c.NumDocs())
+	st.z = make([][]int8, c.NumDocs())
+	for d, doc := range c.Docs {
+		var stream []int32
+		for si := range doc.Segments {
+			if si > 0 {
+				stream = append(stream, -1)
+			}
+			stream = append(stream, doc.Segments[si].Words...)
+		}
+		st.docs[d] = stream
+		st.join[d] = make([]int8, len(stream))
+		st.z[d] = make([]int8, len(stream))
+		st.ndk[d] = make([]int32, k)
+		for i, w := range stream {
+			if w < 0 {
+				continue
+			}
+			kk := int8(st.rng.Intn(k))
+			st.z[d][i] = kk
+			st.ndk[d][kk]++
+			st.nd[d]++
+			st.seat0(w, int(kk))
+		}
+	}
+	weights := make([]float64, k+1)
+	for it := 0; it < iters; it++ {
+		for d := range st.docs {
+			st.resampleDoc(d, weights)
+		}
+	}
+	return st
+}
+
+// checkRestaurants verifies the CRP histogram invariants: counts are
+// non-negative, 1 <= tables <= customers per dish, and totals match.
+func (s *pdldaState) checkRestaurants() error {
+	check := func(name string, r *restaurant) error {
+		var ct, tt int64
+		for w, c := range r.cw {
+			if c <= 0 {
+				return fmt.Errorf("%s: dish %d has %d customers", name, w, c)
+			}
+			t := r.tw[w]
+			if t < 1 || t > c {
+				return fmt.Errorf("%s: dish %d tables %d customers %d", name, w, t, c)
+			}
+			ct += int64(c)
+		}
+		for w, t := range r.tw {
+			if _, ok := r.cw[w]; !ok && t != 0 {
+				return fmt.Errorf("%s: dish %d has tables but no customers", name, w)
+			}
+			tt += int64(t)
+		}
+		if ct != r.ctot || tt != r.ttot {
+			return fmt.Errorf("%s: totals drifted: c %d/%d t %d/%d", name, ct, r.ctot, tt, r.ttot)
+		}
+		return nil
+	}
+	for k, r := range s.rest0 {
+		if err := check(fmt.Sprintf("rest0[%d]", k), r); err != nil {
+			return err
+		}
+	}
+	for key, r := range s.rest1 {
+		if err := check(fmt.Sprintf("rest1[%d]", key), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildStrings builds a corpus from raw docs (test helper).
+func buildStrings(docs []string) *corpus.Corpus {
+	return corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+}

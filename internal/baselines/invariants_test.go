@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestPDLDARestaurantInvariants(t *testing.T) {
+	c := smallCorpus(t, 120, 71)
+	st := pdldaStateForTest(c, 3, 15, 11)
+	if err := st.checkRestaurants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDLDATokenConservation(t *testing.T) {
+	c := smallCorpus(t, 80, 73)
+	st := pdldaStateForTest(c, 3, 10, 13)
+	// Every non-break token carries exactly one assignment; the number
+	// of phrase draws recorded in nd must equal the number of phrase
+	// starts (join == 0 tokens).
+	for d := range st.docs {
+		starts := int32(0)
+		for i, w := range st.docs[d] {
+			if w < 0 {
+				continue
+			}
+			if st.join[d][i] == 0 {
+				starts++
+			} else if i == 0 || st.docs[d][i-1] < 0 {
+				t.Fatalf("doc %d: join token at segment start", d)
+			}
+		}
+		if starts != st.nd[d] {
+			t.Fatalf("doc %d: nd=%d but %d phrase starts", d, st.nd[d], starts)
+		}
+		var ndkSum int32
+		for _, v := range st.ndk[d] {
+			if v < 0 {
+				t.Fatalf("doc %d: negative ndk", d)
+			}
+			ndkSum += v
+		}
+		if ndkSum != st.nd[d] {
+			t.Fatalf("doc %d: ndk sum %d != nd %d", d, ndkSum, st.nd[d])
+		}
+	}
+}
+
+func TestPDLDAJoinTopicsConsistent(t *testing.T) {
+	c := smallCorpus(t, 80, 79)
+	st := pdldaStateForTest(c, 4, 10, 17)
+	// All tokens of one join run must share the topic of the run head —
+	// the defining property PD-LDA shares with PhraseLDA.
+	for d := range st.docs {
+		for i, w := range st.docs[d] {
+			if w < 0 || st.join[d][i] == 0 {
+				continue
+			}
+			if st.z[d][i] != st.z[d][i-1] {
+				t.Fatalf("doc %d pos %d: joined token changed topic", d, i)
+			}
+		}
+	}
+}
+
+func TestTNGProducesBigramChains(t *testing.T) {
+	// On a corpus saturated with one bigram, TNG should discover it.
+	docs := make([]string, 0, 200)
+	for i := 0; i < 100; i++ {
+		docs = append(docs, "support vector rocks hard")
+		docs = append(docs, "we adore support vector")
+	}
+	c := buildStrings(docs)
+	out := TNG{}.Run(c, Options{K: 2, Iterations: 80, Seed: 7, TopPhrases: 10, MinSupport: 5})
+	found := false
+	for _, tp := range out {
+		for _, p := range tp.Phrases {
+			if p.Display == "support vector" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		var got []string
+		for _, tp := range out {
+			for _, p := range tp.Phrases {
+				got = append(got, p.Display)
+			}
+		}
+		t.Fatalf("TNG missed the saturated bigram; got %v", got)
+	}
+}
+
+func TestTurboDeterministicAcrossRuns(t *testing.T) {
+	c := smallCorpus(t, 100, 83)
+	opt := Options{K: 2, Iterations: 15, Seed: 3, TopPhrases: 8, MinSupport: 2}
+	a := TurboTopics{Permutations: 2, MaxRounds: 2}.Run(c, opt)
+	b := TurboTopics{Permutations: 2, MaxRounds: 2}.Run(c, opt)
+	for k := range a {
+		if len(a[k].Phrases) != len(b[k].Phrases) {
+			t.Fatal("nondeterministic Turbo output")
+		}
+	}
+}

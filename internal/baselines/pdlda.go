@@ -1,0 +1,388 @@
+package baselines
+
+import (
+	"sort"
+
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/xrand"
+)
+
+// PDLDA implements a simplified Phrase-Discovering LDA (Lindsey,
+// Headden & Stipicevic, EMNLP-CoNLL 2012). Documents are segmented
+// into n-grams by per-token join variables; every n-gram draws one
+// topic from the document mixture (all its words share that topic —
+// the property the ToPMine paper highlights as PD-LDA's relation to
+// PhraseLDA), and words are emitted from a hierarchical Pitman-Yor
+// process: a per-(topic, previous-word) restaurant backing off to a
+// per-topic restaurant backing off to the uniform distribution.
+//
+// Simplifications versus the original (documented in DESIGN.md §5):
+// context depth is bounded at one previous word, discount/strength are
+// fixed rather than sampled, table bookkeeping uses the standard
+// stochastic histogram approximation, and segmentation+topics are
+// resampled with a blocked left-to-right pass per segment instead of
+// full per-variable Gibbs. The cost profile — per-token CRP updates
+// through two restaurant levels, easily the slowest method here —
+// matches the original's placement in Table 3.
+type PDLDA struct {
+	// Discount and Strength are the PY parameters (defaults 0.5, 1.0).
+	Discount, Strength float64
+	// Alpha is the document-topic concentration (default 50/K).
+	Alpha float64
+}
+
+// Name implements Method.
+func (PDLDA) Name() string { return "PDLDA" }
+
+// restaurant is a PY CRP with histogram-approximate table tracking.
+type restaurant struct {
+	cw   map[int32]int32
+	tw   map[int32]int32
+	ctot int64
+	ttot int64
+}
+
+func newRestaurant() *restaurant {
+	return &restaurant{cw: make(map[int32]int32), tw: make(map[int32]int32)}
+}
+
+type pdldaState struct {
+	k, v           int
+	disc, strength float64
+	alpha          float64
+	rng            *xrand.RNG
+
+	// rest1[(k, prev)] is the depth-1 restaurant, rest0[k] the
+	// per-topic unigram restaurant.
+	rest1 map[int64]*restaurant
+	rest0 []*restaurant
+
+	ndk [][]int32 // phrases of doc d with topic k
+	nd  []int32   // phrases in doc d
+
+	// segmentation state: per doc, per token: join flag and the topic
+	// of the phrase the token belongs to.
+	docs [][]int32 // -1 = segment break
+	join [][]int8
+	z    [][]int8
+}
+
+func (s *pdldaState) key1(k int, prev int32) int64 {
+	return int64(k)*int64(s.v) + int64(prev)
+}
+
+// p0 is the per-topic unigram predictive probability.
+func (s *pdldaState) p0(w int32, k int) float64 {
+	r := s.rest0[k]
+	base := 1.0 / float64(s.v)
+	num := float64(r.cw[w]) - s.disc*float64(r.tw[w])
+	if num < 0 {
+		num = 0
+	}
+	return (num + (s.strength+s.disc*float64(r.ttot))*base) / (s.strength + float64(r.ctot))
+}
+
+// p1 is the depth-1 predictive probability (context = previous word).
+func (s *pdldaState) p1(w int32, k int, prev int32) float64 {
+	r := s.rest1[s.key1(k, prev)]
+	parent := s.p0(w, k)
+	if r == nil {
+		return parent
+	}
+	num := float64(r.cw[w]) - s.disc*float64(r.tw[w])
+	if num < 0 {
+		num = 0
+	}
+	return (num + (s.strength+s.disc*float64(r.ttot))*parent) / (s.strength + float64(r.ctot))
+}
+
+// seat0 adds a customer for w to the topic restaurant.
+func (s *pdldaState) seat0(w int32, k int) {
+	r := s.rest0[k]
+	num := float64(r.cw[w]) - s.disc*float64(r.tw[w])
+	if num < 0 {
+		num = 0
+	}
+	newTable := (s.strength + s.disc*float64(r.ttot)) / float64(s.v)
+	if r.cw[w] == 0 || s.rng.Float64()*(num+newTable) < newTable {
+		r.tw[w]++
+		r.ttot++
+	}
+	r.cw[w]++
+	r.ctot++
+}
+
+// closeTable decides, under the histogram approximation, whether the
+// departing customer closes a table. Invariants maintained: 1 <= tw <=
+// cw while customers remain; tw == 0 when cw == 0.
+func (s *pdldaState) closeTable(r *restaurant, w int32, cwBefore int32) bool {
+	switch {
+	case r.cw[w] == 0:
+		return r.tw[w] > 0
+	case r.tw[w] > r.cw[w]:
+		return true
+	case r.tw[w] > 1:
+		return s.rng.Float64() < float64(r.tw[w])/float64(cwBefore)
+	}
+	return false
+}
+
+func (s *pdldaState) unseat0(w int32, k int) {
+	r := s.rest0[k]
+	cwBefore := r.cw[w]
+	if cwBefore == 0 {
+		return
+	}
+	r.cw[w] = cwBefore - 1
+	r.ctot--
+	if s.closeTable(r, w, cwBefore) {
+		r.tw[w]--
+		r.ttot--
+	}
+	if r.cw[w] == 0 {
+		delete(r.cw, w)
+		delete(r.tw, w)
+	}
+}
+
+// seat1 adds a customer to the depth-1 restaurant, recursing to the
+// parent when a new table opens.
+func (s *pdldaState) seat1(w int32, k int, prev int32) {
+	key := s.key1(k, prev)
+	r := s.rest1[key]
+	if r == nil {
+		r = newRestaurant()
+		s.rest1[key] = r
+	}
+	num := float64(r.cw[w]) - s.disc*float64(r.tw[w])
+	if num < 0 {
+		num = 0
+	}
+	newTable := (s.strength + s.disc*float64(r.ttot)) * s.p0(w, k)
+	if r.cw[w] == 0 || s.rng.Float64()*(num+newTable) < newTable {
+		r.tw[w]++
+		r.ttot++
+		s.seat0(w, k) // a new table sends its dish order upstream
+	}
+	r.cw[w]++
+	r.ctot++
+}
+
+func (s *pdldaState) unseat1(w int32, k int, prev int32) {
+	key := s.key1(k, prev)
+	r := s.rest1[key]
+	if r == nil || r.cw[w] == 0 {
+		return
+	}
+	cwBefore := r.cw[w]
+	r.cw[w] = cwBefore - 1
+	r.ctot--
+	if s.closeTable(r, w, cwBefore) {
+		r.tw[w]--
+		r.ttot--
+		s.unseat0(w, k) // the closed table's upstream customer leaves too
+	}
+	if r.cw[w] == 0 {
+		delete(r.cw, w)
+		delete(r.tw, w)
+	}
+}
+
+// Run implements Method.
+func (p PDLDA) Run(c *corpus.Corpus, opt Options) []TopicPhrases {
+	opt.fill()
+	disc, strength, alpha := p.Discount, p.Strength, p.Alpha
+	if disc <= 0 || disc >= 1 {
+		disc = 0.5
+	}
+	if strength <= 0 {
+		strength = 1.0
+	}
+	if alpha <= 0 {
+		alpha = 50.0 / float64(opt.K)
+	}
+	st := &pdldaState{
+		k: opt.K, v: c.Vocab.Size(),
+		disc: disc, strength: strength, alpha: alpha,
+		rng:   xrand.New(opt.Seed + 7),
+		rest1: make(map[int64]*restaurant),
+		rest0: make([]*restaurant, opt.K),
+		ndk:   make([][]int32, c.NumDocs()),
+		nd:    make([]int32, c.NumDocs()),
+	}
+	for k := range st.rest0 {
+		st.rest0[k] = newRestaurant()
+	}
+	st.docs = make([][]int32, c.NumDocs())
+	st.join = make([][]int8, c.NumDocs())
+	st.z = make([][]int8, c.NumDocs())
+	for d, doc := range c.Docs {
+		var stream []int32
+		for si := range doc.Segments {
+			if si > 0 {
+				stream = append(stream, -1)
+			}
+			stream = append(stream, doc.Segments[si].Words...)
+		}
+		st.docs[d] = stream
+		st.join[d] = make([]int8, len(stream))
+		st.z[d] = make([]int8, len(stream))
+		st.ndk[d] = make([]int32, opt.K)
+		// Initialise: every token its own phrase with a random topic.
+		for i, w := range stream {
+			if w < 0 {
+				continue
+			}
+			k := int8(st.rng.Intn(opt.K))
+			st.z[d][i] = k
+			st.ndk[d][k]++
+			st.nd[d]++
+			st.seat0(w, int(k))
+		}
+	}
+
+	weights := make([]float64, opt.K+1)
+	for it := 0; it < opt.Iterations; it++ {
+		for d := range st.docs {
+			st.resampleDoc(d, weights)
+		}
+	}
+	return st.extract(c, opt)
+}
+
+// resampleDoc removes one document's phrases, then rebuilds its
+// segmentation and topics with a blocked left-to-right pass.
+func (s *pdldaState) resampleDoc(d int, weights []float64) {
+	stream := s.docs[d]
+	// Remove current counts (reverse order so depth-1 customers leave
+	// before their context's unigram mass).
+	for i := len(stream) - 1; i >= 0; i-- {
+		w := stream[i]
+		if w < 0 {
+			continue
+		}
+		k := int(s.z[d][i])
+		if s.join[d][i] == 1 {
+			s.unseat1(w, k, stream[i-1])
+		} else {
+			s.unseat0(w, k)
+			s.ndk[d][k]--
+			s.nd[d]--
+		}
+	}
+	// Rebuild left to right.
+	for i, w := range stream {
+		if w < 0 {
+			continue
+		}
+		canJoin := i > 0 && stream[i-1] >= 0
+		n := 0
+		// Option 0..K-1: start a new phrase with topic k.
+		for k := 0; k < s.k; k++ {
+			weights[n] = (s.alpha + float64(s.ndk[d][k])) * s.p0(w, k)
+			n++
+		}
+		// Option K: join the previous token's phrase (same topic).
+		if canJoin {
+			kPrev := int(s.z[d][i-1])
+			weights[n] = (s.alpha + float64(s.ndk[d][kPrev])) * s.p1(w, kPrev, stream[i-1])
+			n++
+		}
+		pick := s.rng.Categorical(weights[:n])
+		if canJoin && pick == s.k {
+			k := int(s.z[d][i-1])
+			s.z[d][i] = int8(k)
+			s.join[d][i] = 1
+			s.seat1(w, k, stream[i-1])
+		} else {
+			s.z[d][i] = int8(pick)
+			s.join[d][i] = 0
+			s.ndk[d][pick]++
+			s.nd[d]++
+			s.seat0(w, pick)
+		}
+	}
+}
+
+// extract collects maximal join runs as phrases per topic.
+func (s *pdldaState) extract(c *corpus.Corpus, opt Options) []TopicPhrases {
+	perTopic := make([]map[string]int64, s.k)
+	for k := range perTopic {
+		perTopic[k] = make(map[string]int64)
+	}
+	uniCounts := make([]map[int32]int64, s.k)
+	for k := range uniCounts {
+		uniCounts[k] = make(map[int32]int64)
+	}
+	for d := range s.docs {
+		stream := s.docs[d]
+		i := 0
+		for i < len(stream) {
+			if stream[i] < 0 {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(stream) && stream[j] >= 0 && s.join[d][j] == 1 {
+				j++
+			}
+			k := int(s.z[d][i])
+			for _, w := range stream[i:j] {
+				uniCounts[k][w]++
+			}
+			if j-i >= 2 {
+				perTopic[k][counter.Key(stream[i:j])]++
+			}
+			i = j
+		}
+	}
+	out := make([]TopicPhrases, s.k)
+	for k := 0; k < s.k; k++ {
+		tp := TopicPhrases{Topic: k}
+		type wc struct {
+			w int32
+			n int64
+		}
+		var us []wc
+		for w, n := range uniCounts[k] {
+			us = append(us, wc{w, n})
+		}
+		sort.Slice(us, func(i, j int) bool {
+			if us[i].n != us[j].n {
+				return us[i].n > us[j].n
+			}
+			return us[i].w < us[j].w
+		})
+		for i := 0; i < len(us) && i < opt.TopPhrases; i++ {
+			tp.Unigrams = append(tp.Unigrams, c.Vocab.Unstem(us[i].w))
+		}
+		type kv struct {
+			key string
+			n   int64
+		}
+		var items []kv
+		for key, n := range perTopic[k] {
+			if n >= int64(opt.MinSupport) {
+				items = append(items, kv{key, n})
+			}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].n != items[b].n {
+				return items[a].n > items[b].n
+			}
+			return items[a].key < items[b].key
+		})
+		if len(items) > opt.TopPhrases {
+			items = items[:opt.TopPhrases]
+		}
+		for _, it := range items {
+			words := counter.Unkey(it.key)
+			tp.Phrases = append(tp.Phrases, RankedPhrase{
+				Words: words, Display: displayWords(c, words), Score: float64(it.n),
+			})
+		}
+		out[k] = tp
+	}
+	return out
+}

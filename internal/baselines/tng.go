@@ -1,0 +1,306 @@
+package baselines
+
+import (
+	"sort"
+
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/xrand"
+)
+
+// TNG implements Topical N-Grams (Wang, McCallum & Wei, ICDM 2007).
+//
+// Every token i carries a topic z_i and a bigram-status bit x_i; when
+// x_i = 1 the token continues an n-gram started by its predecessor and
+// is generated from a per-(topic, previous-word) bigram distribution
+// σ, otherwise from the per-topic unigram distribution φ. The status
+// bit itself is drawn from a Bernoulli ψ conditioned on the previous
+// word and its topic. Collapsed Gibbs samples (z_i, x_i) jointly from
+// the 2K-way conditional. Phrases are maximal x=1 runs, labelled with
+// the topic of their final token (as in the original paper).
+//
+// Known behaviour this reproduction preserves: many hyperparameters
+// (α, β, γ, δ), slower mixing than LDA, and phrase lists assembled
+// from bigram chains — the sources of its cost and its middling
+// intrusion scores in the paper's Figures 3-5.
+type TNG struct {
+	// Alpha, Beta, Gamma, Delta are the four Dirichlet/Beta priors; all
+	// have sensible defaults when zero.
+	Alpha, Beta, Gamma, Delta float64
+}
+
+// Name implements Method.
+func (TNG) Name() string { return "TNG" }
+
+// tngState holds counts for the collapsed sampler.
+type tngState struct {
+	k, v int
+	// token stream per document: flattened segments with boundaries.
+	docs   [][]int32 // word ids; -1 marks a segment boundary
+	z      [][]int8  // topic per token (int8: K <= 127 here)
+	x      [][]int8  // bigram status per token
+	ndk    [][]int32
+	nwk    [][]int32 // unigram counts (x = 0 emissions)
+	nk     []int64
+	bern   map[int64][2]int32 // (zPrev*V + wPrev) -> {x=0 count, x=1 count}
+	sigma  map[int64]map[int32]int32
+	sigTot map[int64]int64 // (k*V + wPrev) -> total bigram emissions
+}
+
+func (s *tngState) sigKey(k int, w int32) int64  { return int64(k)*int64(s.v) + int64(w) }
+func (s *tngState) bernKey(k int, w int32) int64 { return int64(k)*int64(s.v) + int64(w) }
+
+// Run implements Method.
+func (t TNG) Run(c *corpus.Corpus, opt Options) []TopicPhrases {
+	opt.fill()
+	alpha, beta, gamma, delta := t.Alpha, t.Beta, t.Gamma, t.Delta
+	if alpha <= 0 {
+		alpha = 50.0 / float64(opt.K)
+	}
+	if beta <= 0 {
+		beta = 0.01
+	}
+	if gamma <= 0 {
+		gamma = 0.1
+	}
+	if delta <= 0 {
+		delta = 0.01
+	}
+	rng := xrand.New(opt.Seed)
+	st := &tngState{
+		k: opt.K, v: c.Vocab.Size(),
+		ndk:    make([][]int32, c.NumDocs()),
+		nwk:    make([][]int32, c.Vocab.Size()),
+		nk:     make([]int64, opt.K),
+		bern:   make(map[int64][2]int32),
+		sigma:  make(map[int64]map[int32]int32),
+		sigTot: make(map[int64]int64),
+	}
+	for w := range st.nwk {
+		st.nwk[w] = make([]int32, opt.K)
+	}
+	// Flatten documents with segment boundaries so bigrams never cross
+	// punctuation, matching the contiguity discipline of the others.
+	st.docs = make([][]int32, c.NumDocs())
+	st.z = make([][]int8, c.NumDocs())
+	st.x = make([][]int8, c.NumDocs())
+	for d, doc := range c.Docs {
+		var stream []int32
+		for si := range doc.Segments {
+			if si > 0 {
+				stream = append(stream, -1)
+			}
+			stream = append(stream, doc.Segments[si].Words...)
+		}
+		st.docs[d] = stream
+		st.z[d] = make([]int8, len(stream))
+		st.x[d] = make([]int8, len(stream))
+		st.ndk[d] = make([]int32, opt.K)
+		for i, w := range stream {
+			if w < 0 {
+				continue
+			}
+			k := int8(rng.Intn(opt.K))
+			st.z[d][i] = k
+			st.x[d][i] = 0 // start as unigrams
+			st.add(d, i, 1)
+		}
+	}
+
+	vf := float64(st.v)
+	weights := make([]float64, 2*opt.K)
+	for it := 0; it < opt.Iterations; it++ {
+		for d := range st.docs {
+			stream := st.docs[d]
+			for i, w := range stream {
+				if w < 0 {
+					continue
+				}
+				// The status bit of token i+1 is conditioned on z_i;
+				// detach it while z_i is in flux.
+				nextOK := i+1 < len(stream) && stream[i+1] >= 0
+				if nextOK {
+					st.bernAdd(d, i+1, -1)
+				}
+				st.remove(d, i)
+				prevOK := i > 0 && stream[i-1] >= 0
+				var pw int32
+				var pz int8
+				if prevOK {
+					pw, pz = stream[i-1], st.z[d][i-1]
+				}
+				n := 0
+				for k := 0; k < opt.K; k++ {
+					docTerm := alpha + float64(st.ndk[d][k])
+					// x = 0: unigram emission.
+					w0 := docTerm * (beta + float64(st.nwk[w][k])) /
+						(vf*beta + float64(st.nk[k]))
+					if prevOK {
+						b := st.bern[st.bernKey(int(pz), pw)]
+						w0 *= (gamma + float64(b[0])) / (2*gamma + float64(b[0]+b[1]))
+					}
+					weights[n] = w0
+					n++
+					// x = 1: bigram emission, only after a word.
+					if prevOK {
+						b := st.bern[st.bernKey(int(pz), pw)]
+						sk := st.sigKey(k, pw)
+						var cnt int32
+						if m := st.sigma[sk]; m != nil {
+							cnt = m[w]
+						}
+						w1 := docTerm *
+							((gamma + float64(b[1])) / (2*gamma + float64(b[0]+b[1]))) *
+							(delta + float64(cnt)) / (vf*delta + float64(st.sigTot[sk]))
+						weights[n] = w1
+						n++
+					}
+				}
+				pick := rng.Categorical(weights[:n])
+				if prevOK {
+					st.z[d][i] = int8(pick / 2)
+					st.x[d][i] = int8(pick % 2)
+				} else {
+					st.z[d][i] = int8(pick)
+					st.x[d][i] = 0
+				}
+				st.add(d, i, 1)
+				if nextOK {
+					st.bernAdd(d, i+1, 1)
+				}
+			}
+		}
+	}
+	return st.extract(c, opt)
+}
+
+// add/remove update token i's own counts: doc-topic mass, its emission
+// (unigram or bigram), and its receiver-side status count bern[z_{i-1},
+// w_{i-1}][x_i]. The status count of the *next* token, which is
+// conditioned on z_i, is handled separately via bernAdd around each
+// resampling so counts always match assignments.
+func (s *tngState) add(d, i int, sign int32) {
+	w := s.docs[d][i]
+	k := int(s.z[d][i])
+	s.ndk[d][k] += sign
+	if s.x[d][i] == 0 {
+		s.nwk[w][k] += sign
+		s.nk[k] += int64(sign)
+	} else {
+		pw := s.docs[d][i-1]
+		sk := s.sigKey(k, pw)
+		m := s.sigma[sk]
+		if m == nil {
+			m = make(map[int32]int32, 1)
+			s.sigma[sk] = m
+		}
+		m[w] += sign
+		if m[w] == 0 {
+			delete(m, w)
+		}
+		s.sigTot[sk] += int64(sign)
+	}
+	s.bernAdd(d, i, sign)
+}
+
+// bernAdd updates the status count of token i conditioned on its
+// predecessor's current assignment.
+func (s *tngState) bernAdd(d, i int, sign int32) {
+	if i == 0 || s.docs[d][i-1] < 0 {
+		return
+	}
+	pw, pz := s.docs[d][i-1], int(s.z[d][i-1])
+	key := s.bernKey(pz, pw)
+	b := s.bern[key]
+	b[s.x[d][i]] += sign
+	s.bern[key] = b
+}
+
+func (s *tngState) remove(d, i int) { s.add(d, i, -1) }
+
+// extract assembles maximal x=1 runs into phrases, labels each with the
+// final token's topic, and ranks per topic by frequency.
+func (s *tngState) extract(c *corpus.Corpus, opt Options) []TopicPhrases {
+	perTopic := make([]map[string]int64, s.k)
+	for k := range perTopic {
+		perTopic[k] = make(map[string]int64)
+	}
+	for d := range s.docs {
+		stream := s.docs[d]
+		i := 0
+		for i < len(stream) {
+			if stream[i] < 0 {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(stream) && stream[j] >= 0 && s.x[d][j] == 1 {
+				j++
+			}
+			if j-i >= 2 {
+				words := stream[i:j]
+				topic := int(s.z[d][j-1])
+				perTopic[topic][counter.Key(words)]++
+			}
+			i = j
+		}
+	}
+	out := make([]TopicPhrases, s.k)
+	for k := 0; k < s.k; k++ {
+		tp := TopicPhrases{Topic: k, Unigrams: s.topUnigrams(c, k, opt.TopPhrases)}
+		type kv struct {
+			key string
+			n   int64
+		}
+		var items []kv
+		for key, n := range perTopic[k] {
+			if n >= int64(opt.MinSupport) {
+				items = append(items, kv{key, n})
+			}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].n != items[b].n {
+				return items[a].n > items[b].n
+			}
+			return items[a].key < items[b].key
+		})
+		if len(items) > opt.TopPhrases {
+			items = items[:opt.TopPhrases]
+		}
+		for _, it := range items {
+			words := counter.Unkey(it.key)
+			tp.Phrases = append(tp.Phrases, RankedPhrase{
+				Words: words, Display: displayWords(c, words), Score: float64(it.n),
+			})
+		}
+		out[k] = tp
+	}
+	return out
+}
+
+func (s *tngState) topUnigrams(c *corpus.Corpus, k, n int) []string {
+	type wc struct {
+		w int32
+		n int32
+	}
+	var all []wc
+	for w := 0; w < s.v; w++ {
+		if cnt := s.nwk[w][k]; cnt > 0 {
+			all = append(all, wc{int32(w), cnt})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = c.Vocab.Unstem(all[i].w)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"topmine/internal/textproc"
+)
+
+// BuildOptions controls how raw text becomes a Corpus.
+type BuildOptions struct {
+	// Stem applies the Porter stemmer to every kept token (paper §7.1).
+	Stem bool
+	// RemoveStopwords drops stop words and letter-free tokens from the
+	// mining stream, tracking them in Gaps for later re-insertion.
+	RemoveStopwords bool
+	// KeepSurface stores the surface form and gap of every kept token.
+	// Required for stop-word re-insertion in displayed phrases; costs
+	// memory proportional to the corpus, so benchmarks disable it.
+	KeepSurface bool
+}
+
+// DefaultBuildOptions mirrors the paper's preprocessing: stemming on,
+// stop-word removal on, surfaces kept for display.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Stem: true, RemoveStopwords: true, KeepSurface: true}
+}
+
+// Builder incrementally assembles a Corpus from raw document strings.
+type Builder struct {
+	opt   BuildOptions
+	vocab *textproc.Vocab
+	docs  []*Document
+	total int
+}
+
+// NewBuilder returns a Builder with the given options.
+func NewBuilder(opt BuildOptions) *Builder {
+	return &Builder{opt: opt, vocab: textproc.NewVocab()}
+}
+
+// Add processes one raw document and appends it to the corpus.
+// Documents that tokenize to nothing still occupy a slot (so external
+// ids stay aligned) but contain zero segments.
+func (b *Builder) Add(text string) *Document {
+	doc := &Document{ID: len(b.docs)}
+	for _, rawSeg := range textproc.Tokenize(text) {
+		kept := textproc.Filter(rawSeg, b.opt.RemoveStopwords)
+		if len(kept) == 0 {
+			continue
+		}
+		seg := Segment{Words: make([]int32, len(kept))}
+		if b.opt.KeepSurface {
+			seg.Surface = make([]string, len(kept))
+			seg.Gaps = make([]string, len(kept))
+		}
+		for i, tok := range kept {
+			stem := tok.Surface
+			if b.opt.Stem {
+				stem = textproc.Stem(stem)
+			}
+			seg.Words[i] = b.vocab.Intern(stem, tok.Surface)
+			if b.opt.KeepSurface {
+				seg.Surface[i] = tok.Surface
+				seg.Gaps[i] = tok.Gap
+			}
+		}
+		doc.Segments = append(doc.Segments, seg)
+		b.total += len(kept)
+	}
+	b.docs = append(b.docs, doc)
+	return doc
+}
+
+// Corpus finalises and returns the built corpus. The Builder may keep
+// being used; later Adds extend the same underlying corpus.
+func (b *Builder) Corpus() *Corpus {
+	return &Corpus{Docs: b.docs, Vocab: b.vocab, TotalTokens: b.total}
+}
+
+// FromStrings builds a corpus treating each element as one document.
+func FromStrings(docs []string, opt BuildOptions) *Corpus {
+	b := NewBuilder(opt)
+	for _, d := range docs {
+		b.Add(d)
+	}
+	return b.Corpus()
+}
+
+// ReadLines builds a corpus from r, one document per line. Long lines
+// (up to 16 MiB) are supported.
+func ReadLines(r io.Reader, opt BuildOptions) (*Corpus, error) {
+	b := NewBuilder(opt)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		b.Add(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading documents: %w", err)
+	}
+	return b.Corpus(), nil
+}
+
+// LoadFile builds a corpus from a one-document-per-line text file.
+func LoadFile(path string, opt BuildOptions) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return ReadLines(f, opt)
+}

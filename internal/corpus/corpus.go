@@ -1,0 +1,131 @@
+// Package corpus defines the document representation shared by every
+// stage of the ToPMine pipeline and the loaders that build it from raw
+// text.
+//
+// A document is a sequence of segments — maximal stretches of text
+// between phrase-invariant punctuation (§4.1 of the paper) — and each
+// segment is a sequence of interned, stemmed, stop-word-free token ids.
+// Phrases never cross segment boundaries, which is what makes frequent
+// phrase mining linear in corpus size.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"topmine/internal/textproc"
+)
+
+// Segment is one punctuation-delimited chunk of a document.
+type Segment struct {
+	// Words holds the stemmed vocabulary ids of the kept tokens.
+	Words []int32
+	// Surface, when present (see BuildOptions.KeepSurface), holds the
+	// original lowercase surface form of each kept token.
+	Surface []string
+	// Gaps, when present, holds for each kept token the dropped words
+	// (stop words, numbers) between it and the previous kept token.
+	Gaps []string
+}
+
+// Len returns the number of kept tokens in the segment.
+func (s *Segment) Len() int { return len(s.Words) }
+
+// Document is an ordered list of segments.
+type Document struct {
+	ID       int
+	Segments []Segment
+}
+
+// Len returns the total number of kept tokens in the document.
+func (d *Document) Len() int {
+	n := 0
+	for i := range d.Segments {
+		n += len(d.Segments[i].Words)
+	}
+	return n
+}
+
+// Tokens returns all kept token ids of the document in reading order.
+func (d *Document) Tokens() []int32 {
+	out := make([]int32, 0, d.Len())
+	for i := range d.Segments {
+		out = append(out, d.Segments[i].Words...)
+	}
+	return out
+}
+
+// Corpus is a collection of documents sharing one vocabulary.
+type Corpus struct {
+	Docs  []*Document
+	Vocab *textproc.Vocab
+	// TotalTokens is N, the number of kept tokens across the corpus; it
+	// is the L of the significance score's Bernoulli null model (§4.2).
+	TotalTokens int
+}
+
+// NumDocs returns the number of documents.
+func (c *Corpus) NumDocs() int { return len(c.Docs) }
+
+// Stats summarises a corpus.
+type Stats struct {
+	Docs      int
+	Segments  int
+	Tokens    int
+	VocabSize int
+	AvgDocLen float64
+	MaxDocLen int
+}
+
+// ComputeStats walks the corpus and returns summary statistics.
+func (c *Corpus) ComputeStats() Stats {
+	st := Stats{Docs: len(c.Docs), Tokens: c.TotalTokens, VocabSize: c.Vocab.Size()}
+	for _, d := range c.Docs {
+		st.Segments += len(d.Segments)
+		if n := d.Len(); n > st.MaxDocLen {
+			st.MaxDocLen = n
+		}
+	}
+	if st.Docs > 0 {
+		st.AvgDocLen = float64(st.Tokens) / float64(st.Docs)
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("docs=%d segments=%d tokens=%d vocab=%d avgLen=%.1f maxLen=%d",
+		st.Docs, st.Segments, st.Tokens, st.VocabSize, st.AvgDocLen, st.MaxDocLen)
+}
+
+// DisplayPhrase reconstructs the human-readable form of the phrase
+// spanning tokens [start, end) of the given segment: surface forms with
+// dropped stop words re-inserted when the segment retains them, or
+// un-stemmed vocabulary forms otherwise.
+func (c *Corpus) DisplayPhrase(seg *Segment, start, end int) string {
+	var b strings.Builder
+	for i := start; i < end; i++ {
+		if i > start {
+			if seg.Gaps != nil && seg.Gaps[i] != "" {
+				b.WriteByte(' ')
+				b.WriteString(seg.Gaps[i])
+			}
+			b.WriteByte(' ')
+		}
+		if seg.Surface != nil {
+			b.WriteString(seg.Surface[i])
+		} else {
+			b.WriteString(c.Vocab.Unstem(seg.Words[i]))
+		}
+	}
+	return b.String()
+}
+
+// DisplayWords renders a phrase given only its word ids, using the
+// vocabulary's un-stemming map (no stop-word re-insertion).
+func (c *Corpus) DisplayWords(words []int32) string {
+	parts := make([]string, len(words))
+	for i, w := range words {
+		parts[i] = c.Vocab.Unstem(w)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,228 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTiny(t *testing.T) *Corpus {
+	t.Helper()
+	docs := []string{
+		"Mining frequent patterns without candidate generation: a frequent pattern tree approach.",
+		"Frequent pattern mining: current status and future directions.",
+		"The house and senate passed the bill.",
+	}
+	return FromStrings(docs, DefaultBuildOptions())
+}
+
+func TestBuilderBasicShape(t *testing.T) {
+	c := buildTiny(t)
+	if c.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d, want 3", c.NumDocs())
+	}
+	// Doc 0 splits on ':' and '.' into two segments with content.
+	if got := len(c.Docs[0].Segments); got != 2 {
+		t.Fatalf("doc0 segments = %d, want 2", got)
+	}
+	if c.TotalTokens == 0 || c.Vocab.Size() == 0 {
+		t.Fatal("empty corpus built from non-empty docs")
+	}
+}
+
+func TestBuilderStemsAndSharesIDs(t *testing.T) {
+	c := buildTiny(t)
+	// "mining" (doc0) and "mining" (doc1) stem to "mine" and share an id.
+	id, ok := c.Vocab.ID("mine")
+	if !ok {
+		t.Fatal("stem 'mine' missing from vocabulary")
+	}
+	if c.Vocab.Count(id) < 2 {
+		t.Fatalf("'mine' count = %d, want >= 2", c.Vocab.Count(id))
+	}
+	// "pattern" and "patterns" share a stem as well.
+	pid, ok := c.Vocab.ID("pattern")
+	if !ok {
+		t.Fatal("stem 'pattern' missing")
+	}
+	if c.Vocab.Count(pid) < 3 {
+		t.Fatalf("'pattern' count = %d, want >= 3", c.Vocab.Count(pid))
+	}
+}
+
+func TestBuilderRemovesStopwords(t *testing.T) {
+	c := buildTiny(t)
+	if _, ok := c.Vocab.ID("the"); ok {
+		t.Fatal("stop word 'the' leaked into vocabulary")
+	}
+	if _, ok := c.Vocab.ID("without"); ok {
+		t.Fatal("stop word 'without' leaked into vocabulary")
+	}
+}
+
+func TestBuilderEmptyDocKeepsSlot(t *testing.T) {
+	c := FromStrings([]string{"", "real content here", "..."}, DefaultBuildOptions())
+	if c.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d, want 3", c.NumDocs())
+	}
+	if len(c.Docs[0].Segments) != 0 || len(c.Docs[2].Segments) != 0 {
+		t.Fatal("empty docs should have zero segments")
+	}
+	if c.Docs[1].ID != 1 {
+		t.Fatalf("doc id misaligned: %d", c.Docs[1].ID)
+	}
+}
+
+func TestDocumentTokensOrder(t *testing.T) {
+	c := buildTiny(t)
+	d := c.Docs[1]
+	toks := d.Tokens()
+	if len(toks) != d.Len() {
+		t.Fatalf("Tokens len %d != Len %d", len(toks), d.Len())
+	}
+	// First segment first token should be the stem of "frequent".
+	fid, _ := c.Vocab.ID("frequent")
+	if toks[0] != fid {
+		t.Fatalf("first token = %q, want 'frequent'", c.Vocab.Word(toks[0]))
+	}
+}
+
+func TestDisplayPhraseReinsertsStopwords(t *testing.T) {
+	c := buildTiny(t)
+	d := c.Docs[2] // "The house and senate passed the bill."
+	seg := &d.Segments[0]
+	if seg.Len() < 3 {
+		t.Fatalf("unexpected segment: %v", seg.Words)
+	}
+	got := c.DisplayPhrase(seg, 0, 2)
+	if got != "house and senate" {
+		t.Fatalf("DisplayPhrase = %q, want %q", got, "house and senate")
+	}
+}
+
+func TestDisplayPhraseSingleToken(t *testing.T) {
+	c := buildTiny(t)
+	seg := &c.Docs[2].Segments[0]
+	if got := c.DisplayPhrase(seg, 0, 1); got != "house" {
+		t.Fatalf("DisplayPhrase = %q, want %q", got, "house")
+	}
+}
+
+func TestDisplayWordsUnstems(t *testing.T) {
+	c := buildTiny(t)
+	id, _ := c.Vocab.ID("mine")
+	got := c.DisplayWords([]int32{id})
+	if got != "mining" {
+		t.Fatalf("DisplayWords = %q, want %q (most frequent surface)", got, "mining")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildTiny(t)
+	st := c.ComputeStats()
+	if st.Docs != 3 || st.Tokens != c.TotalTokens || st.VocabSize != c.Vocab.Size() {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if st.AvgDocLen <= 0 || st.MaxDocLen <= 0 {
+		t.Fatalf("stats not computed: %+v", st)
+	}
+	if !strings.Contains(st.String(), "docs=3") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	input := "first document about data mining\nsecond document about topic models\n"
+	c, err := ReadLines(strings.NewReader(input), DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", c.NumDocs())
+	}
+}
+
+func TestBuildWithoutSurface(t *testing.T) {
+	opt := DefaultBuildOptions()
+	opt.KeepSurface = false
+	c := FromStrings([]string{"support vector machines"}, opt)
+	seg := &c.Docs[0].Segments[0]
+	if seg.Surface != nil || seg.Gaps != nil {
+		t.Fatal("surface kept despite KeepSurface=false")
+	}
+	// DisplayPhrase must fall back to unstemming.
+	got := c.DisplayPhrase(seg, 0, seg.Len())
+	if !strings.Contains(got, "vector") {
+		t.Fatalf("fallback display = %q", got)
+	}
+}
+
+func TestSplitDocumentCompletion(t *testing.T) {
+	docs := make([]string, 10)
+	for i := range docs {
+		docs[i] = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+	}
+	c := FromStrings(docs, DefaultBuildOptions())
+	ho := SplitDocumentCompletion(c, 0.2, 1)
+	if ho.TestTokens == 0 {
+		t.Fatal("no tokens withheld")
+	}
+	wantTotal := c.TotalTokens
+	if got := ho.Train.TotalTokens + ho.TestTokens; got != wantTotal {
+		t.Fatalf("token conservation violated: %d + %d != %d",
+			ho.Train.TotalTokens, ho.TestTokens, wantTotal)
+	}
+	// Each doc of 10 tokens should hold out 2.
+	if len(ho.Test[0]) != 2 {
+		t.Fatalf("held out %d tokens, want 2", len(ho.Test[0]))
+	}
+	// Held-out tokens are the document's final tokens in order.
+	orig := c.Docs[0].Tokens()
+	if ho.Test[0][0] != orig[8] || ho.Test[0][1] != orig[9] {
+		t.Fatal("held-out tokens are not the document tail in order")
+	}
+}
+
+func TestSplitRespectsMinTrainTokens(t *testing.T) {
+	c := FromStrings([]string{"alpha beta"}, DefaultBuildOptions())
+	ho := SplitDocumentCompletion(c, 0.9, 2)
+	if ho.TestTokens != 0 {
+		t.Fatalf("short doc should not be split, withheld %d", ho.TestTokens)
+	}
+	if ho.Train.Docs[0].Len() != 2 {
+		t.Fatal("train doc mangled")
+	}
+}
+
+func TestSplitMultiSegmentBoundary(t *testing.T) {
+	// 6 tokens in two segments of 3; withhold 4 => spans a boundary.
+	c := FromStrings([]string{"alpha beta gamma, delta epsilon zeta"}, DefaultBuildOptions())
+	d := c.Docs[0]
+	if len(d.Segments) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(d.Segments))
+	}
+	ho := SplitDocumentCompletion(c, 0.67, 1)
+	hold := len(ho.Test[0])
+	if hold < 3 {
+		t.Fatalf("expected to withhold across the segment boundary, got %d", hold)
+	}
+	train := ho.Train.Docs[0]
+	if train.Len()+hold != 6 {
+		t.Fatalf("token conservation: %d + %d != 6", train.Len(), hold)
+	}
+	// Order check: test tokens are the last `hold` of the original.
+	orig := d.Tokens()
+	for i, tok := range ho.Test[0] {
+		if tok != orig[6-hold+i] {
+			t.Fatalf("held-out order wrong at %d", i)
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for frac=1")
+		}
+	}()
+	SplitDocumentCompletion(&Corpus{}, 1.0, 0)
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import "topmine/internal/textproc"
+
+// MapText tokenizes raw text against an existing vocabulary without
+// mutating it: out-of-vocabulary words are dropped (treated like stop
+// words, joining the following token's gap). This is the read-only
+// path used when folding new documents into a trained model.
+func MapText(text string, v *textproc.Vocab, opt BuildOptions) *Document {
+	doc := &Document{ID: -1}
+	for _, rawSeg := range textproc.Tokenize(text) {
+		kept := textproc.Filter(rawSeg, opt.RemoveStopwords)
+		if len(kept) == 0 {
+			continue
+		}
+		seg := Segment{}
+		var pendingGap string
+		for _, tok := range kept {
+			stem := tok.Surface
+			if opt.Stem {
+				stem = textproc.Stem(stem)
+			}
+			id, ok := v.ID(stem)
+			if !ok {
+				// OOV: absorb into the gap before the next kept token.
+				if pendingGap != "" {
+					pendingGap += " "
+				}
+				if tok.Gap != "" {
+					pendingGap += tok.Gap + " "
+				}
+				pendingGap += tok.Surface
+				continue
+			}
+			seg.Words = append(seg.Words, id)
+			if opt.KeepSurface {
+				gap := tok.Gap
+				if pendingGap != "" {
+					if gap != "" {
+						gap = pendingGap + " " + gap
+					} else {
+						gap = pendingGap
+					}
+					pendingGap = ""
+				}
+				if len(seg.Words) == 1 {
+					gap = "" // leading gap is never phrase-internal
+				}
+				seg.Surface = append(seg.Surface, tok.Surface)
+				seg.Gaps = append(seg.Gaps, gap)
+			} else {
+				pendingGap = ""
+			}
+		}
+		if len(seg.Words) > 0 {
+			doc.Segments = append(doc.Segments, seg)
+		}
+	}
+	return doc
+}

@@ -1,0 +1,61 @@
+package corpus
+
+import "testing"
+
+func TestMapTextKnownWords(t *testing.T) {
+	c := buildTiny(t)
+	before := c.Vocab.Size()
+	doc := MapText("frequent pattern mining rocks", c.Vocab, DefaultBuildOptions())
+	if c.Vocab.Size() != before {
+		t.Fatal("MapText mutated the vocabulary")
+	}
+	if len(doc.Segments) != 1 {
+		t.Fatalf("segments = %d", len(doc.Segments))
+	}
+	// "frequent", "pattern", "mining" are known; "rocks" is OOV.
+	if got := doc.Segments[0].Len(); got != 3 {
+		t.Fatalf("kept tokens = %d, want 3", got)
+	}
+	fid, _ := c.Vocab.ID("frequent")
+	if doc.Segments[0].Words[0] != fid {
+		t.Fatal("first token should be 'frequent'")
+	}
+}
+
+func TestMapTextAllOOV(t *testing.T) {
+	c := buildTiny(t)
+	doc := MapText("zzz qqq unseen tokens", c.Vocab, DefaultBuildOptions())
+	if len(doc.Segments) != 0 {
+		t.Fatalf("all-OOV text should map to no segments, got %d", len(doc.Segments))
+	}
+}
+
+func TestMapTextOOVJoinsGap(t *testing.T) {
+	c := buildTiny(t)
+	// "house <OOV> senate": the OOV word lands in senate's gap so the
+	// display still reads naturally.
+	doc := MapText("house zweistein senate", c.Vocab, DefaultBuildOptions())
+	if len(doc.Segments) != 1 || doc.Segments[0].Len() != 2 {
+		t.Fatalf("unexpected mapping: %+v", doc.Segments)
+	}
+	got := c.DisplayPhrase(&doc.Segments[0], 0, 2)
+	if got != "house zweistein senate" {
+		t.Fatalf("display = %q", got)
+	}
+}
+
+func TestMapTextSegmentBoundaries(t *testing.T) {
+	c := buildTiny(t)
+	doc := MapText("frequent pattern, mining", c.Vocab, DefaultBuildOptions())
+	if len(doc.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(doc.Segments))
+	}
+}
+
+func TestMapTextEmpty(t *testing.T) {
+	c := buildTiny(t)
+	doc := MapText("", c.Vocab, DefaultBuildOptions())
+	if len(doc.Segments) != 0 {
+		t.Fatal("empty text should map to empty document")
+	}
+}

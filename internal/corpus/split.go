@@ -1,0 +1,90 @@
+package corpus
+
+// HeldOut is the result of a document-completion split used for the
+// perplexity experiments (Figs. 6-7): the tail of each document is
+// withheld from training and scored against the model's per-document
+// topic estimates.
+type HeldOut struct {
+	// Train shares the vocabulary with the source corpus but holds the
+	// truncated documents.
+	Train *Corpus
+	// Test holds, for each document, the withheld token ids in order.
+	Test [][]int32
+	// TestTokens is the total number of withheld tokens.
+	TestTokens int
+}
+
+// SplitDocumentCompletion withholds approximately frac of each
+// document's tokens (the final ones, truncating whole segments last-
+// first token-by-token) for held-out evaluation. Documents shorter than
+// minTrainTokens keep all their tokens. frac must be in [0, 1).
+func SplitDocumentCompletion(c *Corpus, frac float64, minTrainTokens int) *HeldOut {
+	if frac < 0 || frac >= 1 {
+		panic("corpus: SplitDocumentCompletion frac must be in [0,1)")
+	}
+	out := &HeldOut{
+		Train: &Corpus{Vocab: c.Vocab},
+		Test:  make([][]int32, len(c.Docs)),
+	}
+	for di, d := range c.Docs {
+		n := d.Len()
+		hold := int(float64(n) * frac)
+		if n-hold < minTrainTokens {
+			hold = n - minTrainTokens
+		}
+		if hold <= 0 {
+			out.Train.Docs = append(out.Train.Docs, d)
+			out.Train.TotalTokens += n
+			continue
+		}
+		nd := &Document{ID: d.ID}
+		test := make([]int32, 0, hold)
+		remaining := hold
+		// Walk segments from the back, withholding tokens.
+		segs := make([]Segment, 0, len(d.Segments))
+		for i := len(d.Segments) - 1; i >= 0; i-- {
+			seg := d.Segments[i]
+			if remaining == 0 {
+				segs = append(segs, seg)
+				continue
+			}
+			if remaining >= len(seg.Words) {
+				// entire segment withheld
+				test = append(test, reverse32(seg.Words)...)
+				remaining -= len(seg.Words)
+				continue
+			}
+			keep := len(seg.Words) - remaining
+			test = append(test, reverse32(seg.Words[keep:])...)
+			trunc := Segment{Words: seg.Words[:keep]}
+			if seg.Surface != nil {
+				trunc.Surface = seg.Surface[:keep]
+				trunc.Gaps = seg.Gaps[:keep]
+			}
+			segs = append(segs, trunc)
+			remaining = 0
+		}
+		// segs and test were collected back-to-front; restore order.
+		for l, r := 0, len(segs)-1; l < r; l, r = l+1, r-1 {
+			segs[l], segs[r] = segs[r], segs[l]
+		}
+		for l, r := 0, len(test)-1; l < r; l, r = l+1, r-1 {
+			test[l], test[r] = test[r], test[l]
+		}
+		nd.Segments = segs
+		out.Train.Docs = append(out.Train.Docs, nd)
+		out.Train.TotalTokens += nd.Len()
+		out.Test[di] = test
+		out.TestTokens += len(test)
+	}
+	return out
+}
+
+// reverse32 returns a reversed copy of s.
+func reverse32(s []int32) []int32 {
+	out := make([]int32, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

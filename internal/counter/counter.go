@@ -1,0 +1,169 @@
+// Package counter implements the hash-based n-gram counter that
+// Algorithm 1 of the paper uses to collect aggregate phrase counts
+// ("fixed-length candidate phrases beginning at each active index are
+// counted using an appropriate hash-based counter", §4.1).
+//
+// Keys are contiguous word-id sequences packed 4 bytes big-endian per
+// id into a Go string: collision-free, order-preserving within one
+// length class, and cheap to build. The counter stores *int64 values
+// so that increments of existing keys go through the (allocation-free)
+// m[string(buf)] read path and bump through the pointer; only the
+// first occurrence of a candidate allocates its key.
+package counter
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Key packs the word ids into a map key.
+func Key(words []int32) string {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(w))
+	}
+	return string(buf)
+}
+
+// AppendKey packs words[start:end] into dst (resetting it) and returns
+// the updated buffer; use with GetBytes/IncBytes to avoid allocating
+// on the hot path.
+func AppendKey(dst []byte, words []int32, start, end int) []byte {
+	dst = dst[:0]
+	for _, w := range words[start:end] {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(w))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// Unkey unpacks a key back into word ids.
+func Unkey(key string) []int32 {
+	n := len(key) / 4
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(binary.BigEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return out
+}
+
+// KeyLen returns the number of words encoded in key.
+func KeyLen(key string) int { return len(key) / 4 }
+
+// NGrams counts phrase occurrences.
+type NGrams struct {
+	m map[string]*int64
+}
+
+// New returns an empty counter.
+func New() *NGrams { return &NGrams{m: make(map[string]*int64)} }
+
+// NewWithCapacity returns an empty counter pre-sized for n entries.
+func NewWithCapacity(n int) *NGrams { return &NGrams{m: make(map[string]*int64, n)} }
+
+// Inc adds one occurrence of key.
+func (c *NGrams) Inc(key string) { c.Add(key, 1) }
+
+// IncBytes adds one occurrence of the packed key held in buf. The
+// lookup does not allocate; only first occurrences copy the key.
+func (c *NGrams) IncBytes(buf []byte) {
+	if p, ok := c.m[string(buf)]; ok {
+		*p++
+		return
+	}
+	v := int64(1)
+	c.m[string(buf)] = &v
+}
+
+// Add adds delta occurrences of key.
+func (c *NGrams) Add(key string, delta int64) {
+	if p, ok := c.m[key]; ok {
+		*p += delta
+		return
+	}
+	v := delta
+	c.m[key] = &v
+}
+
+// Get returns the count for key (0 when absent).
+func (c *NGrams) Get(key string) int64 {
+	if p, ok := c.m[key]; ok {
+		return *p
+	}
+	return 0
+}
+
+// GetBytes looks up a packed key held in a byte buffer without
+// allocating.
+func (c *NGrams) GetBytes(key []byte) int64 {
+	if p, ok := c.m[string(key)]; ok {
+		return *p
+	}
+	return 0
+}
+
+// Has reports whether key is present.
+func (c *NGrams) Has(key string) bool { _, ok := c.m[key]; return ok }
+
+// Len returns the number of distinct keys.
+func (c *NGrams) Len() int { return len(c.m) }
+
+// Prune removes every entry with count < min and returns the number
+// removed.
+func (c *NGrams) Prune(min int64) int {
+	removed := 0
+	for k, v := range c.m {
+		if *v < min {
+			delete(c.m, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Merge adds all counts from other into c.
+func (c *NGrams) Merge(other *NGrams) {
+	for k, v := range other.m {
+		c.Add(k, *v)
+	}
+}
+
+// Each calls f for every (key, count) pair in unspecified order.
+func (c *NGrams) Each(f func(key string, count int64)) {
+	for k, v := range c.m {
+		f(k, *v)
+	}
+}
+
+// Entry is one phrase with its corpus count.
+type Entry struct {
+	Words []int32
+	Count int64
+}
+
+// Entries returns all entries with at least minWords words (0 = all),
+// sorted by descending count then by key for determinism.
+func (c *NGrams) Entries(minWords int) []Entry {
+	type kv struct {
+		k string
+		v int64
+	}
+	tmp := make([]kv, 0, len(c.m))
+	for k, v := range c.m {
+		if KeyLen(k) >= minWords {
+			tmp = append(tmp, kv{k, *v})
+		}
+	}
+	sort.Slice(tmp, func(i, j int) bool {
+		if tmp[i].v != tmp[j].v {
+			return tmp[i].v > tmp[j].v
+		}
+		return tmp[i].k < tmp[j].k
+	})
+	out := make([]Entry, len(tmp))
+	for i, e := range tmp {
+		out[i] = Entry{Words: Unkey(e.k), Count: e.v}
+	}
+	return out
+}

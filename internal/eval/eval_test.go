@@ -1,0 +1,241 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"topmine/internal/baselines"
+	"topmine/internal/corpus"
+	"topmine/internal/synth"
+)
+
+func buildIdx(t *testing.T) (*Index, *corpus.Corpus) {
+	t.Helper()
+	docs := []string{
+		"data mining conference on data mining",
+		"data mining and machine learning",
+		"machine learning models learn",
+		"deep machine learning advances",
+		"the weather is sunny today",
+		"sunny weather continues all week",
+	}
+	c := corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+	return BuildIndex(c), c
+}
+
+func ids(t *testing.T, c *corpus.Corpus, words ...string) []int32 {
+	t.Helper()
+	out := make([]int32, len(words))
+	for i, w := range words {
+		id, ok := c.Vocab.ID(w)
+		if !ok {
+			t.Fatalf("word %q missing", w)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func TestDocFreqSingleWord(t *testing.T) {
+	idx, c := buildIdx(t)
+	if got := idx.DocFreq(ids(t, c, "data")); got != 2 {
+		t.Fatalf("DocFreq(data) = %d, want 2", got)
+	}
+	if got := idx.DocFreq(ids(t, c, "sunni")); got != 2 { // "sunny" stems to "sunni"
+		t.Fatalf("DocFreq(sunny) = %d, want 2", got)
+	}
+}
+
+func TestDocFreqPhrase(t *testing.T) {
+	idx, c := buildIdx(t)
+	if got := idx.DocFreq(ids(t, c, "machin", "learn")); got != 3 {
+		t.Fatalf("DocFreq(machine learning) = %d, want 3", got)
+	}
+}
+
+func TestDocFreqAbsentWord(t *testing.T) {
+	idx, _ := buildIdx(t)
+	if got := idx.DocFreq([]int32{9999}); got != 0 {
+		t.Fatalf("DocFreq(absent) = %d, want 0", got)
+	}
+}
+
+func TestDocFreqDuplicateWords(t *testing.T) {
+	idx, c := buildIdx(t)
+	a := idx.DocFreq(ids(t, c, "data", "data"))
+	b := idx.DocFreq(ids(t, c, "data"))
+	if a != b {
+		t.Fatalf("duplicate words changed DocFreq: %d vs %d", a, b)
+	}
+}
+
+func TestNPMIRelatedVsUnrelated(t *testing.T) {
+	idx, c := buildIdx(t)
+	related := idx.NPMI(ids(t, c, "data"), ids(t, c, "mine"))
+	unrelated := idx.NPMI(ids(t, c, "data"), ids(t, c, "weather"))
+	if related <= unrelated {
+		t.Fatalf("NPMI(data,mining)=%v should exceed NPMI(data,weather)=%v", related, unrelated)
+	}
+	if unrelated != -1 {
+		t.Fatalf("never-co-occurring pair should be -1, got %v", unrelated)
+	}
+	if related < -1 || related > 1 {
+		t.Fatalf("NPMI out of range: %v", related)
+	}
+}
+
+func TestAdjacencyNPMIOrderedVsScrambled(t *testing.T) {
+	idx, c := buildIdx(t)
+	good := idx.AdjacencyNPMI(ids(t, c, "machin", "learn"))
+	bad := idx.AdjacencyNPMI(ids(t, c, "learn", "machin")) // reversed order never adjacent
+	if good <= bad {
+		t.Fatalf("ordered phrase %v should beat scrambled %v", good, bad)
+	}
+	if bad != -1 {
+		t.Fatalf("non-adjacent pair should be -1, got %v", bad)
+	}
+}
+
+func TestAdjacencyNPMIUnigram(t *testing.T) {
+	idx, c := buildIdx(t)
+	if got := idx.AdjacencyNPMI(ids(t, c, "data")); got != 0 {
+		t.Fatalf("unigram adjacency = %v, want 0", got)
+	}
+}
+
+func TestZScores(t *testing.T) {
+	z := ZScores([]float64{1, 2, 3, 4, 5})
+	var mean, variance float64
+	for _, v := range z {
+		mean += v
+	}
+	mean /= float64(len(z))
+	for _, v := range z {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(z))
+	if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-12 {
+		t.Fatalf("z-scores mean=%v var=%v", mean, variance)
+	}
+	if z[0] >= z[4] {
+		t.Fatal("z-scores must preserve order")
+	}
+}
+
+func TestZScoresConstant(t *testing.T) {
+	for _, v := range ZScores([]float64{2, 2, 2}) {
+		if v != 0 {
+			t.Fatal("constant input should map to zeros")
+		}
+	}
+	if got := ZScores(nil); len(got) != 0 {
+		t.Fatal("nil input should map to empty")
+	}
+}
+
+// syntheticTopics builds two well-separated topics plus helpers from a
+// planted corpus for the task-level tests.
+func syntheticTopics(t *testing.T) (*Index, []baselines.TopicPhrases, []baselines.TopicPhrases) {
+	t.Helper()
+	spec := synth.TwentyConf()
+	c := synth.GenerateCorpus(spec, synth.Options{Docs: 800, Seed: 51}, corpus.DefaultBuildOptions())
+	idx := BuildIndex(c)
+	// "Good" topics: phrases drawn from the planted per-topic phrase
+	// inventories, resolved through the pipeline vocabulary.
+	var good []baselines.TopicPhrases
+	for ti, topic := range spec.Topics {
+		tp := baselines.TopicPhrases{Topic: ti}
+		for _, p := range topic.Phrases {
+			if words, ok := resolvePhrase(c, p); ok && len(words) >= 2 {
+				tp.Phrases = append(tp.Phrases, baselines.RankedPhrase{
+					Words: words, Display: p, Score: 1,
+				})
+			}
+		}
+		good = append(good, tp)
+	}
+	// "Bad" topics: same phrases dealt round-robin so every list mixes
+	// all themes.
+	bad := make([]baselines.TopicPhrases, len(good))
+	for i := range bad {
+		bad[i].Topic = i
+	}
+	n := 0
+	for _, tp := range good {
+		for _, p := range tp.Phrases {
+			bad[n%len(bad)].Phrases = append(bad[n%len(bad)].Phrases, p)
+			n++
+		}
+	}
+	return idx, good, bad
+}
+
+func resolvePhrase(c *corpus.Corpus, phrase string) ([]int32, bool) {
+	var out []int32
+	for _, w := range splitFields(phrase) {
+		if isStop(w) {
+			continue
+		}
+		id, ok := c.Vocab.ID(stem(w))
+		if !ok {
+			return nil, false
+		}
+		out = append(out, id)
+	}
+	return out, true
+}
+
+func TestCoherenceSeparatesGoodFromBad(t *testing.T) {
+	idx, good, bad := syntheticTopics(t)
+	cg := Coherence(idx, good, 10)
+	cb := Coherence(idx, bad, 10)
+	if cg <= cb {
+		t.Fatalf("coherent topics %v should beat mixed topics %v", cg, cb)
+	}
+}
+
+func TestIntrusionEasierOnSeparatedTopics(t *testing.T) {
+	idx, good, bad := syntheticTopics(t)
+	rg := Intrusion(idx, "good", good, 20, 3, 0.02, 99)
+	rb := Intrusion(idx, "bad", bad, 20, 3, 0.02, 99)
+	if rg.Questions != 20 || len(rg.CorrectPerAnnotator) != 3 {
+		t.Fatalf("question bookkeeping wrong: %+v", rg)
+	}
+	if rg.Avg <= rb.Avg {
+		t.Fatalf("intrusion on separated topics (%v) should beat mixed (%v)", rg.Avg, rb.Avg)
+	}
+	if rg.Avg < 10 {
+		t.Fatalf("separated topics should be mostly solvable, got %v/20", rg.Avg)
+	}
+}
+
+func TestIntrusionTooFewPhrases(t *testing.T) {
+	idx, _, _ := syntheticTopics(t)
+	empty := []baselines.TopicPhrases{{Topic: 0}, {Topic: 1}}
+	r := Intrusion(idx, "empty", empty, 20, 3, 0.02, 1)
+	if r.Questions != 0 || r.Avg != 0 {
+		t.Fatalf("empty method should yield zero questions: %+v", r)
+	}
+}
+
+func TestQualityRealPhrasesBeatScrambled(t *testing.T) {
+	idx, good, _ := syntheticTopics(t)
+	// Scramble: reverse each phrase's word order.
+	scrambled := make([]baselines.TopicPhrases, len(good))
+	for i, tp := range good {
+		scrambled[i].Topic = tp.Topic
+		for _, p := range tp.Phrases {
+			rev := make([]int32, len(p.Words))
+			for j, w := range p.Words {
+				rev[len(p.Words)-1-j] = w
+			}
+			scrambled[i].Phrases = append(scrambled[i].Phrases,
+				baselines.RankedPhrase{Words: rev, Display: p.Display, Score: 1})
+		}
+	}
+	qg := Quality(idx, good, 10)
+	qs := Quality(idx, scrambled, 10)
+	if qg <= qs {
+		t.Fatalf("real phrases %v should beat scrambled %v", qg, qs)
+	}
+}

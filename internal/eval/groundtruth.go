@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"math"
+	"strings"
+
+	"topmine/internal/baselines"
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/textproc"
+)
+
+// Ground-truth evaluation against synthetic corpora. The paper's real
+// datasets provide no labels, so its evaluation leans on human studies;
+// planted corpora let us additionally measure, mechanically, (a) how
+// many planted collocations a method surfaces and (b) how pure the
+// learned document-topic structure is versus the planted topics.
+
+// ResolvePhrase maps a planted surface phrase to the id sequence the
+// pipeline produces for it (stop words removed, words stemmed). The
+// second result is false when any non-stop word is missing from the
+// vocabulary.
+func ResolvePhrase(c *corpus.Corpus, phrase string) ([]int32, bool) {
+	var out []int32
+	for _, w := range strings.Fields(phrase) {
+		if textproc.IsStopword(w) {
+			continue
+		}
+		id, ok := c.Vocab.ID(textproc.Stem(w))
+		if !ok {
+			return nil, false
+		}
+		out = append(out, id)
+	}
+	return out, true
+}
+
+// Recovery reports planted-phrase recovery of one method's output.
+type Recovery struct {
+	Planted   int // planted phrases resolvable to >= 2 pipeline tokens
+	Recovered int // of those, surfaced in some topic's list
+	Extra     int // surfaced phrases that were not planted
+	Precision float64
+	Recall    float64
+}
+
+// PhraseRecovery measures how many planted multi-word phrases appear
+// anywhere in the method's per-topic phrase lists, and how many listed
+// phrases are not planted. Reordered itemsets count as recovered only
+// if they match a planted phrase exactly, which penalises unordered
+// methods the same way a human reader would.
+func PhraseRecovery(c *corpus.Corpus, planted []string, topics []baselines.TopicPhrases) Recovery {
+	plantedKeys := make(map[string]bool)
+	var rec Recovery
+	for _, p := range planted {
+		ids, ok := ResolvePhrase(c, p)
+		if !ok || len(ids) < 2 {
+			continue
+		}
+		rec.Planted++
+		plantedKeys[counter.Key(ids)] = true
+	}
+	listed := make(map[string]bool)
+	for _, tp := range topics {
+		for _, p := range tp.Phrases {
+			listed[counter.Key(p.Words)] = true
+		}
+	}
+	recovered := make(map[string]bool)
+	for key := range listed {
+		if plantedKeys[key] {
+			recovered[key] = true
+		} else {
+			rec.Extra++
+		}
+	}
+	rec.Recovered = len(recovered)
+	if len(listed) > 0 {
+		rec.Precision = float64(rec.Recovered) / float64(len(listed))
+	}
+	if rec.Planted > 0 {
+		rec.Recall = float64(rec.Recovered) / float64(rec.Planted)
+	}
+	return rec
+}
+
+// Purity measures document-cluster purity: assign every document to
+// its model topic (argmax), then score the fraction of documents whose
+// cluster's majority ground-truth label matches their own.
+func Purity(docTopics, labels []int, k int) float64 {
+	if len(docTopics) != len(labels) || len(labels) == 0 {
+		return 0
+	}
+	// counts[cluster][label]
+	counts := make(map[int]map[int]int)
+	for i, c := range docTopics {
+		m := counts[c]
+		if m == nil {
+			m = make(map[int]int)
+			counts[c] = m
+		}
+		m[labels[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// NMI computes normalised mutual information between the model's
+// document-topic assignment and the ground-truth labels (arithmetic
+// normalisation), in [0, 1].
+func NMI(docTopics, labels []int) float64 {
+	n := len(docTopics)
+	if n == 0 || n != len(labels) {
+		return 0
+	}
+	joint := make(map[[2]int]float64)
+	ca := make(map[int]float64)
+	cb := make(map[int]float64)
+	for i := range docTopics {
+		joint[[2]int{docTopics[i], labels[i]}]++
+		ca[docTopics[i]]++
+		cb[labels[i]]++
+	}
+	fn := float64(n)
+	var mi float64
+	for key, nij := range joint {
+		pij := nij / fn
+		pi := ca[key[0]] / fn
+		pj := cb[key[1]] / fn
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	entropy := func(m map[int]float64) float64 {
+		var h float64
+		for _, c := range m {
+			p := c / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(ca), entropy(cb)
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	return 2 * mi / (ha + hb)
+}

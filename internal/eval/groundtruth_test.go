@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"topmine/internal/baselines"
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/synth"
+)
+
+func TestResolvePhrase(t *testing.T) {
+	c := corpus.FromStrings([]string{"support vector machines rock"}, corpus.DefaultBuildOptions())
+	ids, ok := ResolvePhrase(c, "support vector machines")
+	if !ok || len(ids) != 3 {
+		t.Fatalf("resolve failed: %v %v", ids, ok)
+	}
+	// Stop words inside phrases are skipped.
+	c2 := corpus.FromStrings([]string{"house and senate pass bills"}, corpus.DefaultBuildOptions())
+	ids2, ok := ResolvePhrase(c2, "house and senate")
+	if !ok || len(ids2) != 2 {
+		t.Fatalf("stop-word skip failed: %v", ids2)
+	}
+	if _, ok := ResolvePhrase(c, "totally absent words"); ok {
+		t.Fatal("absent words resolved")
+	}
+}
+
+func TestPhraseRecovery(t *testing.T) {
+	spec := synth.TwentyConf()
+	c := synth.GenerateCorpus(spec, synth.Options{Docs: 800, Seed: 61}, corpus.DefaultBuildOptions())
+	// Perfect method: lists exactly the planted phrases of each topic.
+	var perfect []baselines.TopicPhrases
+	for ti, topic := range spec.Topics {
+		tp := baselines.TopicPhrases{Topic: ti}
+		for _, p := range topic.Phrases {
+			if ids, ok := ResolvePhrase(c, p); ok && len(ids) >= 2 {
+				tp.Phrases = append(tp.Phrases, baselines.RankedPhrase{Words: ids, Display: p, Score: 1})
+			}
+		}
+		perfect = append(perfect, tp)
+	}
+	rec := PhraseRecovery(c, spec.PlantedPhrases(), perfect)
+	if rec.Planted == 0 {
+		t.Fatal("no resolvable planted phrases")
+	}
+	if rec.Recall < 0.95 {
+		t.Fatalf("perfect method recall = %v", rec.Recall)
+	}
+	if rec.Precision < 0.95 {
+		t.Fatalf("perfect method precision = %v (extra=%d)", rec.Precision, rec.Extra)
+	}
+
+	// Junk method: random scrambles of vocabulary ids.
+	junk := []baselines.TopicPhrases{{Topic: 0, Phrases: []baselines.RankedPhrase{
+		{Words: []int32{1, 3}, Display: "junk a", Score: 1},
+		{Words: []int32{5, 7}, Display: "junk b", Score: 1},
+	}}}
+	jrec := PhraseRecovery(c, spec.PlantedPhrases(), junk)
+	if jrec.Recall >= rec.Recall {
+		t.Fatal("junk method should recall less than the perfect method")
+	}
+}
+
+func TestPhraseRecoveryDeduplicates(t *testing.T) {
+	c := corpus.FromStrings([]string{"support vector machines rock"}, corpus.DefaultBuildOptions())
+	ids, _ := ResolvePhrase(c, "support vector machines")
+	// The same phrase listed in two topics counts once.
+	topics := []baselines.TopicPhrases{
+		{Topic: 0, Phrases: []baselines.RankedPhrase{{Words: ids, Display: "x", Score: 1}}},
+		{Topic: 1, Phrases: []baselines.RankedPhrase{{Words: ids, Display: "x", Score: 1}}},
+	}
+	rec := PhraseRecovery(c, []string{"support vector machines"}, topics)
+	if rec.Recovered != 1 || rec.Extra != 0 {
+		t.Fatalf("dedup failed: %+v", rec)
+	}
+	_ = counter.Key(ids)
+}
+
+func TestPurityPerfectAndRandom(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	perfect := []int{2, 2, 2, 0, 0, 0, 1, 1, 1} // relabeled but pure
+	if got := Purity(perfect, labels, 3); got != 1 {
+		t.Fatalf("pure clustering purity = %v", got)
+	}
+	mixed := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if got := Purity(mixed, labels, 3); got >= 0.5 {
+		t.Fatalf("mixed clustering purity = %v, want < 0.5", got)
+	}
+}
+
+func TestPurityEdgeCases(t *testing.T) {
+	if Purity(nil, nil, 3) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+	if Purity([]int{0}, []int{0, 1}, 2) != 0 {
+		t.Fatal("misaligned purity should be 0")
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI([]int{1, 1, 2, 2, 0, 0}, labels); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect NMI = %v, want 1", got)
+	}
+	same := NMI([]int{0, 0, 0, 0, 0, 0}, labels)
+	if same != 0 {
+		t.Fatalf("single-cluster NMI = %v, want 0", same)
+	}
+	random := NMI([]int{0, 1, 0, 1, 0, 1}, labels)
+	if random < 0 || random > 0.5 {
+		t.Fatalf("random-ish NMI = %v", random)
+	}
+}
+
+func TestGenerateLabeledMatchesGenerate(t *testing.T) {
+	spec := synth.TwentyConf()
+	opt := synth.Options{Docs: 50, Seed: 67}
+	plain := synth.Generate(spec, opt)
+	labeled, labels := synth.GenerateLabeled(spec, opt)
+	if len(labeled) != len(plain) || len(labels) != len(plain) {
+		t.Fatal("length mismatch")
+	}
+	for i := range plain {
+		if plain[i] != labeled[i] {
+			t.Fatalf("doc %d differs between Generate and GenerateLabeled", i)
+		}
+	}
+	for _, l := range labels {
+		if l < 0 || l >= spec.NumTopics() {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// With a sparse Dirichlet the labels should span several topics.
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("labels degenerate")
+	}
+}
+
+func TestPhraseSimProperties(t *testing.T) {
+	docs := []string{
+		"data mining and machine learning",
+		"data mining conferences on data",
+		"machine learning with data mining",
+		"sunny weather all week",
+		"weather stays sunny",
+	}
+	c := corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+	idx := BuildIndex(c)
+	dm, _ := ResolvePhrase(c, "data mining")
+	ml, _ := ResolvePhrase(c, "machine learning")
+	sw, _ := ResolvePhrase(c, "sunny weather")
+	related := idx.PhraseSim(dm, ml)
+	unrelated := idx.PhraseSim(dm, sw)
+	if related <= unrelated {
+		t.Fatalf("PhraseSim(data mining, machine learning)=%v should beat vs sunny weather=%v",
+			related, unrelated)
+	}
+	self := idx.PhraseSim(dm, dm)
+	if self < related {
+		t.Fatalf("self-similarity %v below cross similarity %v", self, related)
+	}
+}

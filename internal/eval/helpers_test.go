@@ -1,0 +1,11 @@
+package eval
+
+import (
+	"strings"
+
+	"topmine/internal/textproc"
+)
+
+func splitFields(s string) []string { return strings.Fields(s) }
+func isStop(w string) bool          { return textproc.IsStopword(w) }
+func stem(w string) string          { return textproc.Stem(w) }

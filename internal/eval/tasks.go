@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"math"
+
+	"topmine/internal/baselines"
+	"topmine/internal/xrand"
+)
+
+// IntrusionResult reports the phrase-intrusion task of Figure 3.
+type IntrusionResult struct {
+	Method    string
+	Questions int
+	// CorrectPerAnnotator[i] is annotator i's number of correct
+	// answers; Avg is their mean (the paper's y-axis).
+	CorrectPerAnnotator []int
+	Avg                 float64
+}
+
+// Intrusion builds the paper's intrusion questions from a method's
+// topics — three phrases sampled from one topic's top list plus one
+// intruder from another topic — and has simulated annotators identify
+// the intruder. An annotator ranks each candidate by its mean document
+// co-occurrence NPMI with the other three and picks the lowest;
+// annotators differ by zero-mean noise on the similarities, emulating
+// inter-annotator variance.
+func Intrusion(idx *Index, method string, topics []baselines.TopicPhrases,
+	questions, annotators int, noise float64, seed uint64) IntrusionResult {
+
+	rng := xrand.New(seed)
+	res := IntrusionResult{Method: method, CorrectPerAnnotator: make([]int, annotators)}
+
+	// Topics eligible as question sources need >= 3 phrases; intruder
+	// sources need >= 1.
+	var sources []int
+	for i, tp := range topics {
+		if len(tp.Phrases) >= 3 {
+			sources = append(sources, i)
+		}
+	}
+	if len(sources) < 2 {
+		return res // method produced too few phrases to be evaluated
+	}
+	type question struct {
+		cands    [4][]int32
+		intruder int
+	}
+	var qs []question
+	for len(qs) < questions {
+		src := sources[rng.Intn(len(sources))]
+		oth := sources[rng.Intn(len(sources))]
+		if oth == src {
+			continue
+		}
+		ps := topics[src].Phrases
+		perm := rng.Perm(len(ps))
+		var q question
+		for i := 0; i < 3; i++ {
+			q.cands[i] = ps[perm[i%len(perm)]].Words
+		}
+		q.intruder = rng.Intn(4)
+		intr := topics[oth].Phrases[rng.Intn(len(topics[oth].Phrases))].Words
+		if q.intruder != 3 {
+			q.cands[3] = q.cands[q.intruder]
+		}
+		q.cands[q.intruder] = intr
+		qs = append(qs, q)
+	}
+	res.Questions = len(qs)
+
+	// Pre-compute pairwise NPMI per question, then let each annotator
+	// answer with their own noise stream.
+	type simMatrix [4][4]float64
+	sims := make([]simMatrix, len(qs))
+	for qi, q := range qs {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				s := idx.PhraseSim(q.cands[i], q.cands[j])
+				sims[qi][i][j] = s
+				sims[qi][j][i] = s
+			}
+		}
+	}
+	for a := 0; a < annotators; a++ {
+		arng := xrand.New(seed + 1000 + uint64(a))
+		correct := 0
+		for qi, q := range qs {
+			worst, worstScore := 0, math.Inf(1)
+			for i := 0; i < 4; i++ {
+				var mean float64
+				for j := 0; j < 4; j++ {
+					if j != i {
+						mean += sims[qi][i][j]
+					}
+				}
+				mean = mean/3 + noise*arng.Normal()
+				if mean < worstScore {
+					worst, worstScore = i, mean
+				}
+			}
+			if worst == q.intruder {
+				correct++
+			}
+		}
+		res.CorrectPerAnnotator[a] = correct
+		res.Avg += float64(correct)
+	}
+	res.Avg /= float64(annotators)
+	return res
+}
+
+// Coherence rates each topic's phrase list by mean pairwise document
+// NPMI of its top phrases — the automatic stand-in for the experts'
+// 1-10 coherence ratings of Figure 4 — and returns the mean over
+// topics. Topics with fewer than two phrases rate 0 (uninterpretable).
+func Coherence(idx *Index, topics []baselines.TopicPhrases, topN int) float64 {
+	var total float64
+	n := 0
+	for _, tp := range topics {
+		ps := tp.Phrases
+		if len(ps) > topN {
+			ps = ps[:topN]
+		}
+		if len(ps) < 2 {
+			n++
+			continue
+		}
+		var sum float64
+		pairs := 0
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				sum += idx.PhraseSim(ps[i].Words, ps[j].Words)
+				pairs++
+			}
+		}
+		total += sum / float64(pairs)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Quality rates phrase lists by collocation strength: the mean
+// adjacency NPMI of the top phrases — the automatic stand-in for the
+// experts' phrase-quality ratings of Figure 5. Methods that emit
+// unordered or non-contiguous word sets score poorly because their
+// "phrases" are not realised in text.
+func Quality(idx *Index, topics []baselines.TopicPhrases, topN int) float64 {
+	var total float64
+	n := 0
+	for _, tp := range topics {
+		ps := tp.Phrases
+		if len(ps) > topN {
+			ps = ps[:topN]
+		}
+		for _, p := range ps {
+			total += idx.AdjacencyNPMI(p.Words)
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return total / float64(n)
+}
+
+// ZScores standardises values to zero mean, unit variance — the
+// normalisation the paper applies to each expert's ratings before
+// averaging (Figures 4-5). A constant slice maps to all zeros.
+func ZScores(values []float64) []float64 {
+	out := make([]float64, len(values))
+	if len(values) == 0 {
+		return out
+	}
+	var mean float64
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	var variance float64
+	for _, v := range values {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(values))
+	sd := math.Sqrt(variance)
+	if sd == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = (v - mean) / sd
+	}
+	return out
+}

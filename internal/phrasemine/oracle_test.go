@@ -1,0 +1,95 @@
+package phrasemine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/synth"
+)
+
+// naiveCounts counts every contiguous n-gram (1 <= n <= maxLen) of
+// every segment by brute force — the specification Algorithm 1 must
+// match after support filtering.
+func naiveCounts(c *corpus.Corpus, maxLen int) *counter.NGrams {
+	out := counter.New()
+	for _, d := range c.Docs {
+		for si := range d.Segments {
+			words := d.Segments[si].Words
+			for i := 0; i < len(words); i++ {
+				for n := 1; n <= maxLen && i+n <= len(words); n++ {
+					out.Inc(counter.Key(words[i : i+n]))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestMineMatchesBruteForce is the oracle test: on random small
+// corpora, Algorithm 1's output equals brute-force counting restricted
+// to frequent phrases.
+func TestMineMatchesBruteForce(t *testing.T) {
+	f := func(seedByte, supportByte uint8) bool {
+		seed := uint64(seedByte)
+		support := int(supportByte%7) + 1
+		c := synth.GenerateCorpus(synth.DBLPTitles(),
+			synth.Options{Docs: 40, Seed: seed}, corpus.DefaultBuildOptions())
+		const maxLen = 6
+		mined := Mine(c, Options{MinSupport: support, MaxLen: maxLen, Workers: 1})
+		naive := naiveCounts(c, maxLen)
+		naive.Prune(int64(support))
+		if mined.Counts.Len() != naive.Len() {
+			t.Logf("seed=%d support=%d: mined %d entries, naive %d",
+				seed, support, mined.Counts.Len(), naive.Len())
+			return false
+		}
+		ok := true
+		naive.Each(func(key string, want int64) {
+			if got := mined.Counts.Get(key); got != want {
+				t.Logf("seed=%d support=%d: phrase %v mined=%d naive=%d",
+					seed, support, counter.Unkey(key), got, want)
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMineMatchesBruteForceLongSegments stresses the boundary logic
+// with repeated tokens and segment-length edge cases.
+func TestMineMatchesBruteForceLongSegments(t *testing.T) {
+	docs := []string{
+		"a a a a a a a a",
+		"a b a b a b a b",
+		"x y z x y z x y z",
+		"one",
+		"two two",
+		"p q r s t u v w x y z p q r s t u v w x y z",
+	}
+	// Repeat so everything clears support.
+	var all []string
+	for i := 0; i < 4; i++ {
+		all = append(all, docs...)
+	}
+	c := corpus.FromStrings(all, corpus.DefaultBuildOptions())
+	for _, support := range []int{1, 2, 4, 8} {
+		mined := Mine(c, Options{MinSupport: support, MaxLen: 0, Workers: 1})
+		naive := naiveCounts(c, 32)
+		naive.Prune(int64(support))
+		if mined.Counts.Len() != naive.Len() {
+			t.Fatalf("support %d: mined %d entries, naive %d",
+				support, mined.Counts.Len(), naive.Len())
+		}
+		naive.Each(func(key string, want int64) {
+			if got := mined.Counts.Get(key); got != want {
+				t.Fatalf("support %d: %v mined=%d naive=%d",
+					support, counter.Unkey(key), got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,252 @@
+// Package phrasemine implements Algorithm 1 of the paper: frequent
+// contiguous phrase mining with position-based Apriori pruning
+// (downward closure) and document data-antimonotonicity.
+//
+// The mining unit is the punctuation-delimited segment (§4.1), which
+// bounds per-unit work by a constant and makes total work linear in
+// corpus size. At iteration n, candidate phrases of length n are
+// counted only at "active indices" — positions whose length-(n-1)
+// prefix is frequent and whose successor position is also active (so
+// the length-(n-1) suffix is frequent too). Segments whose active set
+// empties are dropped from all further consideration.
+package phrasemine
+
+import (
+	"runtime"
+	"sync"
+
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+)
+
+// Options configures mining.
+type Options struct {
+	// MinSupport is the paper's ε: the minimum corpus count for a
+	// phrase to be considered frequent. Values < 1 are treated as 1.
+	MinSupport int
+	// MaxLen bounds phrase length; 0 means unbounded (mining stops when
+	// no candidates survive, the natural termination of Algorithm 1).
+	MaxLen int
+	// Workers > 1 shards the per-level counting across goroutines with
+	// per-worker counters merged between levels. Results are identical
+	// to the serial run. 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the options used throughout the paper's
+// experiments: an absolute support floor suitable for medium corpora.
+func DefaultOptions() Options { return Options{MinSupport: 5, MaxLen: 8, Workers: 1} }
+
+// Result carries the mined aggregate statistics.
+type Result struct {
+	// Counts maps every frequent phrase (length >= 1, count >= ε) to
+	// its corpus count. This is the {(P, C(P))} of Algorithm 1 and the
+	// input to the significance-guided segmentation.
+	Counts *counter.NGrams
+	// TotalTokens is L, the corpus token count used by the Bernoulli
+	// null model of the significance score.
+	TotalTokens int
+	// MinSupport echoes the effective ε.
+	MinSupport int
+	// MaxPhraseLen is the length of the longest frequent phrase found.
+	MaxPhraseLen int
+	// LevelCandidates[n] is the number of distinct length-n candidates
+	// counted (diagnostics: shows Apriori pruning at work).
+	LevelCandidates []int
+}
+
+// segState tracks one segment still under consideration.
+type segState struct {
+	words  []int32
+	active []int32 // indices whose length-(n-1) phrase is frequent
+}
+
+// Mine runs Algorithm 1 over the corpus.
+func Mine(c *corpus.Corpus, opt Options) *Result {
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	eps := int64(opt.MinSupport)
+	res := &Result{
+		Counts:          counter.New(),
+		TotalTokens:     c.TotalTokens,
+		MinSupport:      opt.MinSupport,
+		LevelCandidates: []int{0}, // index 0 unused
+	}
+
+	// Level 1: count every unigram.
+	uni := counter.New()
+	var segs []*segState
+	for _, d := range c.Docs {
+		for i := range d.Segments {
+			w := d.Segments[i].Words
+			if len(w) == 0 {
+				continue
+			}
+			segs = append(segs, &segState{words: w})
+			kb := make([]byte, 0, 4)
+			for i := range w {
+				kb = counter.AppendKey(kb, w, i, i+1)
+				uni.IncBytes(kb)
+			}
+		}
+	}
+	res.LevelCandidates = append(res.LevelCandidates, uni.Len())
+	uni.Prune(eps)
+	res.Counts.Merge(uni)
+	if uni.Len() > 0 {
+		res.MaxPhraseLen = 1
+	}
+
+	// Compute level-2 active indices: positions with a frequent unigram.
+	prev := uni
+	for _, s := range segs {
+		kb := make([]byte, 0, 4)
+		for i := range s.words {
+			kb = counter.AppendKey(kb, s.words, i, i+1)
+			if prev.GetBytes(kb) >= eps {
+				s.active = append(s.active, int32(i))
+			}
+		}
+	}
+	segs = compact(segs)
+
+	for n := 2; len(segs) > 0 && (opt.MaxLen == 0 || n <= opt.MaxLen); n++ {
+		level := countLevel(segs, n, opt.Workers)
+		res.LevelCandidates = append(res.LevelCandidates, level.Len())
+		level.Prune(eps)
+		if level.Len() > 0 {
+			res.MaxPhraseLen = n
+		}
+		res.Counts.Merge(level)
+
+		// Recompute active indices for level n+1 using level-n counts,
+		// dropping out-of-bounds starts (the paper's removal of the max
+		// index) and exhausted segments (data-antimonotonicity).
+		updateActive(segs, level, n, eps, opt.Workers)
+		segs = compact(segs)
+		if level.Len() == 0 {
+			break // nothing frequent at this length: no longer ones exist
+		}
+	}
+	return res
+}
+
+// countLevel counts all length-n candidates at active positions.
+func countLevel(segs []*segState, n, workers int) *counter.NGrams {
+	if workers <= 1 || len(segs) < 64 {
+		out := counter.New()
+		kb := make([]byte, 0, 4*n)
+		for _, s := range segs {
+			countSegment(out, s, n, &kb)
+		}
+		return out
+	}
+	locals := make([]*counter.NGrams, workers)
+	var wg sync.WaitGroup
+	chunk := (len(segs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		if lo >= hi {
+			locals[w] = counter.New()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := counter.New()
+			kb := make([]byte, 0, 4*n)
+			for _, s := range segs[lo:hi] {
+				countSegment(local, s, n, &kb)
+			}
+			locals[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := locals[0]
+	for _, l := range locals[1:] {
+		out.Merge(l)
+	}
+	return out
+}
+
+// countSegment counts length-n candidates in one segment: position i
+// yields a candidate when i and i+1 are both active, i.e. both the
+// length-(n-1) prefix and suffix of the candidate are frequent
+// (Apriori) and the candidate cannot overflow the segment.
+func countSegment(out *counter.NGrams, s *segState, n int, kb *[]byte) {
+	act := s.active
+	for idx := 0; idx+1 < len(act); idx++ {
+		i := act[idx]
+		if act[idx+1] != i+1 {
+			continue
+		}
+		*kb = counter.AppendKey(*kb, s.words, int(i), int(i)+n)
+		out.IncBytes(*kb)
+	}
+}
+
+// updateActive recomputes per-segment active sets for level n+1: keep
+// index i when the length-n phrase at i is frequent and a length-(n+1)
+// phrase starting at i stays in bounds.
+func updateActive(segs []*segState, level *counter.NGrams, n int, eps int64, workers int) {
+	update := func(s *segState) {
+		kb := make([]byte, 0, 4*n)
+		next := s.active[:0]
+		for _, i := range s.active {
+			if int(i)+n > len(s.words) {
+				continue // length-n phrase itself would overflow
+			}
+			kb = counter.AppendKey(kb, s.words, int(i), int(i)+n)
+			if level.GetBytes(kb) >= eps {
+				next = append(next, i)
+			}
+		}
+		s.active = next
+	}
+	if workers <= 1 || len(segs) < 64 {
+		for _, s := range segs {
+			update(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(segs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, s := range segs[lo:hi] {
+				update(s)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// compact drops segments whose active set is empty (or too small to
+// ever produce another candidate: a single active index cannot form a
+// pair). This is the data-antimonotonicity pruning of Algorithm 1.
+func compact(segs []*segState) []*segState {
+	out := segs[:0]
+	for _, s := range segs {
+		if len(s.active) >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package segment
+
+import (
+	"testing"
+)
+
+func TestTracePartitionRecordsMerges(t *testing.T) {
+	docs := repeat([]string{
+		"markov blanket feature selection for support vector machines",
+		"markov blanket discovery rocks",
+		"feature selection matters",
+		"support vector machines win",
+		"we use support vector machines",
+		"markov blanket feature selection again",
+		"feature selection for support vector machines",
+	}, 5)
+	c, mined := minedFromDocs(docs, 4)
+	seg := NewSegmenter(mined, Options{Alpha: 2, MaxPhraseLen: 8, Workers: 1})
+	words := c.Docs[0].Segments[0].Words
+	spans, steps := seg.TracePartition(words)
+	if len(steps) == 0 {
+		t.Fatal("no merges recorded")
+	}
+	// Every step's operands must be adjacent and the merged span their
+	// union; all above threshold.
+	for _, s := range steps {
+		if s.Left.End != s.Right.Start {
+			t.Fatalf("non-adjacent merge: %+v", s)
+		}
+		if s.Merged != (Span{s.Left.Start, s.Right.End}) {
+			t.Fatalf("merged span wrong: %+v", s)
+		}
+		if s.Sig < 2 {
+			t.Fatalf("merge below alpha: %+v", s)
+		}
+	}
+	// Merge count equals tokens minus final phrase count (each merge
+	// reduces the phrase count by one).
+	if len(steps) != len(words)-len(spans) {
+		t.Fatalf("merges %d != tokens %d - phrases %d", len(steps), len(words), len(spans))
+	}
+	// Spans must still form a partition.
+	pos := 0
+	for _, sp := range spans {
+		if sp.Start != pos {
+			t.Fatalf("partition broken: %+v", spans)
+		}
+		pos = sp.End
+	}
+	if pos != len(words) {
+		t.Fatal("partition does not cover segment")
+	}
+}
+
+func TestTracePartitionMatchesPartition(t *testing.T) {
+	docs := repeat([]string{"alpha beta gamma delta"}, 10)
+	c, mined := minedFromDocs(docs, 5)
+	seg := NewSegmenter(mined, Options{Alpha: 1, MaxPhraseLen: 8, Workers: 1})
+	words := c.Docs[0].Segments[0].Words
+	plain := seg.Partition(words)
+	traced, _ := seg.TracePartition(words)
+	if len(plain) != len(traced) {
+		t.Fatalf("tracing changed the partition: %v vs %v", plain, traced)
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("span %d differs: %v vs %v", i, plain[i], traced[i])
+		}
+	}
+}
+
+func TestTracePartitionEmptyAndSingleton(t *testing.T) {
+	_, mined := minedFromDocs(repeat([]string{"alpha"}, 6), 5)
+	seg := NewSegmenter(mined, DefaultOptions())
+	if spans, steps := seg.TracePartition(nil); spans != nil || len(steps) != 0 {
+		t.Fatal("empty segment trace should be empty")
+	}
+	spans, steps := seg.TracePartition([]int32{0})
+	if len(spans) != 1 || len(steps) != 0 {
+		t.Fatal("singleton trace wrong")
+	}
+}

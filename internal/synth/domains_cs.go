@@ -1,0 +1,294 @@
+package synth
+
+// Computer-science domain specs mirroring the paper's DBLP titles,
+// 20Conf titles, DBLP abstracts and ACL abstracts datasets. The topic
+// inventories deliberately echo the areas the paper reports (Table 1:
+// information retrieval; Table 4: search/optimization, NLP, machine
+// learning, programming languages, data mining) so the regenerated
+// visualisations are directly comparable.
+
+var csTopicML = Topic{
+	Name: "machine learning",
+	Unigrams: []string{
+		"learning", "model", "classification", "training", "features",
+		"kernel", "supervised", "neural", "network", "regression",
+		"bayesian", "inference", "prediction", "label", "accuracy",
+		"classifier", "clustering", "ensemble", "boosting", "margin",
+		"gradient", "loss", "sparse", "matrix", "latent", "estimation",
+		"probabilistic", "sample", "generalization", "dimensionality",
+	},
+	Phrases: []string{
+		"support vector machine", "machine learning", "feature selection",
+		"learning algorithm", "neural network", "decision tree",
+		"training data", "semi supervised learning", "logistic regression",
+		"active learning", "reinforcement learning", "graphical model",
+		"hidden markov model", "dimensionality reduction",
+	},
+}
+
+var csTopicDM = Topic{
+	Name: "data mining",
+	Unigrams: []string{
+		"mining", "data", "patterns", "rules", "itemsets", "frequent",
+		"discovery", "association", "stream", "transaction", "events",
+		"anomaly", "outlier", "sequence", "temporal", "spatial",
+		"knowledge", "large", "scalable", "efficient", "pruning",
+		"summarization", "correlation", "dense", "subgraph", "graph",
+		"community", "evolution", "massive", "distributed",
+	},
+	Phrases: []string{
+		"data mining", "data sets", "association rules", "data streams",
+		"frequent itemsets", "frequent pattern mining", "time series",
+		"data analysis", "mining algorithms", "spatio temporal",
+		"data collection", "pattern discovery", "sequential patterns",
+		"knowledge discovery",
+	},
+}
+
+var csTopicIR = Topic{
+	Name: "information retrieval",
+	Unigrams: []string{
+		"search", "web", "retrieval", "information", "query", "document",
+		"ranking", "text", "user", "relevance", "index", "semantic",
+		"social", "content", "click", "page", "recommendation", "link",
+		"filtering", "feedback", "personalized", "news", "collection",
+		"snippet", "engine", "crawl", "keyword", "corpus", "tag", "entity",
+	},
+	Phrases: []string{
+		"information retrieval", "web search", "search engine",
+		"social networks", "question answering", "web page",
+		"information extraction", "text classification", "topic model",
+		"collaborative filtering", "query expansion", "relevance feedback",
+		"link analysis", "recommender systems",
+	},
+}
+
+var csTopicNLP = Topic{
+	Name: "natural language processing",
+	Unigrams: []string{
+		"language", "word", "speech", "translation", "text", "recognition",
+		"parsing", "grammar", "sentences", "corpus", "syntax", "semantic",
+		"character", "discourse", "dialogue", "lexical", "morphology",
+		"tagging", "alignment", "bilingual", "phrase", "sentiment",
+		"summarization", "generation", "annotation", "treebank",
+		"dependency", "tokens", "linguistic", "spoken",
+	},
+	Phrases: []string{
+		"natural language", "speech recognition", "language model",
+		"machine translation", "natural language processing",
+		"word sense disambiguation", "named entity recognition",
+		"part of speech tagging", "context free grammars",
+		"statistical machine translation", "sign language",
+		"recognition rate", "character recognition", "recognition system",
+	},
+}
+
+var csTopicPL = Topic{
+	Name: "programming languages",
+	Unigrams: []string{
+		"programming", "language", "code", "type", "object", "compiler",
+		"implementation", "system", "java", "data", "program", "execution",
+		"semantics", "static", "dynamic", "analysis", "memory", "runtime",
+		"verification", "specification", "abstraction", "concurrent",
+		"software", "module", "interface", "garbage", "bytecode",
+		"functional", "imperative", "checker",
+	},
+	Phrases: []string{
+		"programming language", "source code", "object oriented",
+		"type system", "data structure", "program execution", "run time",
+		"code generation", "object oriented programming", "java programs",
+		"model checking", "static analysis", "operating system",
+		"points to analysis",
+	},
+}
+
+var csTopicOpt = Topic{
+	Name: "search and optimization",
+	Unigrams: []string{
+		"problem", "algorithm", "optimal", "solution", "search", "solve",
+		"constraints", "programming", "heuristic", "genetic", "optimization",
+		"complexity", "approximation", "bound", "greedy", "local",
+		"stochastic", "convergence", "objective", "convex", "linear",
+		"combinatorial", "planning", "scheduling", "cost", "iterative",
+		"evolutionary", "swarm", "global", "branch",
+	},
+	Phrases: []string{
+		"genetic algorithm", "optimization problem", "solve this problem",
+		"optimal solution", "evolutionary algorithm", "local search",
+		"search space", "optimization algorithm", "search algorithm",
+		"objective function", "simulated annealing", "linear programming",
+		"dynamic programming", "constraint satisfaction",
+	},
+}
+
+var csTopicDB = Topic{
+	Name: "databases",
+	Unigrams: []string{
+		"database", "query", "system", "data", "processing", "storage",
+		"transaction", "index", "relational", "distributed", "schema",
+		"xml", "join", "optimization", "cache", "concurrency", "recovery",
+		"parallel", "management", "scalable", "workload", "tuning",
+		"partitioning", "replication", "throughput", "latency", "views",
+		"warehouse", "integration", "stream",
+	},
+	Phrases: []string{
+		"query processing", "database systems", "query optimization",
+		"data management", "data integration", "concurrency control",
+		"main memory", "data warehouse", "access control",
+		"nearest neighbor", "b tree", "sql queries", "view maintenance",
+		"transaction processing",
+	},
+}
+
+// csBackground carries the ubiquitous publication words that do not
+// discriminate topics ("paper", "approach", "results" ...). Abstracts
+// use both; titles use almost none.
+var csBackground = []string{
+	"paper", "approach", "method", "results", "proposed", "based",
+	"novel", "new", "show", "present", "performance", "experimental",
+	"evaluation", "framework", "technique", "study", "application",
+	"effective", "problem", "improve",
+}
+
+var csBackgroundPhrases = []string{
+	"paper we propose", "experimental results", "proposed method",
+	"state of the art", "paper presents", "real world",
+}
+
+// DBLPTitles mirrors the paper's DBLP titles dataset: 1.9M short
+// computer-science paper titles (11M tokens, ~5.8 content tokens each).
+// Scaled by Options.Docs.
+func DBLPTitles() DomainSpec {
+	return DomainSpec{
+		Name:         "dblp-titles",
+		Topics:       wideCSTopics(),
+		Background:   csBackground[:6],
+		DocLenMean:   7,
+		DocLenJitter: 3,
+		SentenceLen:  12,
+		CommaRate:    0.03,
+		StopwordRate: 0.18,
+		PhraseRate:   0.30,
+		BackgdRate:   0.04,
+		TopicAlpha:   0.08, // titles are near single-topic
+	}
+}
+
+// TwentyConf mirrors the 20Conf dataset: titles from 20 conferences in
+// AI, DB, DM, IR, ML and NLP (44K titles, 351K tokens).
+func TwentyConf() DomainSpec {
+	s := DBLPTitles()
+	s.Name = "20conf"
+	s.Topics = []Topic{csTopicML, csTopicDM, csTopicIR, csTopicNLP, csTopicDB}
+	return s
+}
+
+// DBLPAbstracts mirrors the DBLP abstracts dataset: 529K abstracts,
+// 39M tokens (~74 tokens per abstract).
+func DBLPAbstracts() DomainSpec {
+	return DomainSpec{
+		Name:              "dblp-abstracts",
+		Topics:            wideCSTopics(),
+		Background:        csBackground,
+		BackgroundPhrases: csBackgroundPhrases,
+		DocLenMean:        74,
+		DocLenJitter:      30,
+		SentenceLen:       11,
+		CommaRate:         0.05,
+		StopwordRate:      0.30,
+		PhraseRate:        0.22,
+		BackgdRate:        0.14,
+		TopicAlpha:        0.25,
+	}
+}
+
+// ACLAbstracts mirrors the ACL anthology abstracts dataset: 2K
+// abstracts, 231K tokens, NLP-centric topics.
+func ACLAbstracts() DomainSpec {
+	mt := Topic{
+		Name: "machine translation",
+		Unigrams: []string{
+			"translation", "bilingual", "alignment", "decoder", "phrase",
+			"source", "target", "reordering", "bleu", "parallel", "corpus",
+			"fluency", "lexicon", "transfer", "interlingua", "segmentation",
+			"tuning", "hierarchical", "rule", "quality",
+		},
+		Phrases: []string{
+			"machine translation", "statistical machine translation",
+			"word alignment", "translation model", "parallel corpora",
+			"phrase based translation", "translation quality",
+			"source language", "target language",
+		},
+	}
+	parsing := Topic{
+		Name: "parsing",
+		Unigrams: []string{
+			"parsing", "grammar", "parser", "syntactic", "tree", "dependency",
+			"constituent", "derivation", "formalism", "treebank", "lexicalized",
+			"chart", "ambiguity", "attachment", "head", "projective",
+			"categorial", "unification", "fragment", "annotation",
+		},
+		Phrases: []string{
+			"dependency parsing", "context free grammars", "parse tree",
+			"syntactic analysis", "statistical parsing", "tree adjoining grammars",
+			"part of speech tagging", "phrase structure",
+		},
+	}
+	speech := Topic{
+		Name: "speech",
+		Unigrams: []string{
+			"speech", "recognition", "acoustic", "spoken", "dialogue",
+			"utterance", "prosody", "phoneme", "speaker", "transcription",
+			"audio", "pronunciation", "vocabulary", "decoding", "error",
+			"rate", "adaptation", "perplexity", "robustness", "telephone",
+		},
+		Phrases: []string{
+			"speech recognition", "spoken language", "language model",
+			"recognition rate", "dialogue system", "speech synthesis",
+			"acoustic model", "error rate",
+		},
+	}
+	semantics := Topic{
+		Name: "lexical semantics",
+		Unigrams: []string{
+			"word", "sense", "semantic", "lexical", "meaning", "similarity",
+			"wordnet", "disambiguation", "synonym", "ontology", "concept",
+			"relation", "vector", "distributional", "context", "polysemy",
+			"metaphor", "entailment", "hypernym", "thesaurus",
+		},
+		Phrases: []string{
+			"word sense disambiguation", "lexical semantics",
+			"semantic similarity", "semantic role labeling",
+			"word senses", "vector space model", "lexical resources",
+			"textual entailment",
+		},
+	}
+	ie := Topic{
+		Name: "information extraction",
+		Unigrams: []string{
+			"extraction", "entity", "relation", "named", "text", "pattern",
+			"template", "corpus", "annotation", "coreference", "mention",
+			"event", "slot", "bootstrapping", "wrapper", "supervised",
+			"recall", "precision", "gazetteer", "document",
+		},
+		Phrases: []string{
+			"information extraction", "named entity recognition",
+			"relation extraction", "question answering", "text mining",
+			"coreference resolution", "named entities", "event extraction",
+		},
+	}
+	return DomainSpec{
+		Name:              "acl-abstracts",
+		Topics:            []Topic{mt, parsing, speech, semantics, ie},
+		Background:        csBackground,
+		BackgroundPhrases: csBackgroundPhrases,
+		DocLenMean:        100,
+		DocLenJitter:      40,
+		SentenceLen:       12,
+		CommaRate:         0.05,
+		StopwordRate:      0.30,
+		PhraseRate:        0.22,
+		BackgdRate:        0.12,
+		TopicAlpha:        0.20,
+	}
+}

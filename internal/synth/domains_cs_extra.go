@@ -1,0 +1,90 @@
+package synth
+
+// Additional computer-science areas for the DBLP-wide domains. The
+// paper's DBLP corpora span all of computer science (its Table 4 run
+// uses 50 topics); these widen the planted inventory beyond the five
+// 20Conf areas so the abstracts/titles corpora carry comparable
+// topical diversity.
+
+var csTopicVision = Topic{
+	Name: "computer vision",
+	Unigrams: []string{
+		"image", "object", "detection", "segmentation", "visual", "video",
+		"recognition", "camera", "motion", "tracking", "scene", "pixel",
+		"shape", "texture", "stereo", "pose", "face", "edge", "contour",
+		"depth", "illumination", "geometry", "calibration", "saliency",
+		"foreground", "background", "frames", "descriptor", "keypoint",
+		"matching",
+	},
+	Phrases: []string{
+		"object detection", "image segmentation", "face recognition",
+		"object tracking", "optical flow", "image retrieval",
+		"feature extraction", "scene understanding", "pose estimation",
+		"image processing", "action recognition", "edge detection",
+	},
+}
+
+var csTopicSecurity = Topic{
+	Name: "security",
+	Unigrams: []string{
+		"security", "attack", "encryption", "privacy", "key", "protocol",
+		"authentication", "malware", "vulnerability", "secure", "threat",
+		"cryptographic", "signature", "trust", "adversary", "intrusion",
+		"defense", "leakage", "secret", "password", "exploit", "integrity",
+		"anonymity", "forensics", "botnet", "phishing", "firewall",
+		"cipher", "hash", "audit",
+	},
+	Phrases: []string{
+		"access control", "intrusion detection", "public key",
+		"side channel", "differential privacy", "key exchange",
+		"denial of service", "secure computation", "digital signatures",
+		"threat model", "data privacy", "anomaly detection",
+	},
+}
+
+var csTopicNetworking = Topic{
+	Name: "networking",
+	Unigrams: []string{
+		"network", "routing", "wireless", "protocol", "traffic", "packet",
+		"node", "bandwidth", "latency", "sensor", "mobile", "channel",
+		"congestion", "topology", "link", "throughput", "delay", "radio",
+		"spectrum", "coverage", "interference", "gateway", "hop",
+		"multicast", "broadcast", "energy", "deployment", "mesh",
+		"cellular", "backbone",
+	},
+	Phrases: []string{
+		"sensor networks", "wireless networks", "ad hoc networks",
+		"congestion control", "routing protocol", "network traffic",
+		"energy efficient", "packet loss", "software defined networking",
+		"quality of service", "media access control", "peer to peer",
+	},
+}
+
+var csTopicTheory = Topic{
+	Name: "theory",
+	Unigrams: []string{
+		"bound", "complexity", "graph", "theorem", "proof", "polynomial",
+		"approximation", "randomized", "lower", "upper", "vertex",
+		"edge", "matching", "flow", "hardness", "reduction", "logarithmic",
+		"conjecture", "combinatorial", "lattice", "spectral", "random",
+		"deterministic", "competitive", "online", "streaming", "sampling",
+		"sketch", "dimension", "metric",
+	},
+	Phrases: []string{
+		"lower bounds", "approximation algorithms", "upper bound",
+		"polynomial time", "np hard", "worst case", "competitive ratio",
+		"graph theory", "random walks", "communication complexity",
+		"online algorithms", "sample complexity",
+	},
+}
+
+// WideCS returns the full CS topic inventory used by the DBLP-wide
+// domains (the five 20Conf areas plus vision, security, networking and
+// theory).
+func wideCSTopics() []Topic {
+	return []Topic{
+		csTopicML, csTopicDM, csTopicIR, csTopicNLP, csTopicPL,
+		csTopicOpt, csTopicDB, csTopicVision, csTopicSecurity,
+		csTopicNetworking, csTopicTheory,
+	}
+}

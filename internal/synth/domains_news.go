@@ -1,0 +1,115 @@
+package synth
+
+// APNews mirrors the TREC AP news (1989) dataset: 106K full articles,
+// 19M tokens (~180 per article). Topic inventory echoes the paper's
+// Table 5: environment/energy, religion, Israel/Palestine, the Bush
+// (senior) administration and congress, and health care.
+func APNews() DomainSpec {
+	environment := Topic{
+		Name: "environment and energy",
+		Unigrams: []string{
+			"plant", "nuclear", "environmental", "energy", "waste",
+			"department", "power", "chemical", "pollution", "cleanup",
+			"radiation", "emissions", "fuel", "reactor", "contamination",
+			"toxic", "safety", "gas", "oil", "acid", "water", "spill",
+			"weapons", "site", "agency", "state", "federal", "epa",
+			"officials", "protection",
+		},
+		Phrases: []string{
+			"energy department", "environmental protection agency",
+			"nuclear weapons", "acid rain", "nuclear power plant",
+			"hazardous waste", "savannah river", "rocky flats",
+			"nuclear power", "natural gas", "toxic waste", "clean air",
+		},
+	}
+	religion := Topic{
+		Name: "religion",
+		Unigrams: []string{
+			"church", "catholic", "religious", "bishop", "pope", "roman",
+			"jewish", "rev", "john", "christian", "faith", "priest",
+			"parish", "vatican", "clergy", "worship", "congregation",
+			"ministry", "archbishop", "baptist", "lutheran", "episcopal",
+			"synagogue", "rabbi", "holy", "prayer", "mass", "diocese",
+			"theology", "members",
+		},
+		Phrases: []string{
+			"roman catholic", "pope john paul", "catholic church",
+			"anti semitism", "baptist church", "lutheran church",
+			"episcopal church", "church members", "john paul",
+			"religious leaders", "christian church",
+		},
+	}
+	mideast := Topic{
+		Name: "israel and palestine",
+		Unigrams: []string{
+			"palestinian", "israeli", "israel", "arab", "plo", "army",
+			"reported", "west", "bank", "state", "gaza", "occupied",
+			"territories", "soldiers", "uprising", "radio", "jerusalem",
+			"minister", "violence", "leaders", "peace", "talks", "military",
+			"strip", "settlers", "intifada", "border", "troops", "killed",
+			"jordan",
+		},
+		Phrases: []string{
+			"gaza strip", "west bank", "palestine liberation organization",
+			"united states", "prime minister", "yitzhak shamir",
+			"israel radio", "occupied territories", "occupied west bank",
+			"israeli army", "peace talks", "arab reports",
+		},
+	}
+	bush := Topic{
+		Name: "bush administration and congress",
+		Unigrams: []string{
+			"bush", "house", "senate", "year", "bill", "president",
+			"congress", "tax", "budget", "committee", "administration",
+			"federal", "billion", "spending", "vote", "legislation",
+			"proposal", "defense", "members", "capital", "washington",
+			"democrats", "republicans", "lawmakers", "veto", "deficit",
+			"chairman", "secretary", "programs", "raise",
+		},
+		Phrases: []string{
+			"president bush", "white house", "bush administration",
+			"house and senate", "members of congress", "defense secretary",
+			"capital gains tax", "pay raise", "house members",
+			"committee chairman", "federal budget", "tax increase",
+		},
+	}
+	health := Topic{
+		Name: "health care",
+		Unigrams: []string{
+			"drug", "aid", "health", "hospital", "medical", "patients",
+			"research", "test", "study", "disease", "virus", "treatment",
+			"doctors", "care", "cancer", "infected", "blood", "epidemic",
+			"testing", "vaccine", "abuse", "prevention", "clinical",
+			"symptoms", "insurance", "medicare", "surgery", "therapy",
+			"diagnosis", "federal",
+		},
+		Phrases: []string{
+			"health care", "medical center", "aids virus", "drug abuse",
+			"food and drug administration", "aids patient",
+			"centers for disease control", "heart disease", "drug testing",
+			"united states", "public health", "drug use",
+		},
+	}
+	return DomainSpec{
+		Name: "ap-news",
+		Topics: []Topic{environment, religion, mideast, bush, health,
+			newsTopicMarkets, newsTopicCourts, newsTopicDisaster, newsTopicSports},
+		Background: []string{
+			"said", "people", "time", "officials", "city", "government",
+			"country", "week", "today", "day", "million", "report",
+			"according", "group", "public", "national", "american",
+			"states", "plan", "called",
+		},
+		BackgroundPhrases: []string{
+			"last year", "new york", "united states", "last week",
+		},
+		DocLenMean:   150,
+		DocLenJitter: 60,
+		SentenceLen:  13,
+		CommaRate:    0.06,
+		StopwordRate: 0.32,
+		PhraseRate:   0.20,
+		BackgdRate:   0.15,
+		TopicAlpha:   0.15,
+	}
+}

@@ -1,0 +1,76 @@
+package synth
+
+// Additional AP-News (1989) areas: the paper's Table 5 run used 50
+// topics over the full news wire; these four extra areas (markets,
+// courts, disasters, sports) widen the planted inventory accordingly.
+
+var newsTopicMarkets = Topic{
+	Name: "economy and markets",
+	Unigrams: []string{
+		"stock", "market", "prices", "dollar", "trading", "shares",
+		"economy", "interest", "rates", "investors", "exchange", "index",
+		"billion", "profits", "earnings", "inflation", "economic",
+		"growth", "bonds", "yen", "traders", "analysts", "quarter",
+		"futures", "commodity", "recession", "banks", "lending",
+		"treasury", "deficit",
+	},
+	Phrases: []string{
+		"stock market", "interest rates", "wall street", "dow jones",
+		"stock exchange", "federal reserve", "trade deficit",
+		"oil prices", "consumer prices", "exchange rates",
+		"gross national product", "blue chip",
+	},
+}
+
+var newsTopicCourts = Topic{
+	Name: "crime and courts",
+	Unigrams: []string{
+		"court", "judge", "trial", "charges", "prison", "attorney",
+		"police", "jury", "convicted", "sentence", "prosecutors",
+		"guilty", "appeal", "investigation", "murder", "fraud", "arrest",
+		"testimony", "lawyers", "defendant", "indictment", "justice",
+		"crime", "verdict", "probation", "bail", "detective", "custody",
+		"felony", "witnesses",
+	},
+	Phrases: []string{
+		"supreme court", "district court", "grand jury", "law enforcement",
+		"death penalty", "attorney general", "federal court",
+		"plea bargain", "drug trafficking", "appeals court",
+		"life in prison", "criminal charges",
+	},
+}
+
+var newsTopicDisaster = Topic{
+	Name: "natural disasters",
+	Unigrams: []string{
+		"earthquake", "hurricane", "storm", "damage", "flood", "victims",
+		"rescue", "emergency", "evacuated", "winds", "disaster", "relief",
+		"injured", "homes", "destroyed", "magnitude", "tornado", "fire",
+		"firefighters", "survivors", "shelter", "rain", "coast",
+		"tremor", "aftershock", "epicenter", "debris", "homeless",
+		"volcano", "landslide",
+	},
+	Phrases: []string{
+		"national guard", "red cross", "san francisco", "hurricane hugo",
+		"richter scale", "emergency management", "death toll",
+		"disaster relief", "mobile homes", "high winds",
+		"bay area", "federal emergency management agency",
+	},
+}
+
+var newsTopicSports = Topic{
+	Name: "sports",
+	Unigrams: []string{
+		"game", "team", "season", "players", "coach", "league", "win",
+		"points", "championship", "football", "baseball", "basketball",
+		"victory", "playoffs", "score", "inning", "quarterback",
+		"tournament", "title", "record", "stadium", "fans", "contract",
+		"draft", "pitcher", "touchdown", "defense", "offense", "manager",
+		"rookie",
+	},
+	Phrases: []string{
+		"world series", "super bowl", "major league", "san francisco",
+		"home run", "free agent", "national league", "head coach",
+		"regular season", "american league", "final four", "spring training",
+	},
+}

@@ -1,0 +1,126 @@
+package synth
+
+// YelpReviews mirrors the Yelp reviews dataset: 230K reviews, 11.8M
+// tokens (~51 per review). Topic inventory echoes the paper's Table 6:
+// breakfast/coffee, Asian/Chinese food, hotels, shopping, Mexican food.
+// Reviews carry a heavy sentiment-word background ("good", "love",
+// "great"), which the paper notes degrades topical phrase quality —
+// the generator reproduces that nuisance structure on purpose.
+func YelpReviews() DomainSpec {
+	breakfast := Topic{
+		Name: "breakfast and coffee",
+		Unigrams: []string{
+			"coffee", "ice", "cream", "flavor", "egg", "chocolate",
+			"breakfast", "tea", "cake", "sweet", "toast", "pancakes",
+			"waffle", "syrup", "bacon", "brunch", "latte", "espresso",
+			"muffin", "donut", "bagel", "crepe", "omelette", "juice",
+			"vanilla", "caramel", "dessert", "pastry", "croissant", "scone",
+		},
+		Phrases: []string{
+			"ice cream", "iced tea", "french toast", "hash browns",
+			"frozen yogurt", "eggs benedict", "peanut butter",
+			"cup of coffee", "iced coffee", "scrambled eggs",
+			"whipped cream", "orange juice",
+		},
+	}
+	asian := Topic{
+		Name: "asian food",
+		Unigrams: []string{
+			"food", "ordered", "chicken", "roll", "sushi", "restaurant",
+			"dish", "rice", "noodles", "soup", "shrimp", "beef", "pork",
+			"spicy", "sauce", "menu", "dumplings", "tempura", "curry",
+			"wok", "tofu", "ramen", "sashimi", "wasabi", "ginger",
+			"teriyaki", "dim", "buffet", "lunch", "dinner",
+		},
+		Phrases: []string{
+			"spring rolls", "fried rice", "egg rolls", "chinese food",
+			"pad thai", "dim sum", "thai food", "lunch specials",
+			"food was good", "sushi rolls", "hot and sour soup",
+			"orange chicken",
+		},
+	}
+	hotel := Topic{
+		Name: "hotels",
+		Unigrams: []string{
+			"room", "parking", "hotel", "stay", "time", "nice", "place",
+			"great", "area", "pool", "staff", "desk", "clean", "night",
+			"resort", "lobby", "view", "bed", "casino", "strip", "check",
+			"valet", "spa", "gym", "suite", "wifi", "shuttle", "vegas",
+			"booked", "service",
+		},
+		Phrases: []string{
+			"parking lot", "front desk", "spring training",
+			"staying at the hotel", "dog park", "room was clean",
+			"pool area", "great place", "staff is friendly", "free wifi",
+			"customer service", "las vegas",
+		},
+	}
+	shopping := Topic{
+		Name: "shopping",
+		Unigrams: []string{
+			"store", "shop", "prices", "find", "place", "buy", "selection",
+			"items", "love", "great", "mall", "clothes", "deals", "stuff",
+			"cheap", "quality", "brands", "shoes", "market", "produce",
+			"organic", "aisles", "employees", "checkout", "coupons",
+			"discount", "bargain", "thrift", "antique", "boutique",
+		},
+		Phrases: []string{
+			"grocery store", "great selection", "farmer's market",
+			"great prices", "parking lot", "wal mart", "shopping center",
+			"great place", "prices are reasonable", "love this place",
+			"whole foods", "trader joe's",
+		},
+	}
+	mexican := Topic{
+		Name: "mexican food",
+		Unigrams: []string{
+			"good", "food", "place", "burger", "ordered", "fries",
+			"chicken", "tacos", "cheese", "time", "salsa", "burrito",
+			"beans", "guacamole", "chips", "margarita", "enchilada",
+			"quesadilla", "carnitas", "tortilla", "nachos", "taco",
+			"grilled", "bbq", "wings", "pizza", "sandwich", "hot", "dog",
+			"beer",
+		},
+		Phrases: []string{
+			"mexican food", "chips and salsa", "food was good", "hot dog",
+			"rice and beans", "sweet potato fries", "pretty good",
+			"carne asada", "mac and cheese", "fish tacos", "happy hour",
+			"green chile",
+		},
+	}
+	return DomainSpec{
+		Name: "yelp-reviews",
+		Topics: []Topic{breakfast, asian, hotel, shopping, mexican,
+			yelpTopicNightlife, yelpTopicAuto, yelpTopicSalon},
+		Background: []string{
+			"good", "place", "great", "love", "time", "service", "really",
+			"nice", "best", "definitely", "friendly", "delicious",
+			"amazing", "pretty", "recommend", "awesome", "favorite",
+			"fresh", "worth", "staff",
+		},
+		BackgroundPhrases: []string{
+			"pretty good", "love this place", "great place",
+			"customer service", "highly recommend", "first time",
+		},
+		DocLenMean:   51,
+		DocLenJitter: 25,
+		SentenceLen:  9,
+		CommaRate:    0.05,
+		StopwordRate: 0.34,
+		PhraseRate:   0.20,
+		BackgdRate:   0.22,
+		TopicAlpha:   0.18,
+	}
+}
+
+// Domains returns every built-in domain spec keyed by name.
+func Domains() map[string]func() DomainSpec {
+	return map[string]func() DomainSpec{
+		"dblp-titles":    DBLPTitles,
+		"20conf":         TwentyConf,
+		"dblp-abstracts": DBLPAbstracts,
+		"acl-abstracts":  ACLAbstracts,
+		"ap-news":        APNews,
+		"yelp-reviews":   YelpReviews,
+	}
+}

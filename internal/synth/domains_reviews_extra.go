@@ -1,0 +1,54 @@
+package synth
+
+// Additional Yelp review areas: the paper's Table 6 run used 10 topics
+// over the full review dump; these three extra areas (nightlife, auto,
+// salons) widen the planted inventory toward that scale.
+
+var yelpTopicNightlife = Topic{
+	Name: "bars and nightlife",
+	Unigrams: []string{
+		"bar", "drinks", "beer", "night", "music", "cocktails", "wine",
+		"bartender", "club", "patio", "crowd", "vibe", "dj", "dance",
+		"pool", "lounge", "shots", "draft", "karaoke", "bouncer",
+		"cover", "atmosphere", "band", "trivia", "billiards", "dive",
+		"mixology", "whiskey", "tequila", "pitcher",
+	},
+	Phrases: []string{
+		"happy hour", "live music", "craft beer", "dance floor",
+		"sports bar", "dive bar", "beer selection", "cover charge",
+		"late night", "wine list", "draft beer", "bar area",
+	},
+}
+
+var yelpTopicAuto = Topic{
+	Name: "auto services",
+	Unigrams: []string{
+		"car", "oil", "tires", "repair", "shop", "mechanic", "brakes",
+		"vehicle", "engine", "service", "dealership", "estimate",
+		"honest", "inspection", "battery", "transmission", "alignment",
+		"fixed", "quote", "warranty", "appointment", "diagnostic",
+		"rental", "tow", "wash", "detailing", "suspension", "exhaust",
+		"coolant", "fluids",
+	},
+	Phrases: []string{
+		"oil change", "customer service", "auto repair", "body shop",
+		"car wash", "fair price", "tire rotation", "check engine light",
+		"brake pads", "great service", "same day", "free estimate",
+	},
+}
+
+var yelpTopicSalon = Topic{
+	Name: "salons and spas",
+	Unigrams: []string{
+		"hair", "nails", "massage", "salon", "spa", "stylist", "cut",
+		"color", "appointment", "manicure", "pedicure", "facial",
+		"relaxing", "polish", "gel", "waxing", "booked", "therapist",
+		"treatment", "scalp", "blowout", "trim", "highlights", "lashes",
+		"brows", "acrylic", "cuticle", "aromatherapy", "deep", "tissue",
+	},
+	Phrases: []string{
+		"hair cut", "nail salon", "deep tissue massage", "gel manicure",
+		"customer service", "first time", "hair color", "walk ins",
+		"mani pedi", "massage therapist", "hot stone", "highly recommend",
+	},
+}

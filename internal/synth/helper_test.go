@@ -1,0 +1,5 @@
+package synth
+
+import "topmine/internal/xrand"
+
+func newTestRNG() *xrand.RNG { return xrand.New(12345) }

@@ -1,0 +1,182 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"topmine/internal/corpus"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DBLPTitles()
+	opt := Options{Docs: 50, Seed: 42}
+	a := Generate(spec, opt)
+	b := Generate(spec, opt)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("doc %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	spec := DBLPTitles()
+	a := Generate(spec, Options{Docs: 20, Seed: 1})
+	b := Generate(spec, Options{Docs: 20, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateDocCountAndNonEmpty(t *testing.T) {
+	for name, f := range Domains() {
+		docs := Generate(f(), Options{Docs: 10, Seed: 3})
+		if len(docs) != 10 {
+			t.Fatalf("%s: got %d docs, want 10", name, len(docs))
+		}
+		for i, d := range docs {
+			if strings.TrimSpace(d) == "" {
+				t.Fatalf("%s: doc %d empty", name, i)
+			}
+			if !strings.HasSuffix(d, ".") {
+				t.Fatalf("%s: doc %d does not end with a period: %q", name, i, d)
+			}
+		}
+	}
+}
+
+func TestGenerateDocLengthsInRange(t *testing.T) {
+	spec := APNews()
+	docs := Generate(spec, Options{Docs: 30, Seed: 5})
+	for i, d := range docs {
+		n := len(strings.Fields(d))
+		// Content length target +- jitter, plus stop words (~45%) and
+		// phrase overshoot; sanity-check broad bounds only.
+		min := spec.DocLenMean - spec.DocLenJitter
+		max := int(float64(spec.DocLenMean+spec.DocLenJitter)*2.2) + 10
+		if n < min || n > max {
+			t.Fatalf("doc %d has %d whitespace tokens, want in [%d, %d]", i, n, min, max)
+		}
+	}
+}
+
+func TestGenerateContainsPlantedPhrases(t *testing.T) {
+	spec := TwentyConf()
+	docs := Generate(spec, Options{Docs: 500, Seed: 7})
+	all := strings.Join(docs, "\n")
+	found := 0
+	for _, p := range spec.PlantedPhrases() {
+		if strings.Contains(all, p) {
+			found++
+		}
+	}
+	total := len(spec.PlantedPhrases())
+	if found < total*3/4 {
+		t.Fatalf("only %d of %d planted phrases appear in 500 docs", found, total)
+	}
+}
+
+func TestGenerateCorpusPipelineCompatible(t *testing.T) {
+	spec := YelpReviews()
+	c := GenerateCorpus(spec, Options{Docs: 50, Seed: 11}, corpus.DefaultBuildOptions())
+	st := c.ComputeStats()
+	if st.Docs != 50 {
+		t.Fatalf("docs = %d", st.Docs)
+	}
+	if st.Tokens == 0 || st.VocabSize == 0 {
+		t.Fatalf("degenerate corpus: %+v", st)
+	}
+	// Stop words injected by the generator must have been stripped.
+	if _, ok := c.Vocab.ID("the"); ok {
+		t.Fatal("'the' survived the pipeline")
+	}
+	// Average content length should be near the spec (generated stop
+	// words removed again).
+	if st.AvgDocLen < float64(spec.DocLenMean)*0.5 || st.AvgDocLen > float64(spec.DocLenMean)*1.6 {
+		t.Fatalf("avg content len %.1f far from spec mean %d", st.AvgDocLen, spec.DocLenMean)
+	}
+}
+
+func TestDomainsComplete(t *testing.T) {
+	d := Domains()
+	for _, name := range []string{
+		"dblp-titles", "20conf", "dblp-abstracts", "acl-abstracts",
+		"ap-news", "yelp-reviews",
+	} {
+		f, ok := d[name]
+		if !ok {
+			t.Fatalf("domain %s missing", name)
+		}
+		spec := f()
+		if spec.NumTopics() < 5 {
+			t.Fatalf("%s: only %d topics", name, spec.NumTopics())
+		}
+		for _, topic := range spec.Topics {
+			if len(topic.Unigrams) < 20 {
+				t.Fatalf("%s/%s: only %d unigrams", name, topic.Name, len(topic.Unigrams))
+			}
+			if len(topic.Phrases) < 8 {
+				t.Fatalf("%s/%s: only %d phrases", name, topic.Name, len(topic.Phrases))
+			}
+			for _, p := range topic.Phrases {
+				if !strings.Contains(p, " ") {
+					t.Fatalf("%s/%s: planted phrase %q is a unigram", name, topic.Name, p)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfCumulative(t *testing.T) {
+	cum := zipf(10, 0.9)
+	if len(cum) != 10 {
+		t.Fatalf("len = %d", len(cum))
+	}
+	prev := 0.0
+	for i, v := range cum {
+		if v <= prev {
+			t.Fatalf("cumulative not increasing at %d", i)
+		}
+		prev = v
+	}
+	if cum[9] < 0.999999 || cum[9] > 1.000001 {
+		t.Fatalf("cumulative does not end at 1: %v", cum[9])
+	}
+	// Rank 0 must dominate rank 9.
+	w0 := cum[0]
+	w9 := cum[9] - cum[8]
+	if w0 <= w9 {
+		t.Fatalf("zipf not decreasing: w0=%v w9=%v", w0, w9)
+	}
+}
+
+func TestSampleRankBounds(t *testing.T) {
+	cum := zipf(5, 0.8)
+	r := newTestRNG()
+	for i := 0; i < 10000; i++ {
+		k := sampleRank(r, cum)
+		if k < 0 || k >= 5 {
+			t.Fatalf("rank %d out of bounds", k)
+		}
+	}
+}
+
+func TestPlantedPhrasesIncludesBackground(t *testing.T) {
+	spec := DBLPAbstracts()
+	all := spec.PlantedPhrases()
+	found := false
+	for _, p := range all {
+		if p == "paper we propose" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("background phrase missing from PlantedPhrases")
+	}
+}

@@ -1,0 +1,159 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's 1980 paper and the reference implementation.
+func TestStemKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		// step 1b
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		// step 1c
+		"happy": "happi", "sky": "sky",
+		// step 2
+		"relational": "relat", "conditional": "condit",
+		"rational": "ration", "valenci": "valenc", "hesitanci": "hesit",
+		"digitizer": "digit", "conformabli": "conform",
+		"radicalli": "radic", "differentli": "differ", "vileli": "vile",
+		"analogousli": "analog", "vietnamization": "vietnam",
+		"predication": "predic", "operator": "oper",
+		"feudalism": "feudal", "decisiveness": "decis",
+		"hopefulness": "hope", "callousness": "callous",
+		"formaliti": "formal", "sensitiviti": "sensit",
+		"sensibiliti": "sensibl",
+		// step 3
+		"triplicate": "triplic", "formative": "form",
+		"formalize": "formal", "electriciti": "electr",
+		"electrical": "electr", "hopeful": "hope", "goodness": "good",
+		// step 4
+		"revival": "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "gyroscopic": "gyroscop",
+		"adjustable": "adjust", "defensible": "defens",
+		"irritant": "irrit", "replacement": "replac",
+		"adjustment": "adjust", "dependent": "depend",
+		"adoption": "adopt", "homologou": "homolog",
+		"communism": "commun", "activate": "activ",
+		"angulariti": "angular", "homologous": "homolog",
+		"effective": "effect", "bowdlerize": "bowdler",
+		// step 5
+		"probate": "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+		// pipeline-relevant whole words
+		"mining": "mine", "patterns": "pattern", "frequent": "frequent",
+		"databases": "databas", "retrieval": "retriev",
+		"cooking": "cook", "cooked": "cook", "cooks": "cook",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Note: the canonical reductions above were cross-checked against the
+// definitions in the 1980 paper; a few (relational->relat etc.) chain
+// through multiple steps.
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by", "go"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonASCIIUnchanged(t *testing.T) {
+	for _, w := range []string{"café", "naïve", "日本語", "word2vec"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCorpusWords(t *testing.T) {
+	// Stemming a stem should usually be a no-op; Porter is not exactly
+	// idempotent in general, so check the common vocabulary words the
+	// pipeline actually produces.
+	words := []string{
+		"mine", "pattern", "frequent", "algorithm", "model", "topic",
+		"support", "vector", "machine", "learn", "network", "databas",
+		"queri", "index", "optim", "cluster", "classif",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	f := func(s string) bool {
+		out := Stem(s)
+		// The stem is never longer than input + 1 ('e' restoration).
+		return len(out) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for in, want := range cases {
+		if got := measure([]byte(in)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestEndsCVC(t *testing.T) {
+	cases := map[string]bool{
+		"hop": true, "fil": true, "hil": true,
+		"snow": false, "box": false, "tray": false,
+		"ho": false, "fail": false,
+	}
+	for in, want := range cases {
+		if got := endsCVC([]byte(in)); got != want {
+			t.Errorf("endsCVC(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestIsConsonantYRule(t *testing.T) {
+	// y in "sky" (after consonant) is a vowel; y in "yes" (initial) is
+	// a consonant; y in "toy" (after vowel) is a consonant.
+	if isConsonant([]byte("sky"), 2) {
+		t.Error("y after consonant should be vowel (sky)")
+	}
+	if !isConsonant([]byte("yes"), 0) {
+		t.Error("initial y should be consonant (yes)")
+	}
+	if !isConsonant([]byte("toy"), 2) {
+		t.Error("y after vowel should be consonant (toy)")
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"mining", "relational", "generalizations", "trouble",
+		"classification", "effectiveness", "databases"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Stem(words[i%len(words)])
+	}
+}

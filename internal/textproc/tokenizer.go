@@ -1,0 +1,128 @@
+// Package textproc supplies the text-processing substrate for ToPMine:
+// a segmenting tokenizer, the Porter stemmer, an English stop-word
+// table, and a vocabulary that interns words and remembers how to
+// un-stem them for display.
+//
+// The paper (§4.1) splits each document on "phrase-invariant
+// punctuation (commas, periods, semicolons, etc)" so that frequent
+// phrase mining and phrase construction operate on constant-size
+// chunks, making the whole pipeline linear in corpus size. The
+// tokenizer here performs exactly that split.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// A RawToken is a surface token together with the stop words (or other
+// dropped tokens) that immediately preceded it inside the same segment.
+// The gap is what the paper re-inserts after mining so that phrases
+// such as "house and senate" display naturally (§7.1).
+type RawToken struct {
+	Surface string // lowercased surface form, e.g. "mining"
+	Gap     string // dropped words between the previous kept token and this one, e.g. "and"
+}
+
+// IsPhraseInvariantPunct reports whether r is punctuation across which
+// no phrase may extend (§4.1). Hyphens and apostrophes are handled
+// separately because they may occur inside a token.
+func IsPhraseInvariantPunct(r rune) bool {
+	switch r {
+	case '.', ',', ';', ':', '!', '?', '(', ')', '[', ']', '{', '}',
+		'"', '“', '”', '‘', '’', '…', '—', '–', '/', '\\', '|', '<', '>',
+		'=', '+', '*', '&', '%', '$', '#', '@', '~', '^', '`':
+		return true
+	}
+	return false
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize splits text into segments of lowercased surface tokens.
+// Segment boundaries occur at phrase-invariant punctuation; token
+// boundaries occur at whitespace. Hyphens and apostrophes are kept when
+// they join two word characters ("state-of-the-art", "don't") and act
+// as punctuation otherwise. Empty segments are omitted.
+func Tokenize(text string) [][]string {
+	var (
+		segments [][]string
+		segment  []string
+		token    []rune
+	)
+	runes := []rune(text)
+	flushToken := func() {
+		if len(token) > 0 {
+			segment = append(segment, strings.ToLower(string(token)))
+			token = token[:0]
+		}
+	}
+	flushSegment := func() {
+		flushToken()
+		if len(segment) > 0 {
+			segments = append(segments, segment)
+			segment = nil
+		}
+	}
+	for i, r := range runes {
+		switch {
+		case isWordRune(r):
+			token = append(token, unicode.ToLower(r))
+		case r == '-' || r == '\'':
+			// Keep only when joining word characters on both sides.
+			if len(token) > 0 && i+1 < len(runes) && isWordRune(runes[i+1]) {
+				token = append(token, r)
+			} else {
+				flushSegment()
+			}
+		case unicode.IsSpace(r):
+			flushToken()
+		case IsPhraseInvariantPunct(r):
+			flushSegment()
+		default:
+			// Unknown symbol: treat conservatively as punctuation.
+			flushSegment()
+		}
+	}
+	flushSegment()
+	return segments
+}
+
+// hasLetter reports whether the token contains at least one letter;
+// pure numbers and symbol runs are dropped from the mining stream.
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter applies stop-word and non-word removal to one tokenized
+// segment, recording removed words in the Gap of the following kept
+// token so they can be re-inserted into displayed phrases. Dropped
+// words at the end of a segment vanish (they can never be phrase-
+// internal). If stem is true each kept token's Surface remains the raw
+// surface form; stemming happens later so the surface is preserved.
+func Filter(segment []string, dropStopwords bool) []RawToken {
+	var (
+		kept []RawToken
+		gap  []string
+	)
+	for _, tok := range segment {
+		drop := !hasLetter(tok) || (dropStopwords && IsStopword(tok))
+		if drop {
+			gap = append(gap, tok)
+			continue
+		}
+		kept = append(kept, RawToken{Surface: tok, Gap: strings.Join(gap, " ")})
+		gap = gap[:0]
+	}
+	if len(kept) > 0 {
+		kept[0].Gap = "" // a leading gap is not phrase-internal
+	}
+	return kept
+}

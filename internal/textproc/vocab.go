@@ -1,0 +1,104 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vocab interns stemmed word forms as dense int32 ids and remembers,
+// for each stem, the most frequent surface form seen in the corpus so
+// phrases can be displayed un-stemmed ("mine" -> "mining") as the paper
+// does for its visualisations (§7.1).
+//
+// Vocab is not safe for concurrent mutation; build it single-threaded
+// (or per-shard and merge) and then share it read-only.
+type Vocab struct {
+	byWord  map[string]int32
+	words   []string         // id -> stem
+	counts  []int64          // id -> total corpus frequency
+	surface []map[string]int // id -> surface form -> count
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{byWord: make(map[string]int32)}
+}
+
+// Intern returns the id for stem, adding it if absent, and records one
+// occurrence with the given surface form.
+func (v *Vocab) Intern(stem, surfaceForm string) int32 {
+	id, ok := v.byWord[stem]
+	if !ok {
+		id = int32(len(v.words))
+		v.byWord[stem] = id
+		v.words = append(v.words, stem)
+		v.counts = append(v.counts, 0)
+		v.surface = append(v.surface, nil)
+	}
+	v.counts[id]++
+	m := v.surface[id]
+	if m == nil {
+		m = make(map[string]int, 1)
+		v.surface[id] = m
+	}
+	m[surfaceForm]++
+	return id
+}
+
+// ID returns the id for stem and whether it is present.
+func (v *Vocab) ID(stem string) (int32, bool) {
+	id, ok := v.byWord[stem]
+	return id, ok
+}
+
+// Word returns the stem for id. It panics on out-of-range ids.
+func (v *Vocab) Word(id int32) string { return v.words[id] }
+
+// Count returns the corpus frequency recorded for id.
+func (v *Vocab) Count(id int32) int64 { return v.counts[id] }
+
+// Size returns the number of distinct stems.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// Unstem returns the most frequent surface form recorded for id,
+// falling back to the stem itself. Ties break lexicographically so the
+// result is deterministic.
+func (v *Vocab) Unstem(id int32) string {
+	if int(id) >= len(v.surface) || v.surface[id] == nil {
+		return v.Word(id)
+	}
+	best, bestN := "", -1
+	for s, n := range v.surface[id] {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if best == "" {
+		return v.Word(id)
+	}
+	return best
+}
+
+// TopWords returns the n most frequent word ids, ties broken by id.
+func (v *Vocab) TopWords(n int) []int32 {
+	ids := make([]int32, len(v.words))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := v.counts[ids[a]], v.counts[ids[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return ids[a] < ids[b]
+	})
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// String summarises the vocabulary for debugging.
+func (v *Vocab) String() string {
+	return fmt.Sprintf("Vocab(%d stems)", len(v.words))
+}

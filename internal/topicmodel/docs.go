@@ -1,0 +1,86 @@
+// Package topicmodel implements the paper's PhraseLDA — latent
+// Dirichlet allocation constrained so that all tokens of one phrase
+// (one clique of the chain graph, §5.2) share a topic — together with
+// plain LDA as the special case of singleton cliques, a collapsed
+// Gibbs sampler (Eq. 7), Minka fixed-point hyperparameter optimisation,
+// held-out perplexity evaluation, topical-frequency phrase ranking
+// (Eq. 8) and model serialisation.
+package topicmodel
+
+import (
+	"topmine/internal/corpus"
+	"topmine/internal/segment"
+)
+
+// Doc is one document prepared for topic modeling: an ordered list of
+// cliques (phrase instances). Each clique's tokens are forced to share
+// one topic by the sampler.
+type Doc struct {
+	ID int
+	// Cliques holds the word ids of each phrase instance, in document
+	// order. Singleton cliques reduce the model to plain LDA.
+	Cliques [][]int32
+	// Origin links clique g back to (segment, span) in the source
+	// corpus so visualisations can re-insert stop words. Nil when the
+	// document was built without segmentation (unigram mode).
+	Origin []CliqueOrigin
+}
+
+// CliqueOrigin locates a clique in its source document.
+type CliqueOrigin struct {
+	Segment int
+	Span    segment.Span
+}
+
+// NumTokens returns the token count of the document.
+func (d *Doc) NumTokens() int {
+	n := 0
+	for _, c := range d.Cliques {
+		n += len(c)
+	}
+	return n
+}
+
+// DocsFromSegmentation converts a segmented corpus into modeling
+// documents whose cliques are the mined phrases — the 'bag of phrases'
+// input to PhraseLDA. Order follows the corpus; documents with no
+// tokens yield zero cliques but keep their slot.
+func DocsFromSegmentation(c *corpus.Corpus, segs []*segment.SegmentedDoc) []Doc {
+	docs := make([]Doc, len(segs))
+	for i, sd := range segs {
+		src := c.Docs[sd.DocID]
+		d := Doc{ID: sd.DocID}
+		for si, spans := range sd.Spans {
+			words := src.Segments[si].Words
+			for _, sp := range spans {
+				clique := make([]int32, sp.Len())
+				copy(clique, words[sp.Start:sp.End])
+				d.Cliques = append(d.Cliques, clique)
+				d.Origin = append(d.Origin, CliqueOrigin{Segment: si, Span: sp})
+			}
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+// DocsUnigram converts a corpus into modeling documents where every
+// token is its own singleton clique: plain LDA. ("LDA is a special
+// case of PhraseLDA", §7.4.)
+func DocsUnigram(c *corpus.Corpus) []Doc {
+	docs := make([]Doc, len(c.Docs))
+	for i, src := range c.Docs {
+		d := Doc{ID: src.ID}
+		for si := range src.Segments {
+			words := src.Segments[si].Words
+			for t, w := range words {
+				d.Cliques = append(d.Cliques, []int32{w})
+				d.Origin = append(d.Origin, CliqueOrigin{
+					Segment: si, Span: segment.Span{Start: t, End: t + 1},
+				})
+			}
+		}
+		docs[i] = d
+	}
+	return docs
+}

@@ -1,0 +1,78 @@
+package topicmodel
+
+import "topmine/internal/xrand"
+
+// InferTheta folds an unseen document into a trained model: the
+// model's topic-word counts stay fixed while the new document's clique
+// assignments are Gibbs-sampled for iters sweeps (plus an equal burn-
+// in), and the returned vector is the posterior-mean topic mixture
+// averaged over the sampling half. The model is not modified, so
+// concurrent inference on different documents is safe as long as the
+// model itself is not training.
+func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 {
+	if iters <= 0 {
+		iters = 50
+	}
+	rng := xrand.New(seed)
+	ndk := make([]int32, m.K)
+	z := make([]int32, len(cliques))
+	var nd int32
+	for g, clique := range cliques {
+		k := int32(rng.Intn(m.K))
+		z[g] = k
+		ndk[k] += int32(len(clique))
+		nd += int32(len(clique))
+	}
+	weights := make([]float64, m.K)
+	acc := make([]float64, m.K)
+	samples := 0
+	total := 2 * iters
+	for it := 0; it < total; it++ {
+		for g, clique := range cliques {
+			old := z[g]
+			ndk[old] -= int32(len(clique))
+			for k := 0; k < m.K; k++ {
+				p := 1.0
+				ak := m.Alpha[k] + float64(ndk[k])
+				denom := m.BetaSum + float64(m.Nk[k])
+				for j, word := range clique {
+					fj := float64(j)
+					p *= (ak + fj) * (m.Beta + float64(m.Nwk[word][k])) / (denom + fj)
+				}
+				weights[k] = p
+			}
+			k := int32(rng.Categorical(weights))
+			z[g] = k
+			ndk[k] += int32(len(clique))
+		}
+		if it >= iters {
+			denom := float64(nd) + m.AlphaSum
+			for k := 0; k < m.K; k++ {
+				acc[k] += (float64(ndk[k]) + m.Alpha[k]) / denom
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		denom := float64(nd) + m.AlphaSum
+		for k := 0; k < m.K; k++ {
+			acc[k] = (float64(ndk[k]) + m.Alpha[k]) / denom
+		}
+		return acc
+	}
+	for k := range acc {
+		acc[k] /= float64(samples)
+	}
+	return acc
+}
+
+// BestTopic returns the argmax of a topic mixture.
+func BestTopic(theta []float64) int {
+	best, bestV := 0, -1.0
+	for k, v := range theta {
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}

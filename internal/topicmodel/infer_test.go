@@ -1,0 +1,109 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInferThetaOnPlantedTopics(t *testing.T) {
+	docs := twoTopicDocs(30, 30)
+	m := Train(docs, 10, Options{K: 2, Alpha: 0.5, Iterations: 100, Seed: 71})
+	// Identify which topic holds word 0 (topic-A vocabulary).
+	topicA := 0
+	if m.Nwk[0][1] > m.Nwk[0][0] {
+		topicA = 1
+	}
+	thetaA := m.InferTheta([][]int32{{0}, {1}, {2}, {3, 4}}, 40, 5)
+	thetaB := m.InferTheta([][]int32{{5}, {6}, {7}, {8, 9}}, 40, 5)
+	if BestTopic(thetaA) != topicA {
+		t.Fatalf("topic-A doc inferred %d (theta %v)", BestTopic(thetaA), thetaA)
+	}
+	if BestTopic(thetaB) == topicA {
+		t.Fatalf("topic-B doc inferred topic A (theta %v)", thetaB)
+	}
+}
+
+func TestInferThetaNormalised(t *testing.T) {
+	docs := twoTopicDocs(5, 10)
+	m := Train(docs, 10, Options{K: 3, Iterations: 20, Seed: 73})
+	theta := m.InferTheta([][]int32{{0, 1}}, 10, 1)
+	var sum float64
+	for _, v := range theta {
+		if v < 0 {
+			t.Fatalf("negative theta %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("theta sums to %v", sum)
+	}
+}
+
+func TestInferThetaDoesNotMutateModel(t *testing.T) {
+	docs := twoTopicDocs(5, 10)
+	m := Train(docs, 10, Options{K: 2, Iterations: 20, Seed: 79})
+	nkBefore := append([]int64(nil), m.Nk...)
+	m.InferTheta([][]int32{{0}, {5}}, 25, 2)
+	for k := range nkBefore {
+		if m.Nk[k] != nkBefore[k] {
+			t.Fatal("inference mutated model counts")
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferThetaEmptyDoc(t *testing.T) {
+	docs := twoTopicDocs(5, 10)
+	m := Train(docs, 10, Options{K: 2, Iterations: 10, Seed: 83})
+	theta := m.InferTheta(nil, 10, 3)
+	var sum float64
+	for _, v := range theta {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("empty-doc theta sums to %v", sum)
+	}
+}
+
+func TestBestTopic(t *testing.T) {
+	if BestTopic([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if BestTopic([]float64{0.5}) != 0 {
+		t.Fatal("singleton wrong")
+	}
+}
+
+func TestMergeReorderingsVisualize(t *testing.T) {
+	// Plant two orderings of the same word pair in separate cliques;
+	// with MergeReorderings the visualisation pools them.
+	var docs []Doc
+	for d := 0; d < 30; d++ {
+		doc := Doc{ID: d}
+		if d%3 == 0 {
+			doc.Cliques = append(doc.Cliques, []int32{1, 0}) // minority order
+		} else {
+			doc.Cliques = append(doc.Cliques, []int32{0, 1}) // majority order
+		}
+		doc.Cliques = append(doc.Cliques, []int32{2}, []int32{3})
+		docs = append(docs, doc)
+	}
+	m := Train(docs, 4, Options{K: 1, Iterations: 10, Seed: 89})
+	plain := m.Visualize(nil, VisualizeOptions{TopPhrases: 5})
+	merged := m.Visualize(nil, VisualizeOptions{TopPhrases: 5, MergeReorderings: true})
+	if len(plain[0].Phrases) != 2 {
+		t.Fatalf("expected 2 distinct orderings unmerged, got %d", len(plain[0].Phrases))
+	}
+	if len(merged[0].Phrases) != 1 {
+		t.Fatalf("expected 1 merged phrase, got %d", len(merged[0].Phrases))
+	}
+	p := merged[0].Phrases[0]
+	if p.TF != 30 {
+		t.Fatalf("merged TF = %d, want 30", p.TF)
+	}
+	if p.Words[0] != 0 || p.Words[1] != 1 {
+		t.Fatalf("merged representative should be the majority order, got %v", p.Words)
+	}
+}

@@ -1,0 +1,287 @@
+package topicmodel
+
+import (
+	"fmt"
+
+	"topmine/internal/xrand"
+)
+
+// Options configures training.
+type Options struct {
+	// K is the number of topics.
+	K int
+	// Alpha is the initial symmetric document-topic concentration; 0
+	// means the common 50/K default. Hyperparameter optimisation makes
+	// the vector asymmetric over time.
+	Alpha float64
+	// Beta is the symmetric topic-word concentration; 0 means 0.01.
+	Beta float64
+	// Iterations is the number of full Gibbs sweeps.
+	Iterations int
+	// OptimizeHyper enables Minka fixed-point updates of alpha and beta
+	// every HyperEvery sweeps after BurnIn (§5.3 uses the fixed-point
+	// method of Minka 2000).
+	OptimizeHyper bool
+	// HyperEvery defaults to 25.
+	HyperEvery int
+	// BurnIn defaults to Iterations/10.
+	BurnIn int
+	// Seed drives the sampler deterministically.
+	Seed uint64
+	// OnIteration, when set, runs after each sweep (1-based); used for
+	// perplexity curves and runtime instrumentation.
+	OnIteration func(iter int, m *Model)
+}
+
+// DefaultOptions returns the options used by the paper's experiments:
+// 1000-2000 sweeps, hyperparameter optimisation on for quality runs.
+func DefaultOptions(k int) Options {
+	return Options{K: k, Iterations: 1000, OptimizeHyper: true}
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		panic("topicmodel: K must be positive")
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 50.0 / float64(o.K)
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.01
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1000
+	}
+	if o.HyperEvery <= 0 {
+		o.HyperEvery = 25
+	}
+	if o.BurnIn <= 0 {
+		o.BurnIn = o.Iterations / 10
+	}
+}
+
+// Model is a (Phrase)LDA model trained by collapsed Gibbs sampling.
+// Exported fields support gob serialisation.
+type Model struct {
+	K, V int
+	// Alpha is the (possibly asymmetric) document-topic prior; AlphaSum
+	// caches its sum.
+	Alpha    []float64
+	AlphaSum float64
+	// Beta is the symmetric topic-word prior; BetaSum = V*Beta.
+	Beta    float64
+	BetaSum float64
+
+	// Docs are the training documents (cliques).
+	Docs []Doc
+	// Z[d][g] is the topic of clique g in document d.
+	Z [][]int32
+
+	// Ndk[d][k]: tokens of doc d assigned to topic k.
+	Ndk [][]int32
+	// Nwk[w][k]: tokens with word w assigned to topic k.
+	Nwk [][]int32
+	// Nk[k]: tokens assigned to topic k.
+	Nk []int64
+	// Nd[d]: tokens in doc d.
+	Nd []int32
+
+	rng     *xrand.RNG
+	weights []float64 // scratch for sampling
+}
+
+// NewModel allocates a model and randomly initialises assignments.
+func NewModel(docs []Doc, vocabSize int, opt Options) *Model {
+	opt.fill()
+	m := &Model{
+		K:       opt.K,
+		V:       vocabSize,
+		Beta:    opt.Beta,
+		BetaSum: opt.Beta * float64(vocabSize),
+		Docs:    docs,
+		rng:     xrand.New(opt.Seed),
+		weights: make([]float64, opt.K),
+	}
+	m.Alpha = make([]float64, opt.K)
+	for k := range m.Alpha {
+		m.Alpha[k] = opt.Alpha
+	}
+	m.AlphaSum = opt.Alpha * float64(opt.K)
+
+	m.Z = make([][]int32, len(docs))
+	m.Ndk = make([][]int32, len(docs))
+	m.Nwk = make([][]int32, vocabSize)
+	for w := range m.Nwk {
+		m.Nwk[w] = make([]int32, opt.K)
+	}
+	m.Nk = make([]int64, opt.K)
+	m.Nd = make([]int32, len(docs))
+
+	for d := range docs {
+		m.Ndk[d] = make([]int32, opt.K)
+		m.Z[d] = make([]int32, len(docs[d].Cliques))
+		for g, clique := range docs[d].Cliques {
+			k := int32(m.rng.Intn(opt.K))
+			m.Z[d][g] = k
+			m.addClique(d, clique, k, 1)
+			m.Nd[d] += int32(len(clique))
+		}
+	}
+	return m
+}
+
+// addClique adds (sign=+1) or removes (sign=-1) a clique's counts.
+func (m *Model) addClique(d int, clique []int32, k int32, sign int32) {
+	m.Ndk[d][k] += sign * int32(len(clique))
+	for _, w := range clique {
+		m.Nwk[w][k] += sign
+	}
+	m.Nk[k] += int64(sign) * int64(len(clique))
+}
+
+// sampleClique resamples the topic of clique g of document d from its
+// conditional posterior, Equation 7 of the paper:
+//
+//	p(C = k | ·) ∝ Π_{j=1..W} (α_k + N_dk^-  + j−1) ·
+//	               (β_wj + N_{wj,k}^-) / (Σβ + N_k^- + j−1)
+func (m *Model) sampleClique(d, g int) {
+	clique := m.Docs[d].Cliques[g]
+	old := m.Z[d][g]
+	m.addClique(d, clique, old, -1)
+
+	ndk := m.Ndk[d]
+	w := m.weights
+	if len(clique) == 1 {
+		// LDA fast path (W = 1).
+		word := clique[0]
+		row := m.Nwk[word]
+		for k := 0; k < m.K; k++ {
+			w[k] = (m.Alpha[k] + float64(ndk[k])) *
+				(m.Beta + float64(row[k])) /
+				(m.BetaSum + float64(m.Nk[k]))
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			p := 1.0
+			ak := m.Alpha[k] + float64(ndk[k])
+			denom := m.BetaSum + float64(m.Nk[k])
+			for j, word := range clique {
+				fj := float64(j)
+				p *= (ak + fj) * (m.Beta + float64(m.Nwk[word][k])) / (denom + fj)
+			}
+			w[k] = p
+		}
+	}
+	k := int32(m.rng.Categorical(w))
+	m.Z[d][g] = k
+	m.addClique(d, clique, k, 1)
+}
+
+// Sweep runs one full Gibbs pass over all cliques.
+func (m *Model) Sweep() {
+	for d := range m.Docs {
+		for g := range m.Docs[d].Cliques {
+			m.sampleClique(d, g)
+		}
+	}
+}
+
+// Train runs the full collapsed Gibbs schedule described by opt over
+// the documents and returns the trained model.
+func Train(docs []Doc, vocabSize int, opt Options) *Model {
+	opt.fill()
+	m := NewModel(docs, vocabSize, opt)
+	for it := 1; it <= opt.Iterations; it++ {
+		m.Sweep()
+		if opt.OptimizeHyper && it > opt.BurnIn && it%opt.HyperEvery == 0 {
+			m.OptimizeAlpha(5)
+			m.OptimizeBeta(5)
+		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, m)
+		}
+	}
+	return m
+}
+
+// Theta returns the point estimate of document d's topic mixture.
+func (m *Model) Theta(d int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.K)
+	}
+	denom := float64(m.Nd[d]) + m.AlphaSum
+	for k := 0; k < m.K; k++ {
+		dst[k] = (float64(m.Ndk[d][k]) + m.Alpha[k]) / denom
+	}
+	return dst
+}
+
+// Phi returns the point estimate of topic k's word distribution.
+func (m *Model) Phi(k int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.V)
+	}
+	denom := float64(m.Nk[k]) + m.BetaSum
+	for w := 0; w < m.V; w++ {
+		dst[w] = (float64(m.Nwk[w][k]) + m.Beta) / denom
+	}
+	return dst
+}
+
+// PhiAt returns φ_k,w without materialising the full row.
+func (m *Model) PhiAt(k int, w int32) float64 {
+	return (float64(m.Nwk[w][k]) + m.Beta) / (float64(m.Nk[k]) + m.BetaSum)
+}
+
+// TotalTokens returns the number of tokens in the training set.
+func (m *Model) TotalTokens() int {
+	n := 0
+	for _, v := range m.Nd {
+		n += int(v)
+	}
+	return n
+}
+
+// CheckInvariants verifies count-matrix consistency with assignments;
+// it is used by tests and returns an error describing the first
+// violation found.
+func (m *Model) CheckInvariants() error {
+	ndk := make([][]int32, len(m.Docs))
+	nwk := make(map[int64]int32)
+	nk := make([]int64, m.K)
+	for d := range m.Docs {
+		ndk[d] = make([]int32, m.K)
+		for g, clique := range m.Docs[d].Cliques {
+			k := m.Z[d][g]
+			if k < 0 || int(k) >= m.K {
+				return fmt.Errorf("doc %d clique %d: topic %d out of range", d, g, k)
+			}
+			ndk[d][k] += int32(len(clique))
+			nk[k] += int64(len(clique))
+			for _, w := range clique {
+				nwk[int64(w)*int64(m.K)+int64(k)]++
+			}
+		}
+	}
+	for d := range m.Docs {
+		for k := 0; k < m.K; k++ {
+			if ndk[d][k] != m.Ndk[d][k] {
+				return fmt.Errorf("Ndk[%d][%d] = %d, recomputed %d", d, k, m.Ndk[d][k], ndk[d][k])
+			}
+		}
+	}
+	for k := 0; k < m.K; k++ {
+		if nk[k] != m.Nk[k] {
+			return fmt.Errorf("Nk[%d] = %d, recomputed %d", k, m.Nk[k], nk[k])
+		}
+	}
+	for w := 0; w < m.V; w++ {
+		for k := 0; k < m.K; k++ {
+			want := nwk[int64(w)*int64(m.K)+int64(k)]
+			if m.Nwk[w][k] != want {
+				return fmt.Errorf("Nwk[%d][%d] = %d, recomputed %d", w, k, m.Nwk[w][k], want)
+			}
+		}
+	}
+	return nil
+}

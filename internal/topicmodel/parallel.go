@@ -1,0 +1,172 @@
+package topicmodel
+
+import (
+	"sync"
+
+	"topmine/internal/xrand"
+)
+
+// Parallel training: an approximate distributed Gibbs sampler in the
+// style of AD-LDA (Newman et al., "Distributed Algorithms for Topic
+// Models"), addressing the §8 future-work item on further scalability
+// of the topic-modeling stage. Documents are sharded across workers;
+// each sweep, every worker samples its shard against a private copy of
+// the topic-word counts seeded from the global state, and the workers'
+// deltas are reconciled at the sweep barrier:
+//
+//	global' = snapshot + Σ_w (local_w − snapshot)
+//
+// Because every clique belongs to exactly one worker, the reconciled
+// counts equal the counts recomputed from the final assignments — the
+// model invariants hold exactly; only the *conditional distributions
+// sampled from* are stale within a sweep, which is the standard AD-LDA
+// approximation. Results are deterministic for a fixed worker count
+// but differ from the serial sampler's.
+//
+// Memory: each worker holds a V×K count copy (4·V·K bytes).
+
+// SweepParallel runs one Gibbs pass with the given number of workers.
+// workers <= 1 falls back to the exact serial sweep.
+func (m *Model) SweepParallel(workers int) {
+	if workers <= 1 || len(m.Docs) < 2*workers {
+		m.Sweep()
+		return
+	}
+	base := m.rng.Uint64()
+
+	// Snapshot the global topic-word state.
+	snapNwk := make([][]int32, m.V)
+	for w := range snapNwk {
+		snapNwk[w] = append([]int32(nil), m.Nwk[w]...)
+	}
+	snapNk := append([]int64(nil), m.Nk...)
+
+	locals := make([]*workerState, workers)
+	var wg sync.WaitGroup
+	chunk := (len(m.Docs) + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		lo, hi := wi*chunk, (wi+1)*chunk
+		if hi > len(m.Docs) {
+			hi = len(m.Docs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			ws := newWorkerState(snapNwk, snapNk, xrand.New(base+uint64(wi)*0x9e3779b97f4a7c15), m.K)
+			for d := lo; d < hi; d++ {
+				for g := range m.Docs[d].Cliques {
+					m.sampleCliqueLocal(ws, d, g)
+				}
+			}
+			locals[wi] = ws
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+
+	// Reconcile: global = snapshot + sum of worker deltas.
+	for w := 0; w < m.V; w++ {
+		row := m.Nwk[w]
+		snap := snapNwk[w]
+		for k := 0; k < m.K; k++ {
+			v := snap[k]
+			for _, ws := range locals {
+				if ws != nil {
+					v += ws.nwk[w][k] - snap[k]
+				}
+			}
+			row[k] = v
+		}
+	}
+	for k := 0; k < m.K; k++ {
+		v := snapNk[k]
+		for _, ws := range locals {
+			if ws != nil {
+				v += ws.nk[k] - snapNk[k]
+			}
+		}
+		m.Nk[k] = v
+	}
+}
+
+type workerState struct {
+	nwk     [][]int32
+	nk      []int64
+	rng     *xrand.RNG
+	weights []float64
+}
+
+func newWorkerState(snapNwk [][]int32, snapNk []int64, rng *xrand.RNG, k int) *workerState {
+	ws := &workerState{
+		nwk:     make([][]int32, len(snapNwk)),
+		nk:      append([]int64(nil), snapNk...),
+		rng:     rng,
+		weights: make([]float64, k),
+	}
+	for w := range snapNwk {
+		ws.nwk[w] = append([]int32(nil), snapNwk[w]...)
+	}
+	return ws
+}
+
+// sampleCliqueLocal is sampleClique against a worker's private counts.
+// Ndk/Nd are owned by the document's worker, so they mutate in place.
+func (m *Model) sampleCliqueLocal(ws *workerState, d, g int) {
+	clique := m.Docs[d].Cliques[g]
+	old := m.Z[d][g]
+	m.Ndk[d][old] -= int32(len(clique))
+	for _, w := range clique {
+		ws.nwk[w][old]--
+	}
+	ws.nk[old] -= int64(len(clique))
+
+	ndk := m.Ndk[d]
+	wts := ws.weights
+	if len(clique) == 1 {
+		word := clique[0]
+		row := ws.nwk[word]
+		for k := 0; k < m.K; k++ {
+			wts[k] = (m.Alpha[k] + float64(ndk[k])) *
+				(m.Beta + float64(row[k])) /
+				(m.BetaSum + float64(ws.nk[k]))
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			p := 1.0
+			ak := m.Alpha[k] + float64(ndk[k])
+			denom := m.BetaSum + float64(ws.nk[k])
+			for j, word := range clique {
+				fj := float64(j)
+				p *= (ak + fj) * (m.Beta + float64(ws.nwk[word][k])) / (denom + fj)
+			}
+			wts[k] = p
+		}
+	}
+	k := int32(ws.rng.Categorical(wts))
+	m.Z[d][g] = k
+	m.Ndk[d][k] += int32(len(clique))
+	for _, w := range clique {
+		ws.nwk[w][k]++
+	}
+	ws.nk[k] += int64(len(clique))
+}
+
+// TrainParallel is Train with SweepParallel; see the package-level
+// notes on the AD-LDA approximation.
+func TrainParallel(docs []Doc, vocabSize int, opt Options, workers int) *Model {
+	opt.fill()
+	m := NewModel(docs, vocabSize, opt)
+	for it := 1; it <= opt.Iterations; it++ {
+		m.SweepParallel(workers)
+		if opt.OptimizeHyper && it > opt.BurnIn && it%opt.HyperEvery == 0 {
+			m.OptimizeAlpha(5)
+			m.OptimizeBeta(5)
+		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, m)
+		}
+	}
+	return m
+}

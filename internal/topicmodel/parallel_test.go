@@ -1,0 +1,105 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepParallelPreservesInvariants(t *testing.T) {
+	docs := twoTopicDocs(20, 20)
+	m := NewModel(docs, 10, Options{K: 3, Iterations: 1, Seed: 91})
+	for i := 0; i < 5; i++ {
+		m.SweepParallel(4)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepParallelFallsBackWhenTiny(t *testing.T) {
+	docs := twoTopicDocs(1, 5) // 2 docs: fewer than 2*workers
+	m := NewModel(docs, 10, Options{K: 2, Iterations: 1, Seed: 93})
+	m.SweepParallel(8) // must not panic; falls back to serial
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainParallelDeterministic(t *testing.T) {
+	opt := Options{K: 2, Iterations: 15, Seed: 97}
+	a := TrainParallel(twoTopicDocs(10, 10), 10, opt, 4)
+	b := TrainParallel(twoTopicDocs(10, 10), 10, opt, 4)
+	for d := range a.Z {
+		for g := range a.Z[d] {
+			if a.Z[d][g] != b.Z[d][g] {
+				t.Fatal("parallel training nondeterministic for fixed worker count")
+			}
+		}
+	}
+}
+
+func TestTrainParallelQualityComparable(t *testing.T) {
+	// AD-LDA approximation: held-out perplexity should land close to
+	// the serial sampler's (within 10%).
+	mkDocs := func() []Doc { return twoTopicDocs(40, 30) }
+	test := make([][]int32, 80)
+	for d := range test {
+		base := int32(0)
+		if d >= 40 {
+			base = 5
+		}
+		test[d] = []int32{base, base + 2}
+	}
+	serial := Train(mkDocs(), 10, Options{K: 2, Iterations: 60, Seed: 101})
+	parallel := TrainParallel(mkDocs(), 10, Options{K: 2, Iterations: 60, Seed: 101}, 4)
+	ps := Perplexity(serial, test)
+	pp := Perplexity(parallel, test)
+	if math.IsNaN(ps) || math.IsNaN(pp) {
+		t.Fatalf("NaN perplexities: %v %v", ps, pp)
+	}
+	if pp > ps*1.10 || pp < ps*0.90 {
+		t.Fatalf("parallel perplexity %v too far from serial %v", pp, ps)
+	}
+}
+
+func TestTrainParallelRecoversTopics(t *testing.T) {
+	docs := twoTopicDocs(30, 30)
+	m := TrainParallel(docs, 10, Options{K: 2, Iterations: 100, Seed: 103}, 4)
+	topicOf := func(w int32) int {
+		if m.Nwk[w][0] >= m.Nwk[w][1] {
+			return 0
+		}
+		return 1
+	}
+	a := topicOf(0)
+	for w := int32(1); w < 5; w++ {
+		if topicOf(w) != a {
+			t.Fatalf("topic-A words split under parallel training: word %d", w)
+		}
+	}
+	for w := int32(5); w < 10; w++ {
+		if topicOf(w) == a {
+			t.Fatalf("topic-B word %d merged into topic A", w)
+		}
+	}
+}
+
+func TestSweepParallelWithCliques(t *testing.T) {
+	// Multi-word cliques across many docs, parallel sweeps: invariants
+	// must hold exactly after reconciliation.
+	var docs []Doc
+	for d := 0; d < 50; d++ {
+		docs = append(docs, Doc{ID: d, Cliques: [][]int32{
+			{int32(d % 4), int32((d + 1) % 4)},
+			{int32(d % 7)},
+			{4, 5, 6},
+		}})
+	}
+	m := NewModel(docs, 10, Options{K: 4, Iterations: 1, Seed: 107})
+	for i := 0; i < 8; i++ {
+		m.SweepParallel(4)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

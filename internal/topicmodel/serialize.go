@@ -1,0 +1,55 @@
+package topicmodel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"topmine/internal/xrand"
+)
+
+// Save serialises the model (counts, assignments, priors, documents)
+// with encoding/gob. The sampler's RNG position is not saved; a loaded
+// model resumes from a fresh seed.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("topicmodel: encoding model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topicmodel: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model serialised by Save and re-arms its sampler with
+// the given seed so training can continue deterministically.
+func Load(r io.Reader, seed uint64) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("topicmodel: decoding model: %w", err)
+	}
+	m.rng = xrand.New(seed)
+	m.weights = make([]float64, m.K)
+	return &m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string, seed uint64) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topicmodel: %w", err)
+	}
+	defer f.Close()
+	return Load(f, seed)
+}

@@ -1,0 +1,295 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws of 100", same)
+	}
+}
+
+func TestSeedZeroWorks(t *testing.T) {
+	r := New(0)
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		t.Fatal("all-zero state after seeding with 0")
+	}
+	if x, y := r.Uint64(), r.Uint64(); x == 0 && y == 0 {
+		t.Fatal("seed 0 produced zero output stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Fatalf("Intn(5) never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	x := []int{1, 2, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, v := range x {
+		sum += v
+	}
+	r.Shuffle(len(x), func(i, j int) { x[i], x[j] = x[j], x[i] })
+	got := 0
+	for _, v := range x {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := New(17)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Fatalf("category 0 frequency = %v, want ~0.25", frac0)
+	}
+}
+
+func TestCategoricalSingleton(t *testing.T) {
+	r := New(19)
+	if got := r.Categorical([]float64{2.5}); got != 0 {
+		t.Fatalf("Categorical singleton = %d, want 0", got)
+	}
+}
+
+func TestCategoricalPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Categorical with zero weights did not panic")
+		}
+	}()
+	New(1).Categorical([]float64{0, 0})
+}
+
+func TestCategoricalPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Categorical with NaN weight did not panic")
+		}
+	}()
+	New(1).Categorical([]float64{1, math.NaN()})
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(23)
+	for _, shape := range []float64{0.5, 1, 2, 7.5} {
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Fatalf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestGammaPanicsOnNonPositiveShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := New(31)
+	alpha := []float64{0.5, 1.5, 3.0}
+	for i := 0; i < 1000; i++ {
+		p := r.Dirichlet(alpha, nil)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sums to %v, want 1", sum)
+		}
+	}
+}
+
+func TestDirichletReusesDst(t *testing.T) {
+	r := New(37)
+	dst := make([]float64, 3)
+	out := r.Dirichlet([]float64{1, 1, 1}, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("Dirichlet did not reuse provided destination slice")
+	}
+}
+
+func TestDirichletMean(t *testing.T) {
+	r := New(41)
+	alpha := []float64{2, 6} // mean should be (0.25, 0.75)
+	var sum0 float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		p := r.Dirichlet(alpha, nil)
+		sum0 += p[0]
+	}
+	if got := sum0 / n; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Dirichlet mean[0] = %v, want ~0.25", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(43)
+	child := r.Split()
+	// Child stream should not equal parent's continued stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d of 64 draws identical between parent and split child", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkCategorical50(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 50)
+	for i := range w {
+		w[i] = float64(i%7) + 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Categorical(w)
+	}
+}

@@ -1,0 +1,66 @@
+package topmine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopicWorkersPipeline(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 300, 29)
+	opt := smallOpts()
+	opt.TopicWorkers = 4
+	opt.Iterations = 40
+	res, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.CheckInvariants(); err != nil {
+		t.Fatalf("parallel-trained model inconsistent: %v", err)
+	}
+	if len(res.Topics) != opt.Topics {
+		t.Fatalf("topics = %d", len(res.Topics))
+	}
+}
+
+func TestTopicWorkersPerplexityComparable(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("yelp-reviews", 200, 31)
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	ho := SplitHeldOut(c, 0.2)
+	opt := smallOpts()
+	opt.Iterations = 80
+	opt.OptimizeHyper = false
+
+	mined := MinePhrases(ho.Train, opt)
+	segs := SegmentCorpus(ho.Train, mined, opt)
+	serial := TrainModel(ho.Train, segs, opt)
+
+	popt := opt
+	popt.TopicWorkers = 4
+	parallel := TrainModel(ho.Train, segs, popt)
+
+	ps, pp := Perplexity(serial, ho), Perplexity(parallel, ho)
+	if math.IsNaN(ps) || math.IsNaN(pp) {
+		t.Fatalf("NaN perplexity: %v %v", ps, pp)
+	}
+	if pp > ps*1.15 || pp < ps*0.85 {
+		t.Fatalf("parallel perplexity %v too far from serial %v", pp, ps)
+	}
+}
+
+func TestTopicWorkersDeterministic(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 150, 37)
+	opt := smallOpts()
+	opt.TopicWorkers = 3
+	opt.Iterations = 25
+	a, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatTopics(a.Topics) != FormatTopics(b.Topics) {
+		t.Fatal("parallel pipeline nondeterministic for fixed worker count")
+	}
+}

@@ -1,0 +1,322 @@
+// Package topmine implements ToPMine (El-Kishky, Song, Wang, Voss,
+// Han: "Scalable Topical Phrase Mining from Text Corpora", VLDB 2014):
+// scalable discovery of topical phrases of mixed length by frequent
+// contiguous phrase mining, statistically-guided document segmentation
+// and phrase-constrained topic modeling (PhraseLDA).
+//
+// The one-call entry point:
+//
+//	result, err := topmine.Run(docs, topmine.DefaultOptions())
+//	for _, t := range result.Topics {
+//		fmt.Println(t.Unigrams, t.Phrases)
+//	}
+//
+// Each pipeline stage (corpus building, mining, segmentation, topic
+// modeling, visualisation) is also exposed separately for callers that
+// need intermediate artifacts; see Result and the methods on its
+// fields. All randomness is seeded: identical inputs and options give
+// identical outputs.
+package topmine
+
+import (
+	"fmt"
+
+	"topmine/internal/core"
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/phrasemine"
+	"topmine/internal/segment"
+	"topmine/internal/synth"
+	"topmine/internal/topicmodel"
+)
+
+// Re-exported pipeline types. The implementation lives in internal
+// packages; these aliases make every artifact nameable by API users.
+type (
+	// Corpus is a tokenised, stemmed, stop-word-filtered document
+	// collection with a shared vocabulary.
+	Corpus = corpus.Corpus
+	// Document is one corpus document (a sequence of punctuation-
+	// delimited segments).
+	Document = corpus.Document
+	// CorpusOptions controls raw-text preprocessing.
+	CorpusOptions = corpus.BuildOptions
+	// MinedPhrases is the output of frequent phrase mining (Alg. 1).
+	MinedPhrases = phrasemine.Result
+	// PhraseCount is one frequent phrase with its corpus count.
+	PhraseCount = counter.Entry
+	// SegmentedDoc is one document's partition into phrases (Alg. 2).
+	SegmentedDoc = segment.SegmentedDoc
+	// Model is a trained PhraseLDA (or LDA) topic model.
+	Model = topicmodel.Model
+	// TopicSummary is one topic's visualisation: top unigrams and top
+	// phrases by topical frequency (Eq. 8).
+	TopicSummary = topicmodel.TopicSummary
+	// PhraseInfo is one ranked phrase in a topic summary.
+	PhraseInfo = topicmodel.PhraseInfo
+	// VisualizeOptions controls topic rendering (list lengths,
+	// background-phrase filtering).
+	VisualizeOptions = topicmodel.VisualizeOptions
+	// HeldOut is a document-completion split for perplexity evaluation.
+	HeldOut = corpus.HeldOut
+)
+
+// Options configures the full ToPMine pipeline.
+type Options struct {
+	// MinSupport is the minimum corpus frequency for a phrase (the
+	// paper's ε). When RelativeSupport is set, the effective support is
+	// max(MinSupport, RelativeSupport × corpus tokens), implementing
+	// the paper's advice that support grow linearly with corpus size.
+	MinSupport      int
+	RelativeSupport float64
+	// MaxPhraseLen bounds phrase length (0 = unbounded).
+	MaxPhraseLen int
+	// SigThreshold is the significance threshold α of Algorithm 2.
+	SigThreshold float64
+	// Topics is K, the number of latent topics.
+	Topics int
+	// Iterations is the number of collapsed Gibbs sweeps.
+	Iterations int
+	// Alpha and Beta are the Dirichlet priors (0 = 50/K and 0.01).
+	Alpha, Beta float64
+	// OptimizeHyper enables Minka fixed-point hyperparameter updates.
+	OptimizeHyper bool
+	// FilterBackground removes corpus-wide background phrases from the
+	// topic visualisations (§8 of the paper).
+	FilterBackground bool
+	// TopUnigrams / TopPhrases bound the visualisation lists.
+	TopUnigrams, TopPhrases int
+	// Seed drives every random choice.
+	Seed uint64
+	// Workers parallelises mining and segmentation (0 = GOMAXPROCS).
+	Workers int
+	// TopicWorkers > 1 trains the topic model with the approximate
+	// AD-LDA-style distributed sampler (see internal/topicmodel's
+	// parallel notes): deterministic for a fixed worker count, held-out
+	// quality comparable to the serial sampler, sweeps up to
+	// TopicWorkers times faster. 0 or 1 selects the exact serial
+	// sampler used for all paper-reproduction experiments.
+	TopicWorkers int
+}
+
+// DefaultOptions mirrors the paper's configuration: ε=5 absolute
+// support, α=5 significance, K=10 topics, 1000 sweeps, hyperparameter
+// optimisation on.
+func DefaultOptions() Options {
+	return Options{
+		MinSupport:    5,
+		MaxPhraseLen:  8,
+		SigThreshold:  5,
+		Topics:        10,
+		Iterations:    1000,
+		OptimizeHyper: true,
+		TopUnigrams:   10,
+		TopPhrases:    10,
+	}
+}
+
+func (o *Options) fill() error {
+	if o.Topics <= 0 {
+		return fmt.Errorf("topmine: Topics must be positive, got %d", o.Topics)
+	}
+	if o.MinSupport <= 0 && o.RelativeSupport <= 0 {
+		o.MinSupport = 5
+	}
+	if o.MaxPhraseLen < 0 {
+		return fmt.Errorf("topmine: MaxPhraseLen must be >= 0")
+	}
+	if o.SigThreshold == 0 {
+		o.SigThreshold = 5
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1000
+	}
+	if o.TopUnigrams <= 0 {
+		o.TopUnigrams = 10
+	}
+	if o.TopPhrases <= 0 {
+		o.TopPhrases = 10
+	}
+	return nil
+}
+
+// Result carries every artifact of a pipeline run.
+type Result struct {
+	// Corpus is the preprocessed input.
+	Corpus *Corpus
+	// Mined holds the frequent phrases and aggregate counts (Alg. 1).
+	Mined *MinedPhrases
+	// Segmented holds each document's phrase partition (Alg. 2).
+	Segmented []*SegmentedDoc
+	// Model is the trained PhraseLDA model.
+	Model *Model
+	// Topics are the rendered topic summaries.
+	Topics []TopicSummary
+	// Options echoes the (filled) options the pipeline ran with.
+	Options Options
+}
+
+// FrequentPhrases lists mined phrases with at least minWords words,
+// most frequent first.
+func (r *Result) FrequentPhrases(minWords int) []PhraseCount {
+	return r.Mined.Counts.Entries(minWords)
+}
+
+// PhraseString renders a mined phrase's words for display.
+func (r *Result) PhraseString(p PhraseCount) string {
+	return r.Corpus.DisplayWords(p.Words)
+}
+
+// BuildCorpus preprocesses raw documents (one string each) with the
+// paper's pipeline: punctuation segmentation, lower-casing, stop-word
+// removal with gap tracking, Porter stemming.
+func BuildCorpus(docs []string, opt CorpusOptions) *Corpus {
+	return corpus.FromStrings(docs, opt)
+}
+
+// DefaultCorpusOptions mirrors the paper's preprocessing.
+func DefaultCorpusOptions() CorpusOptions { return corpus.DefaultBuildOptions() }
+
+// LoadCorpusFile reads a one-document-per-line file.
+func LoadCorpusFile(path string, opt CorpusOptions) (*Corpus, error) {
+	return corpus.LoadFile(path, opt)
+}
+
+// LoadCorpusJSONL reads a JSON-lines file, taking each object's given
+// string field as the document text (e.g. "text" for review dumps).
+func LoadCorpusJSONL(path, field string, opt CorpusOptions) (*Corpus, error) {
+	return corpus.LoadJSONLFile(path, field, opt)
+}
+
+// Run executes the full pipeline on raw documents.
+func Run(docs []string, opt Options) (*Result, error) {
+	return RunCorpus(BuildCorpus(docs, DefaultCorpusOptions()), opt)
+}
+
+// RunCorpus executes the full pipeline on a prebuilt corpus.
+func RunCorpus(c *Corpus, opt Options) (*Result, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{Corpus: c, Options: opt}
+	a := core.Run(c, toCoreConfig(opt, nil))
+	res.Mined, res.Segmented, res.Model = a.Mined, a.Segs, a.Model
+	vis := topicmodel.VisualizeOptions{
+		TopUnigrams:      opt.TopUnigrams,
+		TopPhrases:       opt.TopPhrases,
+		FilterBackground: opt.FilterBackground,
+	}
+	if opt.FilterBackground {
+		// Catch background phrases that collect in a dedicated topic
+		// under the optimised asymmetric prior (see VisualizeOptions).
+		vis.BackgroundMaxDocFrac = 0.25
+	}
+	res.Topics = res.Model.Visualize(c, vis)
+	return res, nil
+}
+
+// toCoreConfig translates public options into the framework config.
+func toCoreConfig(opt Options, onIter func(int, *Model)) core.Config {
+	return core.Config{
+		MinSupport:      opt.MinSupport,
+		RelativeSupport: opt.RelativeSupport,
+		MaxPhraseLen:    opt.MaxPhraseLen,
+		SigAlpha:        opt.SigThreshold,
+		K:               opt.Topics,
+		Iterations:      opt.Iterations,
+		Alpha:           opt.Alpha,
+		Beta:            opt.Beta,
+		OptimizeHyper:   opt.OptimizeHyper,
+		Seed:            opt.Seed,
+		Workers:         opt.Workers,
+		TopicWorkers:    opt.TopicWorkers,
+		OnIteration:     onIter,
+	}
+}
+
+// MinePhrases runs frequent phrase mining (Algorithm 1) alone.
+func MinePhrases(c *Corpus, opt Options) *MinedPhrases {
+	return core.Mine(c, toCoreConfig(opt, nil))
+}
+
+// SegmentCorpus runs phrase construction (Algorithm 2) alone.
+func SegmentCorpus(c *Corpus, mined *MinedPhrases, opt Options) []*SegmentedDoc {
+	return core.Segment(c, mined, toCoreConfig(opt, nil))
+}
+
+// TrainModel trains PhraseLDA on a segmented corpus.
+func TrainModel(c *Corpus, segs []*SegmentedDoc, opt Options) *Model {
+	return TrainModelWithCallback(c, segs, opt, nil)
+}
+
+// TrainModelWithCallback is TrainModel with a hook invoked after every
+// Gibbs sweep (1-based iteration); used for perplexity curves.
+func TrainModelWithCallback(c *Corpus, segs []*SegmentedDoc, opt Options, onIter func(int, *Model)) *Model {
+	_, m := core.Train(c, segs, toCoreConfig(opt, onIter))
+	return m
+}
+
+// TrainLDA trains an unconstrained LDA baseline on the same corpus
+// (every token its own phrase) — the comparison model of Figures 6-7.
+func TrainLDA(c *Corpus, opt Options) *Model {
+	return TrainLDAWithCallback(c, opt, nil)
+}
+
+// TrainLDAWithCallback is TrainLDA with a per-sweep hook.
+func TrainLDAWithCallback(c *Corpus, opt Options, onIter func(int, *Model)) *Model {
+	if err := opt.fill(); err != nil {
+		panic(err)
+	}
+	docs := topicmodel.DocsUnigram(c)
+	if opt.TopicWorkers > 1 {
+		return topicmodel.TrainParallel(docs, c.Vocab.Size(), toModelOptions(opt, onIter), opt.TopicWorkers)
+	}
+	return topicmodel.Train(docs, c.Vocab.Size(), toModelOptions(opt, onIter))
+}
+
+func toModelOptions(opt Options, onIter func(int, *Model)) topicmodel.Options {
+	return topicmodel.Options{
+		K:             opt.Topics,
+		Alpha:         opt.Alpha,
+		Beta:          opt.Beta,
+		Iterations:    opt.Iterations,
+		OptimizeHyper: opt.OptimizeHyper,
+		Seed:          opt.Seed,
+		OnIteration:   onIter,
+	}
+}
+
+// SplitHeldOut withholds frac of each document's tokens for perplexity
+// evaluation (document completion, as in Figures 6-7).
+func SplitHeldOut(c *Corpus, frac float64) *HeldOut {
+	return corpus.SplitDocumentCompletion(c, frac, 1)
+}
+
+// Perplexity scores held-out tokens under a trained model.
+func Perplexity(m *Model, ho *HeldOut) float64 {
+	return topicmodel.Perplexity(m, ho.Test)
+}
+
+// FormatTopics renders topic summaries as a text table.
+func FormatTopics(topics []TopicSummary) string {
+	return topicmodel.FormatTopics(topics)
+}
+
+// GenerateExampleCorpus produces a synthetic corpus in one of the
+// built-in domains modelled on the paper's datasets: "dblp-titles",
+// "20conf", "dblp-abstracts", "acl-abstracts", "ap-news",
+// "yelp-reviews". It returns raw document strings ready for Run or
+// BuildCorpus. See DESIGN.md §5 for why synthetic stand-ins are used.
+func GenerateExampleCorpus(domain string, docs int, seed uint64) ([]string, error) {
+	f, ok := synth.Domains()[domain]
+	if !ok {
+		return nil, fmt.Errorf("topmine: unknown domain %q", domain)
+	}
+	return synth.Generate(f(), synth.Options{Docs: docs, Seed: seed}), nil
+}
+
+// ExampleDomains lists the available synthetic domains.
+func ExampleDomains() []string {
+	return []string{"dblp-titles", "20conf", "dblp-abstracts",
+		"acl-abstracts", "ap-news", "yelp-reviews"}
+}

@@ -1,0 +1,208 @@
+package topmine
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.Topics = 5
+	o.Iterations = 60
+	o.MinSupport = 5
+	o.SigThreshold = 4
+	o.Seed = 42
+	o.Workers = 1
+	return o
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	docs, err := GenerateExampleCorpus("20conf", 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(docs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.NumDocs() != 500 {
+		t.Fatalf("docs = %d", res.Corpus.NumDocs())
+	}
+	if len(res.Topics) != 5 {
+		t.Fatalf("topics = %d", len(res.Topics))
+	}
+	if res.Mined.Counts.Len() == 0 {
+		t.Fatal("no phrases mined")
+	}
+	if len(res.Segmented) != 500 {
+		t.Fatal("segmentation incomplete")
+	}
+	// At least one topic shows a multi-word phrase.
+	hasPhrase := false
+	for _, tp := range res.Topics {
+		if len(tp.Phrases) > 0 {
+			hasPhrase = true
+		}
+	}
+	if !hasPhrase {
+		t.Fatal("no topical phrases surfaced")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 150, 9)
+	a, err := Run(docs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(docs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := FormatTopics(a.Topics), FormatTopics(b.Topics)
+	if fa != fb {
+		t.Fatal("identical runs produced different topics")
+	}
+}
+
+func TestFrequentPhrasesSortedAndDisplayable(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 400, 11)
+	res, err := Run(docs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phrases := res.FrequentPhrases(2)
+	if len(phrases) == 0 {
+		t.Fatal("no multi-word frequent phrases")
+	}
+	for i := 1; i < len(phrases); i++ {
+		if phrases[i].Count > phrases[i-1].Count {
+			t.Fatal("phrases not sorted by count")
+		}
+	}
+	if s := res.PhraseString(phrases[0]); s == "" || !strings.Contains(s, " ") {
+		t.Fatalf("bad display %q", s)
+	}
+}
+
+func TestRelativeSupport(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 300, 13)
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	opt := smallOpts()
+	opt.MinSupport = 1
+	opt.RelativeSupport = 0.01 // 1% of tokens: very aggressive
+	mined := MinePhrases(c, opt)
+	if mined.MinSupport <= 1 {
+		t.Fatalf("relative support not applied: %d", mined.MinSupport)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run([]string{"doc"}, Options{Topics: 0}); err == nil {
+		t.Fatal("Topics=0 accepted")
+	}
+	if _, err := Run([]string{"doc"}, Options{Topics: 2, MaxPhraseLen: -1}); err == nil {
+		t.Fatal("negative MaxPhraseLen accepted")
+	}
+}
+
+func TestPerplexityComparablePhraseLDAvsLDA(t *testing.T) {
+	// The Figure 6/7 shape at miniature scale: PhraseLDA's held-out
+	// perplexity lands in the same range as LDA's (within 15%).
+	docs, _ := GenerateExampleCorpus("yelp-reviews", 250, 17)
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	ho := SplitHeldOut(c, 0.2)
+	opt := smallOpts()
+	opt.Topics = 5
+	opt.Iterations = 120
+	opt.OptimizeHyper = false
+
+	mined := MinePhrases(ho.Train, opt)
+	segs := SegmentCorpus(ho.Train, mined, opt)
+	plda := TrainModel(ho.Train, segs, opt)
+	lda := TrainLDA(ho.Train, opt)
+
+	pp := Perplexity(plda, ho)
+	pl := Perplexity(lda, ho)
+	if math.IsNaN(pp) || math.IsNaN(pl) {
+		t.Fatalf("perplexities NaN: %v %v", pp, pl)
+	}
+	ratio := pp / pl
+	if ratio > 1.15 || ratio < 0.5 {
+		t.Fatalf("PhraseLDA perplexity %v too far from LDA %v (ratio %v)", pp, pl, ratio)
+	}
+}
+
+func TestGenerateExampleCorpusDomains(t *testing.T) {
+	for _, d := range ExampleDomains() {
+		docs, err := GenerateExampleCorpus(d, 5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(docs) != 5 {
+			t.Fatalf("%s: %d docs", d, len(docs))
+		}
+	}
+	if _, err := GenerateExampleCorpus("nope", 5, 1); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+}
+
+func TestStagewiseEqualsRun(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("20conf", 120, 19)
+	opt := smallOpts()
+	res, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := BuildCorpus(docs, DefaultCorpusOptions())
+	mined := MinePhrases(c, opt)
+	segs := SegmentCorpus(c, mined, opt)
+	model := TrainModel(c, segs, opt)
+	if model.TotalTokens() != res.Model.TotalTokens() {
+		t.Fatal("stagewise pipeline diverges from Run")
+	}
+	for d := range model.Z {
+		for g := range model.Z[d] {
+			if model.Z[d][g] != res.Model.Z[d][g] {
+				t.Fatal("assignments diverge between stagewise and Run")
+			}
+		}
+	}
+}
+
+func TestBackgroundFilterOptionRuns(t *testing.T) {
+	docs, _ := GenerateExampleCorpus("dblp-abstracts", 120, 23)
+	opt := smallOpts()
+	opt.FilterBackground = true
+	opt.Iterations = 30
+	if _, err := Run(docs, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCorpusJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/reviews.jsonl"
+	content := `{"stars": 5, "text": "great ice cream and iced coffee"}
+{"stars": 2, "text": "parking lot was full"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCorpusJSONL(path, "text", DefaultCorpusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if _, ok := c.Vocab.ID("cream"); !ok {
+		t.Fatal("text not processed")
+	}
+	if _, err := LoadCorpusJSONL(path, "missing", DefaultCorpusOptions()); err == nil {
+		t.Fatal("missing field accepted")
+	}
+}
