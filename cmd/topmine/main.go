@@ -6,6 +6,12 @@
 //
 //	topmine -input corpus.txt -k 10 -iters 1000
 //	topmine -synth yelp-reviews -docs 2000 -k 10
+//
+// A trained run can be persisted as a pipeline snapshot and reused
+// without retraining (by this command or by the topmined server):
+//
+//	topmine -synth yelp-reviews -k 10 -save model.tpm
+//	topmine -load model.tpm -infer "great food and friendly service"
 package main
 
 import (
@@ -40,8 +46,31 @@ func main() {
 	filterBG := flag.Bool("filterbg", false, "filter background phrases from topic lists")
 	phrasesOnly := flag.Bool("phrases-only", false, "stop after phrase mining and print frequent phrases")
 	segmentOnly := flag.Bool("segment", false, "stop after segmentation and print each document as a bag of phrases")
-	saveModel := flag.String("save", "", "save the trained model to this path (gob)")
+	saveModel := flag.String("save", "", "save the trained pipeline snapshot to this path")
+	loadModel := flag.String("load", "", "load a pipeline snapshot instead of training")
+	inferText := flag.String("infer", "", "infer the topic mixture of this text (after training, or against -load)")
+	inferIters := flag.Int("infer-iters", 50, "Gibbs sweeps for -infer")
 	flag.Parse()
+
+	if *loadModel != "" {
+		// -load replaces training entirely: reject explicitly-set
+		// training flags instead of silently ignoring them.
+		allowed := map[string]bool{"load": true, "save": true, "infer": true, "infer-iters": true}
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			log.Fatalf("-load replaces training; %s would be ignored", strings.Join(ignored, ", "))
+		}
+		runLoaded(*loadModel, *saveModel, *inferText, *inferIters)
+		return
+	}
+	if (*phrasesOnly || *segmentOnly) && (*saveModel != "" || *inferText != "") {
+		log.Fatal("-save and -infer need a trained model; do not combine them with -phrases-only or -segment")
+	}
 
 	var (
 		c   *topmine.Corpus
@@ -121,10 +150,51 @@ func main() {
 	})
 	fmt.Print(topmine.FormatTopics(sums))
 
+	res := &topmine.Result{
+		Corpus: c, Mined: mined, Segmented: segs,
+		Model: model, Topics: sums, Options: opt,
+	}
 	if *saveModel != "" {
-		if err := model.SaveFile(*saveModel); err != nil {
+		if err := topmine.SaveSnapshotFile(*saveModel, res); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveModel)
+		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", *saveModel)
 	}
+	if *inferText != "" {
+		printInference(res, *inferText, *inferIters)
+	}
+}
+
+// runLoaded consumes a snapshot: prints its topics, re-saves it when
+// savePath is given (refreshing the file in the current format), and
+// when text is given, folds it into the model and reports the
+// inferred mixture.
+func runLoaded(path, savePath, text string, iters int) {
+	res, err := topmine.LoadSnapshotFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snapshot %s: %d topics, %d stems, %d frequent phrases\n",
+		path, res.Options.Topics, res.Corpus.Vocab.Size(), res.Mined.Counts.Len())
+	fmt.Print(topmine.FormatTopics(res.Topics))
+	if savePath != "" {
+		if err := topmine.SaveSnapshotFile(savePath, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", savePath)
+	}
+	if text != "" {
+		printInference(res, text, iters)
+	}
+}
+
+// printInference folds text into the trained model and reports the
+// mixture.
+func printInference(res *topmine.Result, text string, iters int) {
+	theta := res.InferTopics(text, iters)
+	fmt.Printf("\ninferred mixture for %q:\n", text)
+	for k, v := range theta {
+		fmt.Printf("  topic %d: %.4f\n", k, v)
+	}
+	fmt.Printf("best topic: %d\n", topmine.BestTopic(theta))
 }

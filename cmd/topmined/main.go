@@ -1,0 +1,96 @@
+// Command topmined serves a trained ToPMine pipeline snapshot over
+// HTTP: topic inference, phrase segmentation, and topic listing.
+//
+// Usage:
+//
+//	topmine -synth yelp-reviews -k 10 -save model.tpm
+//	topmined -model model.tpm -addr :8080
+//
+//	curl -s localhost:8080/v1/infer -d '{"text": "great food and service"}'
+//	curl -s localhost:8080/v1/segment -d '{"text": "machine learning models"}'
+//	curl -s localhost:8080/v1/topics
+//
+// The process drains in-flight requests on SIGINT/SIGTERM before
+// exiting (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"topmine"
+	"topmine/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topmined: ")
+
+	model := flag.String("model", "", "path to a pipeline snapshot written by topmine -save (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	iters := flag.Int("iters", 50, "default Gibbs sweeps per inference request")
+	maxIters := flag.Int("max-iters", 500, "cap on per-request Gibbs sweeps (raised to -iters if lower)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	maxBatch := flag.Int("max-batch", 256, "maximum documents per batched infer request")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	if *model == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := topmine.LoadSnapshotFile(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inf, err := res.Inferencer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d topics, %d stems, %d frequent phrases",
+		*model, inf.NumTopics(), res.Corpus.Vocab.Size(), res.Mined.Counts.Len())
+
+	handler := serve.New(inf, serve.Options{
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+		DefaultIters: *iters,
+		MaxIters:     *maxIters,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("received %v, draining (up to %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Print("drained cleanly")
+	}
+}

@@ -1,0 +1,3 @@
+module topmine
+
+go 1.24

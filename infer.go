@@ -3,7 +3,6 @@ package topmine
 import (
 	"sort"
 
-	"topmine/internal/corpus"
 	"topmine/internal/segment"
 	"topmine/internal/topicmodel"
 )
@@ -20,23 +19,15 @@ type MergeStep = segment.MergeStep
 // words dropped), segmented into phrases with the mined statistics,
 // and Gibbs-sampled against the frozen topic-word counts. It returns
 // the inferred topic mixture. The Result is not modified.
+//
+// The heavy lifting delegates to the cached Inferencer, so repeated
+// and concurrent calls share one pre-built segmenter.
 func (r *Result) InferTopics(text string, iters int) []float64 {
-	doc := corpus.MapText(text, r.Corpus.Vocab, DefaultCorpusOptions())
-	seg := segment.NewSegmenter(r.Mined, segment.Options{
-		Alpha:        r.Options.SigThreshold,
-		MaxPhraseLen: r.Options.MaxPhraseLen,
-		Workers:      1,
-	})
-	var cliques [][]int32
-	for si := range doc.Segments {
-		words := doc.Segments[si].Words
-		for _, sp := range seg.Partition(words) {
-			clique := make([]int32, sp.Len())
-			copy(clique, words[sp.Start:sp.End])
-			cliques = append(cliques, clique)
-		}
+	inf, err := r.Inferencer()
+	if err != nil {
+		panic(err)
 	}
-	return r.Model.InferTheta(cliques, iters, r.Options.Seed+0x1f2e3d)
+	return inf.InferTopics(text, iters)
 }
 
 // BestTopic returns the argmax topic of a mixture returned by
@@ -54,28 +45,14 @@ type SegmentTrace struct {
 }
 
 // TraceText segments unseen text with the mined statistics and records
-// every merge, per segment.
+// every merge, per segment. Like InferTopics it delegates to the
+// cached Inferencer.
 func (r *Result) TraceText(text string) []SegmentTrace {
-	doc := corpus.MapText(text, r.Corpus.Vocab, DefaultCorpusOptions())
-	seg := segment.NewSegmenter(r.Mined, segment.Options{
-		Alpha:        r.Options.SigThreshold,
-		MaxPhraseLen: r.Options.MaxPhraseLen,
-		Workers:      1,
-	})
-	var out []SegmentTrace
-	for si := range doc.Segments {
-		words := doc.Segments[si].Words
-		spans, steps := seg.TracePartition(words)
-		tr := SegmentTrace{Steps: steps}
-		for _, w := range words {
-			tr.Tokens = append(tr.Tokens, r.Corpus.Vocab.Unstem(w))
-		}
-		for _, sp := range spans {
-			tr.Phrases = append(tr.Phrases, r.Corpus.DisplayWords(words[sp.Start:sp.End]))
-		}
-		out = append(out, tr)
+	inf, err := r.Inferencer()
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return inf.TraceText(text)
 }
 
 // KSelection reports the held-out perplexity of each candidate topic

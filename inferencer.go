@@ -1,0 +1,154 @@
+package topmine
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"topmine/internal/corpus"
+	"topmine/internal/segment"
+)
+
+// Inferencer is the serving-side view of a trained pipeline: the
+// vocabulary, mined phrase statistics, and frozen topic-word counts of
+// a Result (or a loaded snapshot), with the segmenter built once at
+// construction instead of once per call.
+//
+// An Inferencer is safe for concurrent use: every method reads the
+// trained artifacts without mutating them, and all randomness lives in
+// per-call RNG state seeded deterministically from the pipeline seed
+// and a hash of the input text. The same text therefore yields the
+// same result on every call, from any number of goroutines.
+type Inferencer struct {
+	vocab  *Corpus // vocabulary carrier; Docs may be empty (snapshot path)
+	seg    *segment.Segmenter
+	model  *Model
+	opt    Options
+	copt   CorpusOptions
+	topics []TopicSummary
+}
+
+// NewInferencer builds an Inferencer from a pipeline Result. The
+// Result must carry a corpus (for its vocabulary) and mined phrase
+// statistics; Segmented is not required, so snapshot-loaded Results
+// qualify. A Result without a trained Model (a mining-only pipeline)
+// still supports Segment and TraceText — only InferTopics needs the
+// model. The Inferencer captures the Result's artifacts at
+// construction; populate every field before the first use.
+func NewInferencer(r *Result) (*Inferencer, error) {
+	switch {
+	case r == nil:
+		return nil, fmt.Errorf("topmine: NewInferencer: nil Result")
+	case r.Corpus == nil || r.Corpus.Vocab == nil:
+		return nil, fmt.Errorf("topmine: NewInferencer: Result has no corpus vocabulary")
+	case r.Mined == nil:
+		return nil, fmt.Errorf("topmine: NewInferencer: Result has no mined phrases")
+	}
+	// Normalise unseen text exactly as the training corpus was built.
+	// Corpora constructed by BuildCorpus/LoadCorpus* record their
+	// options (and snapshots persist them); callers hand-assembling a
+	// Corpus literal must set BuildOpts themselves — the zero value
+	// legitimately means no stemming and no stop-word removal.
+	return &Inferencer{
+		vocab: r.Corpus,
+		seg: segment.NewSegmenter(r.Mined, segment.Options{
+			Alpha:        r.Options.SigThreshold,
+			MaxPhraseLen: r.Options.MaxPhraseLen,
+			Workers:      1,
+		}),
+		model:  r.Model,
+		opt:    r.Options,
+		copt:   r.Corpus.BuildOpts,
+		topics: r.Topics,
+	}, nil
+}
+
+// NumTopics returns K, the number of topics of the underlying model,
+// or 0 when the source Result carried no trained model.
+func (inf *Inferencer) NumTopics() int {
+	if inf.model == nil {
+		return 0
+	}
+	return inf.model.K
+}
+
+// Topics returns the rendered topic summaries captured at training
+// time (nil when the source Result carried none). The slice is shared;
+// callers must not mutate it.
+func (inf *Inferencer) Topics() []TopicSummary { return inf.topics }
+
+// callSeed derives the per-call RNG seed: the pipeline seed mixed with
+// an FNV-1a hash of the text, so distinct texts draw from independent
+// streams while repeated calls with the same text are bit-identical.
+func (inf *Inferencer) callSeed(text string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return inf.opt.Seed ^ h.Sum64() ^ 0x1f2e3d
+}
+
+// cliques maps a document's segments through the segmenter into phrase
+// cliques, the unit the topic model samples.
+func (inf *Inferencer) cliques(doc *corpus.Document) [][]int32 {
+	var cliques [][]int32
+	for si := range doc.Segments {
+		words := doc.Segments[si].Words
+		for _, sp := range inf.seg.Partition(words) {
+			clique := make([]int32, sp.Len())
+			copy(clique, words[sp.Start:sp.End])
+			cliques = append(cliques, clique)
+		}
+	}
+	return cliques
+}
+
+// InferTopics folds unseen raw text into the trained model: the text
+// is tokenized against the existing vocabulary (out-of-vocabulary
+// words dropped), segmented into phrases with the mined statistics,
+// and Gibbs-sampled against the frozen topic-word counts. It returns
+// the inferred topic mixture and never modifies the model. It panics
+// when the source Result carried no trained model.
+func (inf *Inferencer) InferTopics(text string, iters int) []float64 {
+	if inf.model == nil {
+		panic("topmine: InferTopics requires a trained model; this Inferencer was built from a mining-only Result")
+	}
+	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
+	return inf.model.InferTheta(inf.cliques(doc), iters, inf.callSeed(text))
+}
+
+// Segment partitions unseen raw text into phrases with the mined
+// statistics: one string slice per punctuation-delimited segment, each
+// element a display-form phrase.
+func (inf *Inferencer) Segment(text string) [][]string {
+	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
+	out := make([][]string, 0, len(doc.Segments))
+	for si := range doc.Segments {
+		words := doc.Segments[si].Words
+		spans := inf.seg.Partition(words)
+		phrases := make([]string, len(spans))
+		for i, sp := range spans {
+			phrases[i] = inf.vocab.DisplayWords(words[sp.Start:sp.End])
+		}
+		out = append(out, phrases)
+	}
+	return out
+}
+
+// TraceText segments unseen text with the mined statistics and records
+// every merge, per segment — the serving-path equivalent of
+// Result.TraceText.
+func (inf *Inferencer) TraceText(text string) []SegmentTrace {
+	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
+	var out []SegmentTrace
+	for si := range doc.Segments {
+		words := doc.Segments[si].Words
+		spans, steps := inf.seg.TracePartition(words)
+		tr := SegmentTrace{Steps: steps}
+		for _, w := range words {
+			tr.Tokens = append(tr.Tokens, inf.vocab.Vocab.Unstem(w))
+		}
+		for _, sp := range spans {
+			tr.Phrases = append(tr.Phrases, inf.vocab.DisplayWords(words[sp.Start:sp.End]))
+		}
+		out = append(out, tr)
+	}
+	return out
+}

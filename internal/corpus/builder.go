@@ -77,7 +77,7 @@ func (b *Builder) Add(text string) *Document {
 // Corpus finalises and returns the built corpus. The Builder may keep
 // being used; later Adds extend the same underlying corpus.
 func (b *Builder) Corpus() *Corpus {
-	return &Corpus{Docs: b.docs, Vocab: b.vocab, TotalTokens: b.total}
+	return &Corpus{Docs: b.docs, Vocab: b.vocab, TotalTokens: b.total, BuildOpts: b.opt}
 }
 
 // FromStrings builds a corpus treating each element as one document.

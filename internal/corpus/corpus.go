@@ -62,6 +62,10 @@ type Corpus struct {
 	// TotalTokens is N, the number of kept tokens across the corpus; it
 	// is the L of the significance score's Bernoulli null model (§4.2).
 	TotalTokens int
+	// BuildOpts records the preprocessing this corpus was built with,
+	// so unseen text folded in later (MapText via an Inferencer) is
+	// normalised the same way. Hand-constructed corpora leave it zero.
+	BuildOpts BuildOptions
 }
 
 // NumDocs returns the number of documents.

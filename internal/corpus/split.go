@@ -23,7 +23,7 @@ func SplitDocumentCompletion(c *Corpus, frac float64, minTrainTokens int) *HeldO
 		panic("corpus: SplitDocumentCompletion frac must be in [0,1)")
 	}
 	out := &HeldOut{
-		Train: &Corpus{Vocab: c.Vocab},
+		Train: &Corpus{Vocab: c.Vocab, BuildOpts: c.BuildOpts},
 		Test:  make([][]int32, len(c.Docs)),
 	}
 	for di, d := range c.Docs {

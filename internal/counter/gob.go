@@ -1,0 +1,54 @@
+package counter
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// ngramsWire is the gob wire form of an NGrams counter: parallel key
+// and count slices, keys sorted so identical counters serialise to
+// identical bytes.
+type ngramsWire struct {
+	Keys   []string
+	Counts []int64
+}
+
+// GobEncode serialises the counter so mined phrase statistics can be
+// persisted in pipeline snapshots.
+func (c *NGrams) GobEncode() ([]byte, error) {
+	w := ngramsWire{
+		Keys:   make([]string, 0, len(c.m)),
+		Counts: make([]int64, 0, len(c.m)),
+	}
+	for k := range c.m {
+		w.Keys = append(w.Keys, k)
+	}
+	sort.Strings(w.Keys)
+	for _, k := range w.Keys {
+		w.Counts = append(w.Counts, *c.m[k])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("counter: encoding ngrams: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a counter serialised by GobEncode.
+func (c *NGrams) GobDecode(data []byte) error {
+	var w ngramsWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("counter: decoding ngrams: %w", err)
+	}
+	if len(w.Keys) != len(w.Counts) {
+		return fmt.Errorf("counter: decoding ngrams: %d keys but %d counts", len(w.Keys), len(w.Counts))
+	}
+	c.m = make(map[string]*int64, len(w.Keys))
+	for i, k := range w.Keys {
+		v := w.Counts[i]
+		c.m[k] = &v
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package counter
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestNGramsGobRoundTrip(t *testing.T) {
+	c := New()
+	c.Add(Key([]int32{1}), 7)
+	c.Add(Key([]int32{2}), 3)
+	c.Add(Key([]int32{1, 2}), 5)
+	c.Add(Key([]int32{1, 2, 3}), 2)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got := New()
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	if got.Len() != c.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), c.Len())
+	}
+	c.Each(func(k string, n int64) {
+		if got.Get(k) != n {
+			t.Fatalf("count for %v = %d, want %d", Unkey(k), got.Get(k), n)
+		}
+	})
+	// The decoded counter stays fully functional.
+	got.Inc(Key([]int32{1, 2}))
+	if got.Get(Key([]int32{1, 2})) != 6 {
+		t.Fatal("post-decode increment lost")
+	}
+}
+
+func TestNGramsGobDeterministic(t *testing.T) {
+	build := func() *NGrams {
+		c := New()
+		// Insert in different orders; encoding must not care.
+		for i := int32(0); i < 50; i++ {
+			c.Add(Key([]int32{i % 7, i}), int64(i))
+		}
+		return c
+	}
+	other := New()
+	for i := int32(49); i >= 0; i-- {
+		other.Add(Key([]int32{i % 7, i}), int64(i))
+	}
+	a, err := build().GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := other.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal counters encoded to different bytes")
+	}
+}
+
+func TestNGramsGobCorrupt(t *testing.T) {
+	c := New()
+	if err := c.GobDecode([]byte("not gob data")); err == nil {
+		t.Fatal("corrupt counter bytes accepted")
+	}
+}

@@ -1,0 +1,325 @@
+// Package serve exposes a trained ToPMine pipeline over HTTP: topic
+// inference, phrase segmentation, and topic listing against a loaded
+// snapshot. The handlers hold no mutable state beyond the shared
+// Inferencer (which is safe for concurrent use), so one Server can
+// take arbitrarily many concurrent requests.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/infer    {"text": "...", "iters": 50}      one document
+//	POST /v1/infer    {"texts": ["...", ...]}           batched documents
+//	POST /v1/segment  {"text": "..."}                   phrase partition
+//	GET  /v1/topics                                     trained topic summaries
+//	GET  /healthz                                       liveness probe
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topmine"
+)
+
+// Options configures request handling limits.
+type Options struct {
+	// MaxBodyBytes caps request body size; larger bodies get 413.
+	// 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of texts in one batched /v1/infer call;
+	// 0 means 256.
+	MaxBatch int
+	// DefaultIters is the Gibbs sweep count used when a request omits
+	// or zeroes "iters"; 0 means 50.
+	DefaultIters int
+	// MaxIters caps per-request sweeps so a single request cannot
+	// monopolise a core; 0 means 500.
+	MaxIters int
+}
+
+func (o *Options) fill() {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.DefaultIters <= 0 {
+		o.DefaultIters = 50
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 500
+	}
+	// An operator-raised default must never be silently clamped back.
+	if o.MaxIters < o.DefaultIters {
+		o.MaxIters = o.DefaultIters
+	}
+}
+
+// Server routes serving-API requests to an Inferencer. It implements
+// http.Handler.
+type Server struct {
+	inf *topmine.Inferencer
+	opt Options
+	mux *http.ServeMux
+	// batchSlots is a server-wide token pool bounding the extra
+	// goroutines all concurrent batch requests may spawn combined, so
+	// overlapping batches cannot oversubscribe the CPUs and starve
+	// single-document or health requests.
+	batchSlots chan struct{}
+}
+
+// New builds a Server around a ready Inferencer.
+func New(inf *topmine.Inferencer, opt Options) *Server {
+	opt.fill()
+	s := &Server{inf: inf, opt: opt, mux: http.NewServeMux()}
+	s.batchSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < cap(s.batchSlots); i++ {
+		s.batchSlots <- struct{}{}
+	}
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/segment", s.handleSegment)
+	s.mux.HandleFunc("/v1/topics", s.handleTopics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the registered endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// inferRequest accepts either a single text or a batch; exactly one of
+// Text/Texts must be set.
+type inferRequest struct {
+	Text  *string  `json:"text,omitempty"`
+	Texts []string `json:"texts,omitempty"`
+	Iters int      `json:"iters,omitempty"`
+}
+
+// inferResult is the inference output for one document.
+type inferResult struct {
+	Topics []float64 `json:"topics"`
+	Best   int       `json:"best"`
+}
+
+type inferResponse struct {
+	Result  *inferResult  `json:"result,omitempty"`
+	Results []inferResult `json:"results,omitempty"`
+}
+
+type segmentRequest struct {
+	Text string `json:"text"`
+}
+
+type segmentResponse struct {
+	Segments [][]string `json:"segments"`
+}
+
+type topicPhrase struct {
+	Display string `json:"display"`
+	TF      int    `json:"tf"`
+}
+
+type topicSummary struct {
+	Topic    int           `json:"topic"`
+	Unigrams []string      `json:"unigrams"`
+	Phrases  []topicPhrase `json:"phrases"`
+}
+
+type topicsResponse struct {
+	NumTopics int            `json:"num_topics"`
+	Topics    []topicSummary `json:"topics"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v with status code. Encoding a fully materialised
+// response value cannot fail, so errors here are ignored beyond the
+// best-effort write.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the size-limited JSON body into dst, translating
+// oversized bodies to 413 and malformed JSON to 400. It returns false
+// after writing the error response.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.inf.NumTopics() == 0 {
+		// A mining-only Inferencer (no trained model) supports
+		// /v1/segment but not inference.
+		writeError(w, http.StatusServiceUnavailable, "no trained topic model loaded")
+		return
+	}
+	var req inferRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	iters := req.Iters
+	if iters <= 0 {
+		iters = s.opt.DefaultIters
+	}
+	if iters > s.opt.MaxIters {
+		iters = s.opt.MaxIters
+	}
+	switch {
+	case req.Text != nil && req.Texts != nil:
+		writeError(w, http.StatusBadRequest, `provide "text" or "texts", not both`)
+	case req.Text != nil:
+		res := s.infer(*req.Text, iters)
+		writeJSON(w, http.StatusOK, inferResponse{Result: &res})
+	case req.Texts != nil:
+		if len(req.Texts) == 0 {
+			writeError(w, http.StatusBadRequest, `"texts" must not be empty`)
+			return
+		}
+		if len(req.Texts) > s.opt.MaxBatch {
+			writeError(w, http.StatusBadRequest,
+				"batch of %d exceeds limit %d", len(req.Texts), s.opt.MaxBatch)
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{Results: s.inferBatch(req.Texts, iters)})
+	default:
+		writeError(w, http.StatusBadRequest, `provide "text" or "texts"`)
+	}
+}
+
+func (s *Server) infer(text string, iters int) inferResult {
+	theta := s.inf.InferTopics(text, iters)
+	return inferResult{Topics: theta, Best: topmine.BestTopic(theta)}
+}
+
+// inferBatch fans a batch out across the CPUs — the Inferencer is
+// safe for concurrent use and each text's result is deterministic
+// regardless of scheduling, so batch output matches the equivalent
+// sequence of single-document requests. Extra workers are drawn from
+// the server-wide slot pool: an idle server gives one batch near-
+// linear speedup, while overlapping batches share the same bounded
+// pool instead of multiplying goroutines. The request's own goroutine
+// always participates, so progress never depends on slot availability.
+func (s *Server) inferBatch(texts []string, iters int) []inferResult {
+	results := make([]inferResult, len(texts))
+	var next atomic.Int64
+	// A panic on a spawned worker would crash the whole process (only
+	// the request goroutine enjoys net/http's per-connection recovery),
+	// so workers capture it and the request goroutine re-panics —
+	// giving a batched request the same blast radius as a single one.
+	// The value is boxed in a one-field struct pointer: atomic.Value
+	// itself panics on stores of inconsistently typed values, which two
+	// workers panicking with different types would otherwise trigger.
+	type panicBox struct{ v any }
+	var panicked atomic.Value
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(texts) {
+				return
+			}
+			results[i] = s.infer(texts[i], iters)
+		}
+	}
+	var wg sync.WaitGroup
+	for extra := 0; extra < len(texts)-1; extra++ {
+		select {
+		case <-s.batchSlots:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { s.batchSlots <- struct{}{} }()
+				defer func() {
+					if p := recover(); p != nil {
+						panicked.Store(&panicBox{p})
+					}
+				}()
+				work()
+			}()
+			continue
+		default:
+		}
+		break // pool exhausted: remaining items run on this goroutine
+	}
+	work()
+	wg.Wait()
+	if p, ok := panicked.Load().(*panicBox); ok {
+		panic(p.v)
+	}
+	return results
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req segmentRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	segs := s.inf.Segment(req.Text)
+	if segs == nil {
+		segs = [][]string{}
+	}
+	writeJSON(w, http.StatusOK, segmentResponse{Segments: segs})
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := topicsResponse{NumTopics: s.inf.NumTopics(), Topics: []topicSummary{}}
+	for _, t := range s.inf.Topics() {
+		sum := topicSummary{Topic: t.Topic, Unigrams: t.Unigrams, Phrases: []topicPhrase{}}
+		if sum.Unigrams == nil {
+			sum.Unigrams = []string{}
+		}
+		for _, p := range t.Phrases {
+			sum.Phrases = append(sum.Phrases, topicPhrase{Display: p.Display, TF: p.TF})
+		}
+		resp.Topics = append(resp.Topics, sum)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

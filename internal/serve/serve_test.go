@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"topmine"
+)
+
+var (
+	testInfOnce sync.Once
+	testInf     *topmine.Inferencer
+	testK       int
+)
+
+// testInferencer trains one small pipeline, round-trips it through the
+// snapshot format (the production serving path), and shares the
+// resulting Inferencer across tests.
+func testInferencer(t *testing.T) *topmine.Inferencer {
+	t.Helper()
+	testInfOnce.Do(func() {
+		docs, err := topmine.GenerateExampleCorpus("20conf", 400, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := topmine.DefaultOptions()
+		opt.Topics = 4
+		opt.Iterations = 50
+		opt.SigThreshold = 4
+		opt.Seed = 42
+		opt.Workers = 1
+		res, err := topmine.Run(docs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := topmine.SaveSnapshot(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := topmine.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := loaded.Inferencer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		testInf, testK = inf, opt.Topics
+	})
+	if testInf == nil {
+		t.Fatal("test inferencer failed to build")
+	}
+	return testInf
+}
+
+func newTestServer(t *testing.T, opt Options) *Server {
+	return New(testInferencer(t), opt)
+}
+
+// do issues one in-process request and decodes the JSON response.
+func do(t *testing.T, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: invalid JSON response %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp map[string]string
+	w := do(t, s, http.MethodGet, "/healthz", "", &resp)
+	if w.Code != http.StatusOK || resp["status"] != "ok" {
+		t.Fatalf("healthz = %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestTopicsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp topicsResponse
+	w := do(t, s, http.MethodGet, "/v1/topics", "", &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("topics status = %d: %s", w.Code, w.Body.String())
+	}
+	if resp.NumTopics != testK {
+		t.Fatalf("num_topics = %d, want %d", resp.NumTopics, testK)
+	}
+	if len(resp.Topics) != testK {
+		t.Fatalf("topics list length = %d, want %d", len(resp.Topics), testK)
+	}
+	nonEmpty := 0
+	for _, tp := range resp.Topics {
+		if len(tp.Unigrams) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every topic summary is empty")
+	}
+	if w := do(t, s, http.MethodPost, "/v1/topics", "{}", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/topics = %d, want 405", w.Code)
+	}
+}
+
+func TestInferSingle(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp inferResponse
+	w := do(t, s, http.MethodPost, "/v1/infer",
+		`{"text": "support vector machines for text classification", "iters": 20}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("infer status = %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Result == nil || resp.Results != nil {
+		t.Fatalf("want single result, got %+v", resp)
+	}
+	if len(resp.Result.Topics) != testK {
+		t.Fatalf("theta length = %d, want %d", len(resp.Result.Topics), testK)
+	}
+	var sum float64
+	for _, v := range resp.Result.Topics {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("theta sums to %v", sum)
+	}
+	if resp.Result.Best < 0 || resp.Result.Best >= testK {
+		t.Fatalf("best topic %d out of range", resp.Result.Best)
+	}
+}
+
+func TestInferBatchMatchesSingle(t *testing.T) {
+	s := newTestServer(t, Options{})
+	texts := []string{
+		"support vector machines for text classification",
+		"query processing in database systems",
+		"zzzzz out of vocabulary",
+	}
+	body, _ := json.Marshal(map[string]any{"texts": texts, "iters": 15})
+	var batch inferResponse
+	w := do(t, s, http.MethodPost, "/v1/infer", string(body), &batch)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", w.Code, w.Body.String())
+	}
+	if batch.Result != nil || len(batch.Results) != len(texts) {
+		t.Fatalf("want %d batch results, got %+v", len(texts), batch)
+	}
+	for i, text := range texts {
+		single, _ := json.Marshal(map[string]any{"text": text, "iters": 15})
+		var one inferResponse
+		do(t, s, http.MethodPost, "/v1/infer", string(single), &one)
+		for k := range one.Result.Topics {
+			if one.Result.Topics[k] != batch.Results[i].Topics[k] {
+				t.Fatalf("text %d: batch and single inference disagree at topic %d", i, k)
+			}
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	s := newTestServer(t, Options{MaxBatch: 2})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"text": `, http.StatusBadRequest},
+		{"unknown field", `{"document": "x"}`, http.StatusBadRequest},
+		{"neither text nor texts", `{}`, http.StatusBadRequest},
+		{"both text and texts", `{"text": "a", "texts": ["b"]}`, http.StatusBadRequest},
+		{"empty batch", `{"texts": []}`, http.StatusBadRequest},
+		{"oversized batch", `{"texts": ["a", "b", "c"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp errorResponse
+			w := do(t, s, http.MethodPost, "/v1/infer", tc.body, &resp)
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d (%s)", w.Code, tc.want, w.Body.String())
+			}
+			if resp.Error == "" {
+				t.Fatal("error response has no message")
+			}
+		})
+	}
+	if w := do(t, s, http.MethodGet, "/v1/infer", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/infer = %d, want 405", w.Code)
+	}
+}
+
+func TestInferOversizedBody(t *testing.T) {
+	s := newTestServer(t, Options{MaxBodyBytes: 64})
+	body := `{"text": "` + strings.Repeat("padding ", 64) + `"}`
+	var resp errorResponse
+	w := do(t, s, http.MethodPost, "/v1/infer", body, &resp)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%s)", w.Code, w.Body.String())
+	}
+	if resp.Error == "" {
+		t.Fatal("413 response has no message")
+	}
+}
+
+func TestSegmentEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp segmentResponse
+	w := do(t, s, http.MethodPost, "/v1/segment",
+		`{"text": "support vector machines classify documents, query processing in database systems"}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("segment status = %d: %s", w.Code, w.Body.String())
+	}
+	if len(resp.Segments) == 0 {
+		t.Fatal("no segments returned for in-vocabulary text")
+	}
+	multi := false
+	for _, seg := range resp.Segments {
+		for _, p := range seg {
+			if strings.Contains(p, " ") {
+				multi = true
+			}
+		}
+	}
+	if !multi {
+		t.Fatalf("no multi-word phrase in %v", resp.Segments)
+	}
+
+	// All-OOV text yields an empty (but present, non-null) list.
+	var empty segmentResponse
+	do(t, s, http.MethodPost, "/v1/segment", `{"text": "zzzzz qqqqq"}`, &empty)
+	if empty.Segments == nil || len(empty.Segments) != 0 {
+		t.Fatalf("OOV text segments = %#v, want []", empty.Segments)
+	}
+
+	if w := do(t, s, http.MethodPost, "/v1/segment", `not json`, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed segment body = %d, want 400", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/v1/segment", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/segment = %d, want 405", w.Code)
+	}
+}
+
+// TestModelLessServerRejectsInfer serves a mining-only pipeline (no
+// trained topic model): /v1/segment must work, /v1/infer must return
+// 503 instead of panicking the connection.
+func TestModelLessServerRejectsInfer(t *testing.T) {
+	docs, err := topmine.GenerateExampleCorpus("20conf", 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := topmine.DefaultOptions()
+	opt.Topics = 3
+	c := topmine.BuildCorpus(docs, topmine.DefaultCorpusOptions())
+	res := &topmine.Result{Corpus: c, Mined: topmine.MinePhrases(c, opt), Options: opt}
+	inf, err := res.Inferencer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(inf, Options{})
+
+	var resp errorResponse
+	w := do(t, s, http.MethodPost, "/v1/infer", `{"text": "support vector machines"}`, &resp)
+	if w.Code != http.StatusServiceUnavailable || resp.Error == "" {
+		t.Fatalf("model-less infer = %d %q, want 503 with message", w.Code, w.Body.String())
+	}
+	var seg segmentResponse
+	if w := do(t, s, http.MethodPost, "/v1/segment", `{"text": "support vector machines"}`, &seg); w.Code != http.StatusOK || len(seg.Segments) == 0 {
+		t.Fatalf("model-less segment = %d %v", w.Code, seg.Segments)
+	}
+}
+
+// TestInferBatchParallelPathDeterministic forces the batched fan-out
+// onto its multi-worker branch (dead code on single-CPU machines
+// otherwise) and checks the results still match serial single-doc
+// inference exactly; under -race this also exercises the workers'
+// shared access to the results slice and Inferencer.
+func TestInferBatchParallelPathDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	s := newTestServer(t, Options{})
+	texts := make([]string, 16)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("support vector machines batch item %d", i)
+	}
+	got := s.inferBatch(texts, 10)
+	if len(got) != len(texts) {
+		t.Fatalf("batch returned %d results for %d texts", len(got), len(texts))
+	}
+	for i, text := range texts {
+		want := s.infer(text, 10)
+		for k := range want.Topics {
+			if got[i].Topics[k] != want.Topics[k] {
+				t.Fatalf("text %d topic %d: parallel batch %v, serial %v", i, k, got[i].Topics[k], want.Topics[k])
+			}
+		}
+	}
+}
+
+func TestRaisedDefaultItersNotClamped(t *testing.T) {
+	s := newTestServer(t, Options{DefaultIters: 1000})
+	if s.opt.MaxIters < 1000 {
+		t.Fatalf("MaxIters = %d silently clamps the operator's DefaultIters 1000", s.opt.MaxIters)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if w := do(t, s, http.MethodGet, "/v1/nope", "", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", w.Code)
+	}
+}
+
+// TestConcurrentInferRequests drives the full HTTP stack from many
+// goroutines against one snapshot-backed server; under -race this is
+// the serving-path counterpart of the Inferencer race test.
+func TestConcurrentInferRequests(t *testing.T) {
+	s := newTestServer(t, Options{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	texts := []string{
+		`{"text": "support vector machines for text classification", "iters": 10}`,
+		`{"text": "query processing in database systems", "iters": 10}`,
+		`{"texts": ["machine learning models", "information retrieval"], "iters": 10}`,
+	}
+	want := make([]string, len(texts))
+	for i, body := range texts {
+		resp, err := http.Post(srv.URL+"/v1/infer", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("priming request %d: %d %s", i, resp.StatusCode, buf.String())
+		}
+		want[i] = buf.String()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for op := 0; op < 10; op++ {
+				i := (g + op) % len(texts)
+				resp, err := http.Post(srv.URL+"/v1/infer", "application/json", strings.NewReader(texts[i]))
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || buf.String() != want[i] {
+					t.Errorf("goroutine %d: response diverged for request %d: %d %s", g, i, resp.StatusCode, buf.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

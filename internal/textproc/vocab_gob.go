@@ -1,0 +1,89 @@
+package textproc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// vocabWire is the gob wire form of a Vocab. The byWord index is not
+// transmitted (it is rebuilt on decode from the word list), and each
+// stem's surface-form votes are flattened to parallel slices sorted by
+// form — gob encodes maps in random iteration order, and a sorted wire
+// form keeps serialisation byte-deterministic for identical inputs.
+type vocabWire struct {
+	Words         []string
+	Counts        []int64
+	SurfaceForms  [][]string
+	SurfaceCounts [][]int
+}
+
+// GobEncode serialises the vocabulary (stems, frequencies, surface-form
+// votes) so corpora and pipeline snapshots can be persisted. Identical
+// vocabularies encode to identical bytes.
+func (v *Vocab) GobEncode() ([]byte, error) {
+	w := vocabWire{
+		Words:         v.words,
+		Counts:        v.counts,
+		SurfaceForms:  make([][]string, len(v.surface)),
+		SurfaceCounts: make([][]int, len(v.surface)),
+	}
+	for id, m := range v.surface {
+		if len(m) == 0 {
+			continue
+		}
+		forms := make([]string, 0, len(m))
+		for s := range m {
+			forms = append(forms, s)
+		}
+		sort.Strings(forms)
+		counts := make([]int, len(forms))
+		for i, s := range forms {
+			counts[i] = m[s]
+		}
+		w.SurfaceForms[id] = forms
+		w.SurfaceCounts[id] = counts
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("textproc: encoding vocab: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a vocabulary serialised by GobEncode, rebuilding
+// the stem-to-id index and the surface-form maps.
+func (v *Vocab) GobDecode(data []byte) error {
+	var w vocabWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("textproc: decoding vocab: %w", err)
+	}
+	if len(w.Counts) != len(w.Words) ||
+		len(w.SurfaceForms) != len(w.Words) || len(w.SurfaceCounts) != len(w.Words) {
+		return fmt.Errorf("textproc: decoding vocab: inconsistent lengths (%d words, %d counts, %d surface lists)",
+			len(w.Words), len(w.Counts), len(w.SurfaceForms))
+	}
+	v.words = w.Words
+	v.counts = w.Counts
+	v.byWord = make(map[string]int32, len(w.Words))
+	for i, s := range w.Words {
+		v.byWord[s] = int32(i)
+	}
+	v.surface = make([]map[string]int, len(w.Words))
+	for id, forms := range w.SurfaceForms {
+		if len(forms) != len(w.SurfaceCounts[id]) {
+			return fmt.Errorf("textproc: decoding vocab: stem %d has %d surface forms but %d counts",
+				id, len(forms), len(w.SurfaceCounts[id]))
+		}
+		if len(forms) == 0 {
+			continue
+		}
+		m := make(map[string]int, len(forms))
+		for i, s := range forms {
+			m[s] = w.SurfaceCounts[id][i]
+		}
+		v.surface[id] = m
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package textproc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestVocabGobRoundTrip(t *testing.T) {
+	v := NewVocab()
+	v.Intern("mine", "mining")
+	v.Intern("mine", "mining")
+	v.Intern("mine", "mines")
+	v.Intern("topic", "topics")
+	v.Intern("phrase", "phrase")
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got Vocab
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	if got.Size() != v.Size() {
+		t.Fatalf("size = %d, want %d", got.Size(), v.Size())
+	}
+	for id := int32(0); int(id) < v.Size(); id++ {
+		if got.Word(id) != v.Word(id) {
+			t.Fatalf("word %d = %q, want %q", id, got.Word(id), v.Word(id))
+		}
+		if got.Count(id) != v.Count(id) {
+			t.Fatalf("count %d = %d, want %d", id, got.Count(id), v.Count(id))
+		}
+		if got.Unstem(id) != v.Unstem(id) {
+			t.Fatalf("unstem %d = %q, want %q", id, got.Unstem(id), v.Unstem(id))
+		}
+	}
+	// The rebuilt index must resolve stems, including after new interns.
+	if id, ok := got.ID("topic"); !ok || got.Word(id) != "topic" {
+		t.Fatalf("ID(topic) = %d, %v", id, ok)
+	}
+	next := got.Intern("corpus", "corpora")
+	if int(next) != v.Size() {
+		t.Fatalf("post-decode intern id = %d, want %d", next, v.Size())
+	}
+}
+
+func TestVocabGobDeterministic(t *testing.T) {
+	build := func() *Vocab {
+		v := NewVocab()
+		v.Intern("mine", "mining")
+		v.Intern("mine", "mined")
+		v.Intern("mine", "mines")
+		v.Intern("text", "texts")
+		return v
+	}
+	enc := func(v *Vocab) []byte {
+		b, err := v.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := enc(build()), enc(build())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical vocabularies encoded to different bytes")
+	}
+}
+
+func TestVocabGobEmptyAndCorrupt(t *testing.T) {
+	var empty Vocab
+	data, err := empty.GobEncode()
+	if err != nil {
+		t.Fatalf("encode empty: %v", err)
+	}
+	var got Vocab
+	if err := got.GobDecode(data); err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if got.Size() != 0 {
+		t.Fatalf("empty vocab decoded to size %d", got.Size())
+	}
+	if err := got.GobDecode([]byte("junk")); err == nil {
+		t.Fatal("corrupt vocab bytes accepted")
+	}
+}

@@ -32,6 +32,35 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
+// Frozen returns a serving-only view of the model: the priors and
+// topic-word counts that InferTheta and Perplexity read, without the
+// per-document training state (Docs, Z, Ndk, Nd). The count slices are
+// shared with the receiver, not copied, so the view stays read-only by
+// contract. Frozen models cannot Sweep, Theta, or Visualize — they
+// exist to make persisted serving artifacts independent of corpus
+// size.
+func (m *Model) Frozen() *Model {
+	f := &Model{
+		K: m.K, V: m.V,
+		Alpha: m.Alpha, AlphaSum: m.AlphaSum,
+		Beta: m.Beta, BetaSum: m.BetaSum,
+		Nwk: m.Nwk, Nk: m.Nk,
+	}
+	f.ResetSampler(0)
+	return f
+}
+
+// ResetSampler re-arms the unexported sampler state (RNG, scratch
+// buffers) that gob does not transmit. It must be called on any model
+// materialised by decoding — Load does so automatically; callers that
+// embed a Model in their own serialised structures (e.g. pipeline
+// snapshots) call it after decode. Inference (InferTheta) and
+// visualisation do not touch this state, but Sweep/Train do.
+func (m *Model) ResetSampler(seed uint64) {
+	m.rng = xrand.New(seed)
+	m.weights = make([]float64, m.K)
+}
+
 // Load reads a model serialised by Save and re-arms its sampler with
 // the given seed so training can continue deterministically.
 func Load(r io.Reader, seed uint64) (*Model, error) {
@@ -39,8 +68,7 @@ func Load(r io.Reader, seed uint64) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("topicmodel: decoding model: %w", err)
 	}
-	m.rng = xrand.New(seed)
-	m.weights = make([]float64, m.K)
+	m.ResetSampler(seed)
 	return &m, nil
 }
 

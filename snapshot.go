@@ -1,0 +1,263 @@
+package topmine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"topmine/internal/textproc"
+)
+
+// Snapshot file layout: an 8-byte magic string, a big-endian uint16
+// format version, the big-endian uint64 payload length, the IEEE
+// CRC-32 of the payload, then the gob-encoded snapshotPayload itself.
+// The header makes files self-describing so stale or foreign files
+// fail fast with a useful error, and the length + checksum guarantee
+// that truncated or bit-flipped files are detected (gob alone carries
+// no integrity check).
+const snapshotMagic = "TPMSNAP\x00"
+
+// SnapshotVersion is the current snapshot format version. LoadSnapshot
+// rejects files written by a different version.
+const SnapshotVersion uint16 = 1
+
+// snapshotPayload is the persisted pipeline artifact: everything the
+// serving path (Inferencer, topic listing) needs, and nothing tied to
+// the training corpus's raw documents. Segmented docs, the corpus
+// body, and the model's per-document training state (Docs, Z, Ndk —
+// stripped via Model.Frozen) are intentionally omitted: they are
+// training-time artifacts reproducible from the source text, and
+// keeping them would make snapshot size grow with the corpus instead
+// of with the vocabulary.
+type snapshotPayload struct {
+	Options    Options
+	CorpusOpts CorpusOptions
+	Vocab      *textproc.Vocab
+	Mined      *MinedPhrases
+	Model      *Model
+	Topics     []TopicSummary
+}
+
+// SaveSnapshot persists a trained pipeline Result as one versioned,
+// self-describing file: vocabulary, corpus preprocessing options,
+// mined phrase statistics, pipeline options, the model's frozen
+// serving parameters, and rendered topic summaries. The Result must
+// carry a corpus (for its vocabulary), mined phrases, and a model;
+// Segmented may be nil. To persist a model's full training state for
+// later resumption, use Model.Save instead.
+func SaveSnapshot(w io.Writer, r *Result) error {
+	switch {
+	case r == nil:
+		return fmt.Errorf("topmine: SaveSnapshot: nil Result")
+	case r.Corpus == nil || r.Corpus.Vocab == nil:
+		return fmt.Errorf("topmine: SaveSnapshot: Result has no corpus vocabulary")
+	case r.Mined == nil:
+		return fmt.Errorf("topmine: SaveSnapshot: Result has no mined phrases")
+	case r.Model == nil:
+		return fmt.Errorf("topmine: SaveSnapshot: Result has no trained model")
+	case r.Model.V != r.Corpus.Vocab.Size():
+		return fmt.Errorf("topmine: SaveSnapshot: model vocabulary size %d does not match corpus vocabulary %d",
+			r.Model.V, r.Corpus.Vocab.Size())
+	}
+	payload := snapshotPayload{
+		Options:    r.Options,
+		CorpusOpts: r.Corpus.BuildOpts,
+		Vocab:      r.Corpus.Vocab,
+		Mined:      r.Mined,
+		Model:      r.Model.Frozen(),
+		Topics:     r.Topics,
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("topmine: encoding snapshot: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("topmine: writing snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.BigEndian, SnapshotVersion); err != nil {
+		return fmt.Errorf("topmine: writing snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint64(body.Len())); err != nil {
+		return fmt.Errorf("topmine: writing snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.BigEndian, crc32.ChecksumIEEE(body.Bytes())); err != nil {
+		return fmt.Errorf("topmine: writing snapshot header: %w", err)
+	}
+	if _, err := bw.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("topmine: writing snapshot payload: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("topmine: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a file written by SaveSnapshot and reconstructs a
+// Result ready for inference and serving. The returned Result's Corpus
+// carries the vocabulary but no documents, Segmented is nil, and the
+// Model holds only frozen serving parameters (no per-document training
+// state): all are training-time artifacts the snapshot deliberately
+// omits. Corrupted, truncated, or foreign files return errors —
+// LoadSnapshot never panics on bad input.
+func LoadSnapshot(r io.Reader) (*Result, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("topmine: reading snapshot header: %w", err)
+	}
+	if !bytes.Equal(magic, []byte(snapshotMagic)) {
+		return nil, fmt.Errorf("topmine: not a topmine snapshot (bad magic %q)", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("topmine: reading snapshot header: %w", err)
+	}
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("topmine: unsupported snapshot version %d (this build reads version %d)",
+			version, SnapshotVersion)
+	}
+	var payloadLen uint64
+	if err := binary.Read(br, binary.BigEndian, &payloadLen); err != nil {
+		return nil, fmt.Errorf("topmine: reading snapshot header: %w", err)
+	}
+	var wantCRC uint32
+	if err := binary.Read(br, binary.BigEndian, &wantCRC); err != nil {
+		return nil, fmt.Errorf("topmine: reading snapshot header: %w", err)
+	}
+	// Copy through a LimitReader rather than pre-allocating payloadLen,
+	// so a corrupt length field cannot force a huge allocation.
+	var body bytes.Buffer
+	n, err := io.Copy(&body, io.LimitReader(br, int64(payloadLen)))
+	if err != nil {
+		return nil, fmt.Errorf("topmine: reading snapshot payload: %w", err)
+	}
+	if uint64(n) != payloadLen {
+		return nil, fmt.Errorf("topmine: snapshot truncated: payload is %d of %d bytes", n, payloadLen)
+	}
+	if got := crc32.ChecksumIEEE(body.Bytes()); got != wantCRC {
+		return nil, fmt.Errorf("topmine: snapshot corrupted: payload CRC %08x, header says %08x", got, wantCRC)
+	}
+	var payload snapshotPayload
+	if err := gob.NewDecoder(&body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("topmine: decoding snapshot: %w", err)
+	}
+	switch {
+	case payload.Vocab == nil:
+		return nil, fmt.Errorf("topmine: snapshot missing vocabulary")
+	case payload.Mined == nil || payload.Mined.Counts == nil:
+		return nil, fmt.Errorf("topmine: snapshot missing mined phrases")
+	case payload.Model == nil:
+		return nil, fmt.Errorf("topmine: snapshot missing model")
+	case payload.Model.K <= 0:
+		return nil, fmt.Errorf("topmine: snapshot model has %d topics", payload.Model.K)
+	case payload.Model.V != payload.Vocab.Size():
+		return nil, fmt.Errorf("topmine: snapshot model vocabulary size %d does not match stored vocabulary %d",
+			payload.Model.V, payload.Vocab.Size())
+	}
+	// Shape-check the frozen parameters so a malformed (but
+	// CRC-valid) file fails here with an error instead of panicking
+	// with an index-out-of-range inside a later inference call.
+	m := payload.Model
+	if len(m.Alpha) != m.K || len(m.Nk) != m.K || len(m.Nwk) != m.V {
+		return nil, fmt.Errorf("topmine: snapshot model shapes inconsistent: K=%d V=%d but len(Alpha)=%d len(Nk)=%d len(Nwk)=%d",
+			m.K, m.V, len(m.Alpha), len(m.Nk), len(m.Nwk))
+	}
+	for w := range m.Nwk {
+		if len(m.Nwk[w]) != m.K {
+			return nil, fmt.Errorf("topmine: snapshot model shapes inconsistent: Nwk[%d] has %d topics, want %d",
+				w, len(m.Nwk[w]), m.K)
+		}
+	}
+	payload.Model.ResetSampler(payload.Options.Seed)
+	return &Result{
+		Corpus: &Corpus{
+			Vocab:       payload.Vocab,
+			TotalTokens: payload.Mined.TotalTokens,
+			BuildOpts:   payload.CorpusOpts,
+		},
+		Mined:   payload.Mined,
+		Model:   payload.Model,
+		Topics:  payload.Topics,
+		Options: payload.Options,
+	}, nil
+}
+
+// SaveSnapshotFile writes a snapshot to path atomically: the bytes go
+// to a temporary file in the same directory which is renamed into
+// place only after a successful write, so a failed or interrupted save
+// never destroys an existing snapshot at path. The file's permissions
+// match what a plain os.Create(path) would produce — an existing
+// file's mode is preserved, and a fresh file gets 0644 filtered by the
+// process umask.
+func SaveSnapshotFile(path string, r *Result) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage the temp file in the working
+		// directory, not os.TempDir(): a cross-filesystem os.Rename
+		// fails with EXDEV and would break the atomic replace.
+		dir = "."
+	}
+	// The temp file is created with mode 0666 minus the umask — what a
+	// plain os.Create(path) would give a fresh snapshot — so nothing is
+	// ever visible at path until the finished bytes rename into place.
+	f, tmp, err := createExclusiveTemp(dir, base)
+	if err != nil {
+		return fmt.Errorf("topmine: %w", err)
+	}
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if fi, err := os.Stat(path); err == nil {
+		// Replacing an existing snapshot: preserve its permissions.
+		if err := f.Chmod(fi.Mode().Perm()); err != nil {
+			cleanup()
+			return fmt.Errorf("topmine: %w", err)
+		}
+	}
+	if err := SaveSnapshot(f, r); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("topmine: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("topmine: replacing snapshot: %w", err)
+	}
+	return nil
+}
+
+// createExclusiveTemp creates a uniquely named file in dir with mode
+// 0666 filtered by the process umask (os.CreateTemp always uses 0600,
+// which is wrong for a file that will be renamed into a shared
+// artifact path).
+func createExclusiveTemp(dir, base string) (*os.File, string, error) {
+	for i := 0; i < 10000; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("%s.tmp%d-%d", base, os.Getpid(), i))
+		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			return f, name, nil
+		}
+		if !os.IsExist(err) {
+			return nil, "", err
+		}
+	}
+	return nil, "", fmt.Errorf("could not create a temporary snapshot file in %s", dir)
+}
+
+// LoadSnapshotFile reads a snapshot from path.
+func LoadSnapshotFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topmine: %w", err)
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}

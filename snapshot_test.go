@@ -1,0 +1,314 @@
+package topmine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// inferTexts exercises in-vocabulary, mixed, and out-of-vocabulary
+// inputs for round-trip comparisons.
+var inferTexts = []string{
+	"support vector machines for text classification",
+	"query processing in database systems with query optimization",
+	"machine learning models, neural network training",
+	"zzzzz qqqqq entirely out of vocabulary",
+	"",
+}
+
+func mustSnapshot(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, res); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTripInferenceExact(t *testing.T) {
+	res := trainedResult(t)
+	data := mustSnapshot(t, res)
+
+	loaded, err := LoadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if got, want := loaded.Corpus.Vocab.Size(), res.Corpus.Vocab.Size(); got != want {
+		t.Fatalf("vocab size = %d, want %d", got, want)
+	}
+	if got, want := loaded.Mined.Counts.Len(), res.Mined.Counts.Len(); got != want {
+		t.Fatalf("mined phrases = %d, want %d", got, want)
+	}
+	if got, want := loaded.Model.K, res.Model.K; got != want {
+		t.Fatalf("model K = %d, want %d", got, want)
+	}
+	if loaded.Options != res.Options {
+		t.Fatalf("options differ: %+v vs %+v", loaded.Options, res.Options)
+	}
+
+	for _, text := range inferTexts {
+		want := res.InferTopics(text, 30)
+		got := loaded.InferTopics(text, 30)
+		if len(got) != len(want) {
+			t.Fatalf("%q: theta len %d, want %d", text, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%q: theta[%d] = %v, want %v (exact)", text, k, got[k], want[k])
+			}
+		}
+	}
+
+	// Segmentation and tracing survive the round trip too.
+	for _, text := range inferTexts {
+		wantTr := res.TraceText(text)
+		gotTr := loaded.TraceText(text)
+		if len(gotTr) != len(wantTr) {
+			t.Fatalf("%q: %d traces, want %d", text, len(gotTr), len(wantTr))
+		}
+		for i := range wantTr {
+			if strings.Join(gotTr[i].Phrases, "|") != strings.Join(wantTr[i].Phrases, "|") {
+				t.Fatalf("%q: trace %d phrases %v, want %v", text, i, gotTr[i].Phrases, wantTr[i].Phrases)
+			}
+		}
+	}
+
+	// Rendered topic summaries are carried verbatim.
+	if FormatTopics(loaded.Topics) != FormatTopics(res.Topics) {
+		t.Fatal("topic summaries changed across the round trip")
+	}
+}
+
+func TestSnapshotStripsTrainingState(t *testing.T) {
+	res := trainedResult(t)
+	loaded, err := LoadSnapshot(bytes.NewReader(mustSnapshot(t, res)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := loaded.Model
+	if m.Docs != nil || m.Z != nil || m.Ndk != nil || m.Nd != nil {
+		t.Fatal("snapshot carried per-document training state")
+	}
+	if m.Nwk == nil || m.Nk == nil || m.Alpha == nil {
+		t.Fatal("snapshot dropped frozen serving parameters")
+	}
+}
+
+func TestSnapshotPreservesCorpusOptions(t *testing.T) {
+	docs, err := GenerateExampleCorpus("20conf", 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-default preprocessing: no stemming. Inference after a round
+	// trip must normalise query text the same way training did.
+	copt := CorpusOptions{Stem: false, RemoveStopwords: true, KeepSurface: true}
+	c := BuildCorpus(docs, copt)
+	opt := smallOpts()
+	opt.Iterations = 40
+	res, err := RunCorpus(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(mustSnapshot(t, res)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Corpus.BuildOpts != copt {
+		t.Fatalf("BuildOpts = %+v, want %+v", loaded.Corpus.BuildOpts, copt)
+	}
+	text := "support vector machines for text classification"
+	want := res.InferTopics(text, 20)
+	got := loaded.InferTopics(text, 20)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("theta[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsMalformedModelShapes(t *testing.T) {
+	res := trainedResult(t)
+	loaded, err := LoadSnapshot(bytes.NewReader(mustSnapshot(t, res)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the frozen parameter shapes while keeping K and V
+	// self-consistent, then re-save: the writer does not shape-check
+	// Alpha/Nk/Nwk, so the file is CRC-valid and only load-time
+	// validation stands between it and an inference-time panic.
+	loaded.Model.Alpha = loaded.Model.Alpha[:1]
+	tampered := mustSnapshot(t, loaded)
+	if _, err := LoadSnapshot(bytes.NewReader(tampered)); err == nil {
+		t.Fatal("LoadSnapshot accepted a model with truncated Alpha")
+	}
+
+	loaded2, err := LoadSnapshot(bytes.NewReader(mustSnapshot(t, res)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded2.Model.Nwk[0] = loaded2.Model.Nwk[0][:1]
+	if _, err := LoadSnapshot(bytes.NewReader(mustSnapshot(t, loaded2))); err == nil {
+		t.Fatal("LoadSnapshot accepted a model with a short Nwk row")
+	}
+}
+
+func TestSaveSnapshotRejectsVocabModelMismatch(t *testing.T) {
+	res := trainedResult(t)
+	other, err := GenerateExampleCorpus("ap-news", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched := &Result{
+		Corpus:  BuildCorpus(other, DefaultCorpusOptions()),
+		Mined:   res.Mined,
+		Model:   res.Model,
+		Options: res.Options,
+	}
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, mismatched); err == nil {
+		t.Fatal("SaveSnapshot accepted a model trained on a different vocabulary")
+	}
+}
+
+func TestSaveSnapshotFileAtomic(t *testing.T) {
+	res := trainedResult(t)
+	path := filepath.Join(t.TempDir(), "model.tpm")
+	if err := SaveSnapshotFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	// A failed re-save (incomplete Result) must leave the original
+	// file untouched and loadable.
+	if err := SaveSnapshotFile(path, &Result{}); err == nil {
+		t.Fatal("SaveSnapshotFile accepted an empty Result")
+	}
+	if _, err := LoadSnapshotFile(path); err != nil {
+		t.Fatalf("existing snapshot destroyed by failed save: %v", err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the snapshot in the directory, found %d entries", len(entries))
+	}
+}
+
+func TestSaveSnapshotFileBareFilename(t *testing.T) {
+	res := trainedResult(t)
+	dir := t.TempDir()
+	t.Chdir(dir)
+	// A path with no directory component must stage its temp file in
+	// the working directory (not os.TempDir), or the atomic rename can
+	// cross filesystems and fail.
+	if err := SaveSnapshotFile("model.tpm", res); err != nil {
+		t.Fatalf("SaveSnapshotFile with bare filename: %v", err)
+	}
+	if _, err := LoadSnapshotFile("model.tpm"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.tpm" {
+		t.Fatalf("working directory not clean after save: %v", entries)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	res := trainedResult(t)
+	path := filepath.Join(t.TempDir(), "model.tpm")
+	if err := SaveSnapshotFile(path, res); err != nil {
+		t.Fatalf("SaveSnapshotFile: %v", err)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	text := inferTexts[0]
+	want := res.InferTopics(text, 20)
+	got := loaded.InferTopics(text, 20)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("theta[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	res := trainedResult(t)
+	a := mustSnapshot(t, res)
+	b := mustSnapshot(t, res)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two saves of the same Result produced different bytes")
+	}
+}
+
+func TestLoadSnapshotRejectsBadInput(t *testing.T) {
+	res := trainedResult(t)
+	valid := mustSnapshot(t, res)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", valid[:4]},
+		{"bad magic", []byte("NOTASNAPSHOTFILE")},
+		{"header only", valid[:len(snapshotMagic)+2]},
+		{"truncated payload", valid[:len(valid)/3]},
+		{"flipped payload byte", flip(valid, len(valid)-len(valid)/4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadSnapshot(bytes.NewReader(tc.data)); err == nil {
+				t.Fatalf("LoadSnapshot accepted %s input", tc.name)
+			}
+		})
+	}
+}
+
+func TestLoadSnapshotRejectsWrongVersion(t *testing.T) {
+	res := trainedResult(t)
+	data := mustSnapshot(t, res)
+	binary.BigEndian.PutUint16(data[len(snapshotMagic):], SnapshotVersion+41)
+	_, err := LoadSnapshot(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("LoadSnapshot accepted a future format version")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error %q does not mention the version", err)
+	}
+}
+
+func TestSaveSnapshotRejectsIncompleteResult(t *testing.T) {
+	res := trainedResult(t)
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		r    *Result
+	}{
+		{"nil result", nil},
+		{"no corpus", &Result{Mined: res.Mined, Model: res.Model}},
+		{"no mined", &Result{Corpus: res.Corpus, Model: res.Model}},
+		{"no model", &Result{Corpus: res.Corpus, Mined: res.Mined}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := SaveSnapshot(&buf, tc.r); err == nil {
+				t.Fatalf("SaveSnapshot accepted a Result with %s", tc.name)
+			}
+		})
+	}
+}
+
+// flip returns a copy of data with one bit inverted at index i.
+func flip(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0x40
+	return out
+}

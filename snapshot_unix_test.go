@@ -1,0 +1,46 @@
+//go:build unix
+
+package topmine
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestSaveSnapshotFilePermissions(t *testing.T) {
+	res := trainedResult(t)
+	dir := t.TempDir()
+
+	// A fresh save honours the process umask like os.Create would.
+	fresh := filepath.Join(dir, "fresh.tpm")
+	old := syscall.Umask(0o077)
+	err := SaveSnapshotFile(fresh, res)
+	syscall.Umask(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o600 {
+		t.Fatalf("fresh snapshot under umask 077 has mode %o, want 600", got)
+	}
+
+	// Re-saving preserves the existing file's mode.
+	if err := os.Chmod(fresh, 0o640); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshotFile(fresh, res); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o640 {
+		t.Fatalf("re-saved snapshot has mode %o, want preserved 640", got)
+	}
+}

@@ -20,6 +20,7 @@ package topmine
 
 import (
 	"fmt"
+	"sync"
 
 	"topmine/internal/core"
 	"topmine/internal/corpus"
@@ -154,6 +155,33 @@ type Result struct {
 	Topics []TopicSummary
 	// Options echoes the (filled) options the pipeline ran with.
 	Options Options
+
+	// inferencer caches the serving-side view built on first use by
+	// InferTopics/TraceText/Inferencer; see inferencer.go.
+	inferMu sync.Mutex
+	inferer *Inferencer
+}
+
+// Inferencer returns the concurrency-safe serving view of this result,
+// building it on the first successful call and caching it. The
+// returned Inferencer pre-builds the segmenter once, so it is the
+// cheap path for repeated or concurrent inference. The view captures
+// the Result's artifacts at first use: populate Corpus, Mined, and
+// Model before calling, as later field mutation is not observed.
+// Construction errors are not cached — a Result completed after a
+// failed early call works on retry.
+func (r *Result) Inferencer() (*Inferencer, error) {
+	r.inferMu.Lock()
+	defer r.inferMu.Unlock()
+	if r.inferer != nil {
+		return r.inferer, nil
+	}
+	inf, err := NewInferencer(r)
+	if err != nil {
+		return nil, err
+	}
+	r.inferer = inf
+	return inf, nil
 }
 
 // FrequentPhrases lists mined phrases with at least minWords words,
