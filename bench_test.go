@@ -24,6 +24,7 @@ import (
 	"topmine/internal/baselines"
 	"topmine/internal/corpus"
 	"topmine/internal/eval"
+	"topmine/internal/lru"
 	"topmine/internal/phrasemine"
 	"topmine/internal/segment"
 	"topmine/internal/synth"
@@ -334,5 +335,75 @@ func BenchmarkAblation_BackgroundFilter(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Visualize(c, VisualizeOptions{FilterBackground: true})
+	}
+}
+
+// --- Serving-path cache benchmarks (PR 2) ---------------------------
+//
+// BenchmarkServeInferCached vs BenchmarkServeInferUncached measure the
+// repeated-request economics of the serve path: inference is
+// deterministic per input text, so an LRU keyed by (text, iters) is an
+// exact cache and a hit replaces a full 2×iters-sweep Gibbs run with a
+// map lookup. The HTTP-layer counterparts (full handler stack) live in
+// internal/serve/bench_test.go as BenchmarkHTTPInfer{Cached,Uncached}.
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchInf  *Inferencer
+)
+
+func serveBenchInferencer(b *testing.B) *Inferencer {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		c := benchCorpus("20conf", 1000)
+		res, err := RunCorpus(c, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inf, err := res.Inferencer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveBenchInf = inf
+	})
+	if serveBenchInf == nil {
+		b.Fatal("bench inferencer failed to build")
+	}
+	return serveBenchInf
+}
+
+const serveBenchText = "support vector machines for text classification"
+
+// BenchmarkServeInferUncached is the raw per-request inference cost a
+// cache miss pays (50 sampling sweeps + equal burn-in).
+func BenchmarkServeInferUncached(b *testing.B) {
+	inf := serveBenchInferencer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inf.InferTopics(serveBenchText, 50)
+	}
+}
+
+// BenchmarkServeInferCached front-loads one real inference and then
+// serves every request from the sharded LRU — the steady state for
+// repeated identical requests.
+func BenchmarkServeInferCached(b *testing.B) {
+	inf := serveBenchInferencer(b)
+	type key struct {
+		text  string
+		iters int
+	}
+	cache := lru.New(32<<20, 8, func(k key, v []float64) int {
+		return len(k.text) + 8*len(v)
+	})
+	k := key{serveBenchText, 50}
+	cache.Put(k, inf.InferTopics(serveBenchText, 50))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		theta, ok := cache.Get(k)
+		if !ok {
+			cache.Put(k, inf.InferTopics(serveBenchText, 50))
+		}
+		_ = theta
 	}
 }

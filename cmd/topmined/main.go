@@ -1,16 +1,28 @@
-// Command topmined serves a trained ToPMine pipeline snapshot over
-// HTTP: topic inference, phrase segmentation, and topic listing.
+// Command topmined serves trained ToPMine pipeline snapshots over
+// HTTP: topic inference, phrase segmentation, topic listing, model
+// management, and Prometheus metrics.
 //
 // Usage:
 //
-//	topmine -synth yelp-reviews -k 10 -save model.tpm
-//	topmined -model model.tpm -addr :8080
+//	topmine -synth yelp-reviews -k 10 -save yelp.tpm
+//	topmine -synth dblp-titles  -k 10 -save dblp.tpm
+//
+//	# one model (requests route to it by default)
+//	topmined -model yelp.tpm -addr :8080
+//
+//	# several models: repeat -model (name=path, or a bare path whose
+//	# basename becomes the name), or scan a directory of *.tpm files
+//	topmined -model yelp=yelp.tpm -model dblp=dblp.tpm
+//	topmined -models snapshots/ -default yelp
 //
 //	curl -s localhost:8080/v1/infer -d '{"text": "great food and service"}'
-//	curl -s localhost:8080/v1/segment -d '{"text": "machine learning models"}'
-//	curl -s localhost:8080/v1/topics
+//	curl -s localhost:8080/v1/infer -d '{"text": "query optimization", "model": "dblp"}'
+//	curl -s localhost:8080/v1/models
+//	curl -s localhost:8080/metrics
 //
-// The process drains in-flight requests on SIGINT/SIGTERM before
+// Models hot-reload from their snapshot paths without dropping
+// requests: POST /v1/models/{name}/reload reloads one, SIGHUP reloads
+// all. The process drains in-flight requests on SIGINT/SIGTERM before
 // exiting (bounded by -drain).
 package main
 
@@ -18,51 +30,145 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
-	"topmine"
 	"topmine/internal/serve"
 )
+
+// modelFlags collects repeated -model values ("name=path" or "path").
+type modelFlags []string
+
+func (m *modelFlags) String() string     { return strings.Join(*m, ", ") }
+func (m *modelFlags) Set(v string) error { *m = append(*m, v); return nil }
+
+// modelNameFromPath derives a registry name from a snapshot path: the
+// basename without extension ("snapshots/yelp.tpm" -> "yelp"). Shared
+// by the -model bare-path form and the -models dir scan so both derive
+// identical names for the same file.
+func modelNameFromPath(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// nameFor splits one -model value into its registry name and path. A
+// value is treated as an explicit "name=path" binding only when the
+// part before the first '=' is a plausible model name (non-empty, no
+// path separators); otherwise the whole value is a bare path and the
+// name derives from its basename. That keeps paths like
+// "./run=2/yelp.tpm" working; a file literally named "a=b.tpm" parses
+// as a binding — serve it via -models dir scan (which never splits)
+// or an explicit name= prefix.
+func nameFor(v string) (name, path string, err error) {
+	if i := strings.IndexByte(v, '='); i > 0 && !strings.ContainsAny(v[:i], "/\\") {
+		name, path = v[:i], v[i+1:]
+		if path == "" {
+			return "", "", fmt.Errorf("-model %q: want name=path", v)
+		}
+		return name, path, nil
+	}
+	return modelNameFromPath(v), v, nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topmined: ")
 
-	model := flag.String("model", "", "path to a pipeline snapshot written by topmine -save (required)")
+	var models modelFlags
+	flag.Var(&models, "model", "snapshot to serve, as name=path or a bare path (basename becomes the name); repeatable")
+	modelsDir := flag.String("models", "", "directory to scan for *.tpm snapshots (each file's basename becomes its model name)")
+	defModel := flag.String("default", "", "model unnamed requests route to (default: first -model flag, or first scanned file)")
 	addr := flag.String("addr", ":8080", "listen address")
-	iters := flag.Int("iters", 50, "default Gibbs sweeps per inference request")
-	maxIters := flag.Int("max-iters", 500, "cap on per-request Gibbs sweeps (raised to -iters if lower)")
+	iters := flag.Int("iters", 50, "default sampling sweeps per inference request (each costs an equal burn-in on top)")
+	maxIters := flag.Int("max-iters", 1000, "cap on per-request TOTAL Gibbs sweeps, burn-in + sampling (raised to 2×-iters if lower)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
 	maxBatch := flag.Int("max-batch", 256, "maximum documents per batched infer request")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "exact response cache budget in bytes (0 disables)")
+	adminToken := flag.String("admin-token", "", "bearer token required on admin endpoints (model reload); empty leaves them open")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
-	if *model == "" {
+	if len(models) == 0 && *modelsDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	res, err := topmine.LoadSnapshotFile(*model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	inf, err := res.Inferencer()
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %s: %d topics, %d stems, %d frequent phrases",
-		*model, inf.NumTopics(), res.Corpus.Vocab.Size(), res.Mined.Counts.Len())
+	// Claim SIGHUP before the (possibly slow) snapshot loads: until
+	// Notify runs, a HUP's default disposition terminates the process —
+	// a signal documented as "reload" must never kill a starting
+	// daemon. HUPs arriving during startup are buffered and handled
+	// once the reload goroutine starts below.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 
-	handler := serve.New(inf, serve.Options{
+	reg := serve.NewRegistry()
+	for _, v := range models {
+		name, path, err := nameFor(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.AddSnapshotFile(name, path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *modelsDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*modelsDir, "*.tpm"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, path := range paths {
+			// Scanned paths are never name=path bindings: the basename
+			// (sans extension) is the name, even if it contains '='.
+			// Unlike explicit -model flags, one bad scanned file (bad
+			// name, corrupt snapshot, duplicate) must not take down
+			// startup for every valid model next to it: warn and skip.
+			name := modelNameFromPath(path)
+			if name == "" {
+				log.Printf("skipping %s: no model name derivable from basename", path)
+				continue
+			}
+			if err := reg.AddSnapshotFile(name, path); err != nil {
+				log.Printf("skipping %s: %v", path, err)
+			}
+		}
+	}
+	if reg.Len() == 0 {
+		log.Fatal("no models loaded")
+	}
+	if *defModel != "" {
+		if err := reg.SetDefault(*defModel); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, name := range reg.Names() {
+		e, _ := reg.Lookup(name)
+		st := e.Inferencer().Stats()
+		def := ""
+		if name == reg.DefaultName() {
+			def = " (default)"
+		}
+		log.Printf("loaded %s%s from %s: %d topics, %d stems, %d frequent phrases",
+			name, def, e.Path(), st.Topics, st.VocabSize, st.Phrases)
+	}
+
+	cb := *cacheBytes
+	if cb == 0 {
+		cb = -1 // Options treats 0 as "use the default"; the flag's 0 means off.
+	}
+	handler := serve.NewWithRegistry(reg, serve.Options{
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
 		DefaultIters: *iters,
 		MaxIters:     *maxIters,
+		CacheBytes:   cb,
+		AdminToken:   *adminToken,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -74,6 +180,17 @@ func main() {
 	go func() {
 		log.Printf("listening on %s", *addr)
 		errc <- srv.ListenAndServe()
+	}()
+
+	go func() {
+		for range hup {
+			log.Print("SIGHUP: reloading all models")
+			if err := reg.ReloadAll(); err != nil {
+				log.Printf("reload: %v", err)
+			} else {
+				log.Print("reload complete")
+			}
+		}
 	}()
 
 	stop := make(chan os.Signal, 1)

@@ -25,6 +25,22 @@ type Inferencer struct {
 	opt    Options
 	copt   CorpusOptions
 	topics []TopicSummary
+	// phrases is captured at construction so serving stats never touch
+	// the (potentially large) mined counter after startup.
+	phrases int
+}
+
+// Stats summarises the trained artifacts behind an Inferencer — the
+// cheap, precomputed numbers a serving layer exposes per model.
+type Stats struct {
+	// Topics is K, or 0 for a mining-only pipeline.
+	Topics int
+	// VocabSize is the number of distinct stems in the vocabulary.
+	VocabSize int
+	// Phrases is the number of mined frequent phrases (all lengths).
+	Phrases int
+	// Seed is the pipeline seed the per-call RNG streams derive from.
+	Seed uint64
 }
 
 // NewInferencer builds an Inferencer from a pipeline Result. The
@@ -55,11 +71,23 @@ func NewInferencer(r *Result) (*Inferencer, error) {
 			MaxPhraseLen: r.Options.MaxPhraseLen,
 			Workers:      1,
 		}),
-		model:  r.Model,
-		opt:    r.Options,
-		copt:   r.Corpus.BuildOpts,
-		topics: r.Topics,
+		model:   r.Model,
+		opt:     r.Options,
+		copt:    r.Corpus.BuildOpts,
+		topics:  r.Topics,
+		phrases: r.Mined.Counts.Len(),
 	}, nil
+}
+
+// Stats returns the precomputed model summary; it never allocates and
+// is safe to call on every request.
+func (inf *Inferencer) Stats() Stats {
+	return Stats{
+		Topics:    inf.NumTopics(),
+		VocabSize: inf.vocab.Vocab.Size(),
+		Phrases:   inf.phrases,
+		Seed:      inf.opt.Seed,
+	}
 }
 
 // NumTopics returns K, the number of topics of the underlying model,
@@ -106,12 +134,31 @@ func (inf *Inferencer) cliques(doc *corpus.Document) [][]int32 {
 // and Gibbs-sampled against the frozen topic-word counts. It returns
 // the inferred topic mixture and never modifies the model. It panics
 // when the source Result carried no trained model.
+//
+// Note that iters counts sampling sweeps; the model runs an equal
+// burn-in first, so one call costs 2×iters sweeps (see
+// Model.InferTheta).
 func (inf *Inferencer) InferTopics(text string, iters int) []float64 {
+	theta, _ := inf.InferTopicsTokens(text, iters)
+	return theta
+}
+
+// InferTopicsTokens is InferTopics plus the number of in-vocabulary
+// tokens the text mapped to. A zero count means every word was
+// out-of-vocabulary (or the text was empty): the returned mixture is
+// the bare Dirichlet prior, and its argmax carries no signal — callers
+// surfacing a "best topic" should treat tokens==0 as "no answer"
+// rather than a confident topic 0.
+func (inf *Inferencer) InferTopicsTokens(text string, iters int) ([]float64, int) {
 	if inf.model == nil {
 		panic("topmine: InferTopics requires a trained model; this Inferencer was built from a mining-only Result")
 	}
 	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
-	return inf.model.InferTheta(inf.cliques(doc), iters, inf.callSeed(text))
+	tokens := 0
+	for si := range doc.Segments {
+		tokens += len(doc.Segments[si].Words)
+	}
+	return inf.model.InferTheta(inf.cliques(doc), iters, inf.callSeed(text)), tokens
 }
 
 // Segment partitions unseen raw text into phrases with the mined

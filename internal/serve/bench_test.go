@@ -1,0 +1,57 @@
+package serve
+
+// Serve-path benchmarks: the acceptance numbers for the exact
+// response cache. The HTTP pair drives the full handler stack
+// (routing, JSON decode, cache lookup, encode), so the cached/uncached
+// ratio is the end-to-end speedup a repeated request sees:
+//
+//	go test ./internal/serve -bench=BenchmarkHTTPInfer -benchmem
+//
+// The library-level pair lives in the repository root bench_test.go
+// (BenchmarkServeInferCached / BenchmarkServeInferUncached).
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchRequest(b *testing.B, s *Server, body string) {
+	b.Helper()
+	r := httptest.NewRequest(http.MethodPost, "/v1/infer", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("infer = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// benchBody is a realistic multi-sentence document: the uncached cost
+// scales with tokens and sweeps, while a cache hit costs the same flat
+// lookup regardless.
+const benchBody = `{"text": "support vector machines for text classification, ` +
+	`query processing in large database systems, machine learning models ` +
+	`for information retrieval and data mining, topic models over document ` +
+	`collections, efficient algorithms for frequent pattern mining", "iters": 100}`
+
+// BenchmarkHTTPInferCached measures the steady-state repeated-request
+// path: every iteration after the first is a cache hit.
+func BenchmarkHTTPInferCached(b *testing.B) {
+	s := newTestServer(b, Options{})
+	benchRequest(b, s, benchBody) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, benchBody)
+	}
+}
+
+// BenchmarkHTTPInferUncached disables the cache, so every iteration
+// pays the full Gibbs inference cost.
+func BenchmarkHTTPInferUncached(b *testing.B) {
+	s := newTestServer(b, Options{CacheBytes: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, benchBody)
+	}
+}

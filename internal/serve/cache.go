@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"runtime"
+
+	"topmine/internal/lru"
+)
+
+// The response cache is exact, not approximate: inference is fully
+// deterministic (the Inferencer seeds a per-call RNG from the pipeline
+// seed and a hash of the input text — see topmine.Inferencer), so for
+// a fixed model content the response to a given (text, iters) request
+// is a pure function of the key. Model content is pinned by the
+// (name, generation) pair from the registry: a hot reload bumps the
+// generation, so cached responses for the old model can never be
+// served against the new one. Cached values are the final marshalled
+// JSON bytes, which makes a hit byte-for-byte identical to the miss
+// that populated it.
+
+type cacheKind uint8
+
+const (
+	kindInfer cacheKind = iota
+	kindSegment
+)
+
+// cacheKey identifies one deterministic response: which model content
+// (name + generation), which operation, and its inputs. Segment
+// lookups use iters=0 — segmentation has no iteration parameter.
+type cacheKey struct {
+	model string
+	gen   uint64
+	kind  cacheKind
+	iters int
+	text  string
+}
+
+// respCache wraps the generic sharded LRU with the serve-path key and
+// a nil-receiver-safe API so a disabled cache costs one branch.
+type respCache struct {
+	lru *lru.Cache[cacheKey, []byte]
+	// maxEntry caps one entry's charge at the per-shard budget:
+	// lru.Put keeps an over-budget entry alone in its shard, so
+	// without this bound N shards could each retain one huge entry
+	// and the cache would exceed the operator's byte budget by up to
+	// shards × largest-entry. Oversized responses just go uncached.
+	maxEntry int
+}
+
+// entrySize is the byte charge of one cached response; the key's text
+// is charged too, since for short responses it dominates retained
+// memory.
+func entrySize(k cacheKey, v []byte) int {
+	return len(k.text) + len(k.model) + len(v) + 64
+}
+
+// newRespCache builds a cache bounded to maxBytes; maxBytes <= 0
+// disables caching entirely (returns nil, and nil methods no-op).
+func newRespCache(maxBytes int64) *respCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	// One shard per CPU, with a floor so small machines still spread
+	// contention across a few locks.
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 4 {
+		shards = 4
+	}
+	return &respCache{
+		lru:      lru.New(maxBytes, shards, entrySize),
+		maxEntry: int(maxBytes / int64(shards)),
+	}
+}
+
+func (c *respCache) get(k cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.lru.Get(k)
+}
+
+func (c *respCache) put(k cacheKey, v []byte) {
+	if c == nil || entrySize(k, v) > c.maxEntry {
+		return
+	}
+	c.lru.Put(k, v)
+}
+
+// stats returns cache counters for /metrics; the zero Stats for a
+// disabled cache keeps the metric series present (and flat).
+func (c *respCache) stats() lru.Stats {
+	if c == nil {
+		return lru.Stats{}
+	}
+	return c.lru.Stats()
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics instruments the serve path with stdlib-only counters and
+// histograms rendered in the Prometheus text exposition format
+// (version 0.0.4). Request/latency series are keyed by the registered
+// endpoint pattern (a small fixed set), so the maps stay tiny; one
+// mutex guards them — an increment is nanoseconds against the
+// milliseconds of an inference request, so contention is irrelevant.
+// Cache, batch-slot, and per-model series are not stored here at all:
+// they are read live from their owners at scrape time, which keeps a
+// single source of truth and makes them impossible to leave stale.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64
+	latency  map[string]*histogram
+	start    time.Time
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+// histogram is a fixed-bucket cumulative latency histogram in seconds.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]uint64 // +1 for +Inf
+	sum    float64
+	count  uint64
+}
+
+// latencyBuckets spans sub-millisecond cache hits up to multi-second
+// heavy batched inference.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[requestKey]uint64),
+		latency:  make(map[string]*histogram),
+		start:    time.Now(),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{endpoint, code}]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latency[endpoint] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler so every request is counted and timed
+// under the given endpoint label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
+	}
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writePrometheus renders every serve-path series into an in-memory
+// buffer and writes it out in one shot: the metrics mutex is shared
+// with every request's observe() call, so it must never be held while
+// blocked on a scraper's connection. Map iteration is sorted so
+// scrapes are deterministic (and diffable in tests).
+func (s *Server) writePrometheus(out io.Writer) {
+	var buf bytes.Buffer
+	w := &buf
+	m := s.met
+	m.mu.Lock()
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+
+	fmt.Fprintf(w, "# HELP topmined_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE topmined_requests_total counter\n")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "topmined_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+			k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP topmined_request_duration_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE topmined_request_duration_seconds histogram\n")
+	for _, ep := range latKeys {
+		h := m.latency[ep]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "topmined_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, fmtFloat(ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "topmined_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "topmined_request_duration_seconds_sum{endpoint=%q} %s\n", ep, fmtFloat(h.sum))
+		fmt.Fprintf(w, "topmined_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+	uptime := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	// Cache effectiveness, read live from the LRU.
+	cs := s.cache.stats()
+	fmt.Fprintf(w, "# HELP topmined_cache_hits_total Response cache hits.\n# TYPE topmined_cache_hits_total counter\n")
+	fmt.Fprintf(w, "topmined_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP topmined_cache_misses_total Response cache misses.\n# TYPE topmined_cache_misses_total counter\n")
+	fmt.Fprintf(w, "topmined_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP topmined_cache_evictions_total Response cache LRU evictions.\n# TYPE topmined_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "topmined_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP topmined_cache_entries Cached responses currently held.\n# TYPE topmined_cache_entries gauge\n")
+	fmt.Fprintf(w, "topmined_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP topmined_cache_bytes Bytes of cached responses currently held.\n# TYPE topmined_cache_bytes gauge\n")
+	fmt.Fprintf(w, "topmined_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "# HELP topmined_cache_max_bytes Response cache byte budget (0 when disabled).\n# TYPE topmined_cache_max_bytes gauge\n")
+	fmt.Fprintf(w, "topmined_cache_max_bytes %d\n", cs.MaxBytes)
+
+	// Batch fan-out occupancy, read live from the slot pool.
+	fmt.Fprintf(w, "# HELP topmined_batch_slots_in_use Batch fan-out worker slots currently claimed.\n# TYPE topmined_batch_slots_in_use gauge\n")
+	fmt.Fprintf(w, "topmined_batch_slots_in_use %d\n", cap(s.batchSlots)-len(s.batchSlots))
+	fmt.Fprintf(w, "# HELP topmined_batch_slots_capacity Total batch fan-out worker slots.\n# TYPE topmined_batch_slots_capacity gauge\n")
+	fmt.Fprintf(w, "topmined_batch_slots_capacity %d\n", cap(s.batchSlots))
+
+	// Per-model load/reload state, read live from the registry.
+	names := s.reg.Names()
+	fmt.Fprintf(w, "# HELP topmined_model_ready Whether the model currently holds a servable snapshot.\n# TYPE topmined_model_ready gauge\n")
+	for _, n := range names {
+		e, _ := s.reg.Lookup(n)
+		ready := 0
+		if e.Ready() {
+			ready = 1
+		}
+		fmt.Fprintf(w, "topmined_model_ready{model=%q} %d\n", n, ready)
+	}
+	fmt.Fprintf(w, "# HELP topmined_model_generation Model content generation; changes on every successful reload.\n# TYPE topmined_model_generation gauge\n")
+	for _, n := range names {
+		e, _ := s.reg.Lookup(n)
+		fmt.Fprintf(w, "topmined_model_generation{model=%q} %d\n", n, e.Generation())
+	}
+	fmt.Fprintf(w, "# HELP topmined_model_reloads_total Successful hot reloads per model.\n# TYPE topmined_model_reloads_total counter\n")
+	for _, n := range names {
+		e, _ := s.reg.Lookup(n)
+		fmt.Fprintf(w, "topmined_model_reloads_total{model=%q} %d\n", n, e.Reloads())
+	}
+	fmt.Fprintf(w, "# HELP topmined_model_loaded_timestamp_seconds Unix time of the model's last successful (re)load.\n# TYPE topmined_model_loaded_timestamp_seconds gauge\n")
+	for _, n := range names {
+		e, _ := s.reg.Lookup(n)
+		fmt.Fprintf(w, "topmined_model_loaded_timestamp_seconds{model=%q} %s\n",
+			n, fmtFloat(float64(e.LoadedAt().UnixNano())/1e9))
+	}
+	fmt.Fprintf(w, "# HELP topmined_model_topics Topic count per model (0 = mining-only, segment endpoint works but infer does not).\n# TYPE topmined_model_topics gauge\n")
+	for _, n := range names {
+		e, _ := s.reg.Lookup(n)
+		if inf := e.Inferencer(); inf != nil {
+			st := inf.Stats()
+			fmt.Fprintf(w, "topmined_model_topics{model=%q} %d\n", n, st.Topics)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP topmined_uptime_seconds Seconds since the server was constructed.\n# TYPE topmined_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "topmined_uptime_seconds %s\n", fmtFloat(uptime))
+
+	out.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}

@@ -1,19 +1,34 @@
-// Package serve exposes a trained ToPMine pipeline over HTTP: topic
-// inference, phrase segmentation, and topic listing against a loaded
-// snapshot. The handlers hold no mutable state beyond the shared
-// Inferencer (which is safe for concurrent use), so one Server can
-// take arbitrarily many concurrent requests.
+// Package serve exposes trained ToPMine pipelines over HTTP: topic
+// inference, phrase segmentation, and topic listing against one or
+// more loaded snapshots. A Server routes requests through a model
+// Registry (any number of named models, each hot-reloadable with zero
+// dropped requests), answers repeated requests from an exact response
+// cache (inference is deterministic per input text, so cached answers
+// are not approximations), and exports Prometheus metrics. The
+// handlers hold no per-request mutable state beyond what they load
+// atomically, so one Server takes arbitrarily many concurrent
+// requests.
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
-//	POST /v1/infer    {"text": "...", "iters": 50}      one document
-//	POST /v1/infer    {"texts": ["...", ...]}           batched documents
-//	POST /v1/segment  {"text": "..."}                   phrase partition
-//	GET  /v1/topics                                     trained topic summaries
-//	GET  /healthz                                       liveness probe
+//	POST /v1/infer                    {"text": "...", "iters": 50, "model": "name"?}
+//	POST /v1/infer                    {"texts": ["...", ...]}        batched documents
+//	POST /v1/segment                  {"text": "...", "model": "name"?}
+//	GET  /v1/topics[?model=name]      trained topic summaries
+//	GET  /v1/models                   registered models and their stats
+//	POST /v1/models/{name}/reload     atomic hot reload from the model's source
+//	GET  /healthz                     liveness probe
+//	GET  /readyz                      per-model readiness
+//	GET  /metrics                     Prometheus text exposition
+//
+// The "model" field/parameter is optional everywhere; omitting it
+// routes to the registry's default model, which preserves the
+// single-model API of earlier versions.
 package serve
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +36,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topmine"
 )
@@ -33,12 +49,30 @@ type Options struct {
 	// MaxBatch caps the number of texts in one batched /v1/infer call;
 	// 0 means 256.
 	MaxBatch int
-	// DefaultIters is the Gibbs sweep count used when a request omits
-	// or zeroes "iters"; 0 means 50.
+	// DefaultIters is the sampling sweep count used when a request
+	// omits or zeroes "iters"; 0 means 50. Note one inference runs an
+	// equal burn-in first, so a request costs 2×iters total sweeps
+	// (see topicmodel.Model.InferTheta's burn-in contract).
 	DefaultIters int
-	// MaxIters caps per-request sweeps so a single request cannot
-	// monopolise a core; 0 means 500.
+	// MaxIters caps the TOTAL Gibbs sweeps (burn-in + sampling) one
+	// request may cost, so a single request cannot monopolise a core;
+	// 0 means 1000 (i.e. up to 500 requested sampling sweeps). A
+	// request asking for more is clamped to MaxIters/2 sampling
+	// sweeps. Earlier versions compared the cap against the requested
+	// sampling sweeps alone and therefore allowed double the work.
 	MaxIters int
+	// CacheBytes bounds the exact response cache; 0 means 32 MiB,
+	// negative disables caching.
+	CacheBytes int64
+	// AdminToken, when non-empty, is required (as
+	// "Authorization: Bearer <token>") on admin endpoints — currently
+	// POST /v1/models/{name}/reload. Reloads are expensive (full
+	// snapshot re-read) and each generation bump strands the model's
+	// cached responses (unreachable until LRU churn evicts them), so
+	// on a port exposed to untrusted clients the endpoint must not be
+	// free to call. Empty leaves the endpoint open (suitable only
+	// behind a trusted network boundary).
+	AdminToken string
 }
 
 func (o *Options) fill() {
@@ -52,20 +86,45 @@ func (o *Options) fill() {
 		o.DefaultIters = 50
 	}
 	if o.MaxIters <= 0 {
-		o.MaxIters = 500
+		o.MaxIters = 1000
 	}
-	// An operator-raised default must never be silently clamped back.
-	if o.MaxIters < o.DefaultIters {
-		o.MaxIters = o.DefaultIters
+	// An operator-raised default must never be silently clamped back:
+	// a DefaultIters of n costs 2n total sweeps, so the cap must admit
+	// that much.
+	if o.MaxIters < 2*o.DefaultIters {
+		o.MaxIters = 2 * o.DefaultIters
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
 	}
 }
 
-// Server routes serving-API requests to an Inferencer. It implements
-// http.Handler.
+// clampIters converts a request's sampling-sweep ask into the served
+// count under the total-sweep budget. The comparison divides the cap
+// rather than doubling the request: iters is attacker-controlled and
+// 2*iters overflows for huge values, which would skip the clamp
+// entirely.
+func (o *Options) clampIters(iters int) int {
+	if iters <= 0 {
+		iters = o.DefaultIters
+	}
+	if iters > o.MaxIters/2 {
+		iters = o.MaxIters / 2
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
+}
+
+// Server routes serving-API requests across a model registry. It
+// implements http.Handler.
 type Server struct {
-	inf *topmine.Inferencer
-	opt Options
-	mux *http.ServeMux
+	reg   *Registry
+	opt   Options
+	mux   *http.ServeMux
+	cache *respCache
+	met   *metrics
 	// batchSlots is a server-wide token pool bounding the extra
 	// goroutines all concurrent batch requests may spawn combined, so
 	// overlapping batches cannot oversubscribe the CPUs and starve
@@ -73,45 +132,85 @@ type Server struct {
 	batchSlots chan struct{}
 }
 
-// New builds a Server around a ready Inferencer.
+// New builds a single-model Server around a ready Inferencer,
+// registered under the name "default" — the compatibility constructor
+// for callers that never deal with multiple models.
 func New(inf *topmine.Inferencer, opt Options) *Server {
+	reg := NewRegistry()
+	if err := reg.AddInferencer("default", inf); err != nil {
+		// Only a nil Inferencer can fail here; that is a programming
+		// error on the caller's side, same as it always was.
+		panic(err)
+	}
+	return NewWithRegistry(reg, opt)
+}
+
+// NewWithRegistry builds a Server over an already-populated registry.
+// Models may still be reloaded afterwards; adding models after
+// construction is supported too (the registry is referenced, not
+// copied).
+func NewWithRegistry(reg *Registry, opt Options) *Server {
 	opt.fill()
-	s := &Server{inf: inf, opt: opt, mux: http.NewServeMux()}
+	s := &Server{
+		reg:   reg,
+		opt:   opt,
+		mux:   http.NewServeMux(),
+		cache: newRespCache(opt.CacheBytes),
+		met:   newMetrics(),
+	}
 	s.batchSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < cap(s.batchSlots); i++ {
 		s.batchSlots <- struct{}{}
 	}
-	s.mux.HandleFunc("/v1/infer", s.handleInfer)
-	s.mux.HandleFunc("/v1/segment", s.handleSegment)
-	s.mux.HandleFunc("/v1/topics", s.handleTopics)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/infer", s.instrument("/v1/infer", s.handleInfer))
+	s.mux.HandleFunc("/v1/segment", s.instrument("/v1/segment", s.handleSegment))
+	s.mux.HandleFunc("/v1/topics", s.instrument("/v1/topics", s.handleTopics))
+	s.mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	s.mux.HandleFunc("/v1/models/{name}/reload", s.instrument("/v1/models/reload", s.handleReload))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReady))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// Registry returns the server's model registry (for signal-driven
+// reloads and startup registration by the daemon).
+func (s *Server) Registry() *Registry { return s.reg }
 
 // ServeHTTP dispatches to the registered endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // inferRequest accepts either a single text or a batch; exactly one of
-// Text/Texts must be set.
+// Text/Texts must be set. Model is optional ("" = default model).
 type inferRequest struct {
 	Text  *string  `json:"text,omitempty"`
 	Texts []string `json:"texts,omitempty"`
 	Iters int      `json:"iters,omitempty"`
+	Model string   `json:"model,omitempty"`
 }
 
-// inferResult is the inference output for one document.
+// inferResult is the inference output for one document. Tokens is the
+// number of in-vocabulary tokens the text mapped to: when it is 0
+// (empty or fully out-of-vocabulary input) the mixture is the bare
+// prior and Best carries no signal — clients must treat it as "no
+// answer", not as a confident topic.
 type inferResult struct {
 	Topics []float64 `json:"topics"`
 	Best   int       `json:"best"`
+	Tokens int       `json:"tokens"`
 }
 
+// inferResponse carries pre-marshalled per-document results so cached
+// and freshly computed documents assemble into byte-identical
+// responses.
 type inferResponse struct {
-	Result  *inferResult  `json:"result,omitempty"`
-	Results []inferResult `json:"results,omitempty"`
+	Result  json.RawMessage   `json:"result,omitempty"`
+	Results []json.RawMessage `json:"results,omitempty"`
 }
 
 type segmentRequest struct {
-	Text string `json:"text"`
+	Text  string `json:"text"`
+	Model string `json:"model,omitempty"`
 }
 
 type segmentResponse struct {
@@ -130,6 +229,7 @@ type topicSummary struct {
 }
 
 type topicsResponse struct {
+	Model     string         `json:"model"`
 	NumTopics int            `json:"num_topics"`
 	Topics    []topicSummary `json:"topics"`
 }
@@ -145,6 +245,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes an already-marshalled JSON body (the cache-hit
+// path), appending the same trailing newline json.Encoder emits so
+// hits and misses are byte-identical on the wire.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte{'\n'})
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -180,33 +290,66 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// requireGet also admits HEAD: a resource supporting GET should
+// support HEAD (RFC 9110), load balancers commonly probe /healthz
+// with it, and net/http discards the body of HEAD responses itself.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return false
+	}
+	return true
+}
+
+// resolveModel routes a request's model name through the registry,
+// writing the 404/503 itself on failure. The returned state is one
+// (Inferencer, generation) publication loaded exactly once — callers
+// must use it for the whole request so a concurrent hot reload cannot
+// switch models (or cache keying) mid-request.
+func (s *Server) resolveModel(w http.ResponseWriter, name string) (*ModelEntry, *modelState, bool) {
+	entry, ok := s.reg.Lookup(name)
+	if !ok {
+		if name == "" {
+			writeError(w, http.StatusServiceUnavailable, "no models loaded")
+		} else {
+			writeError(w, http.StatusNotFound, "unknown model %q", name)
+		}
+		return nil, nil, false
+	}
+	st := entry.snapshot()
+	if st == nil || st.inf == nil {
+		writeError(w, http.StatusServiceUnavailable, "model %q is not loaded", entry.Name())
+		return nil, nil, false
+	}
+	return entry, st, true
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
-		return
-	}
-	if s.inf.NumTopics() == 0 {
-		// A mining-only Inferencer (no trained model) supports
-		// /v1/segment but not inference.
-		writeError(w, http.StatusServiceUnavailable, "no trained topic model loaded")
 		return
 	}
 	var req inferRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	iters := req.Iters
-	if iters <= 0 {
-		iters = s.opt.DefaultIters
+	entry, st, ok := s.resolveModel(w, req.Model)
+	if !ok {
+		return
 	}
-	if iters > s.opt.MaxIters {
-		iters = s.opt.MaxIters
+	if st.inf.NumTopics() == 0 {
+		// A mining-only model (no trained topic model) supports
+		// /v1/segment but not inference.
+		writeError(w, http.StatusServiceUnavailable,
+			"model %q has no trained topic model", entry.Name())
+		return
 	}
+	iters := s.opt.clampIters(req.Iters)
 	switch {
 	case req.Text != nil && req.Texts != nil:
 		writeError(w, http.StatusBadRequest, `provide "text" or "texts", not both`)
 	case req.Text != nil:
-		res := s.infer(*req.Text, iters)
-		writeJSON(w, http.StatusOK, inferResponse{Result: &res})
+		writeJSON(w, http.StatusOK, inferResponse{Result: s.inferDoc(entry, st, *req.Text, iters)})
 	case req.Texts != nil:
 		if len(req.Texts) == 0 {
 			writeError(w, http.StatusBadRequest, `"texts" must not be empty`)
@@ -217,27 +360,44 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 				"batch of %d exceeds limit %d", len(req.Texts), s.opt.MaxBatch)
 			return
 		}
-		writeJSON(w, http.StatusOK, inferResponse{Results: s.inferBatch(req.Texts, iters)})
+		writeJSON(w, http.StatusOK, inferResponse{Results: s.inferBatch(entry, st, req.Texts, iters)})
 	default:
 		writeError(w, http.StatusBadRequest, `provide "text" or "texts"`)
 	}
 }
 
-func (s *Server) infer(text string, iters int) inferResult {
-	theta := s.inf.InferTopics(text, iters)
-	return inferResult{Topics: theta, Best: topmine.BestTopic(theta)}
+// inferDoc answers one document, through the exact response cache:
+// the cache key pins the model content by (name, generation) from the
+// request's single state snapshot — computing with st.inf and keying
+// with st.gen can never mix two loads — and the cached value is the
+// marshalled result JSON, so a hit is byte-for-byte the response a
+// fresh computation would produce.
+func (s *Server) inferDoc(entry *ModelEntry, st *modelState, text string, iters int) json.RawMessage {
+	key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindInfer, iters: iters, text: text}
+	if b, ok := s.cache.get(key); ok {
+		return b
+	}
+	theta, tokens := st.inf.InferTopicsTokens(text, iters)
+	b, err := json.Marshal(inferResult{Topics: theta, Best: topmine.BestTopic(theta), Tokens: tokens})
+	if err != nil {
+		// Marshalling a plain struct of floats/ints cannot fail.
+		panic(err)
+	}
+	s.cache.put(key, b)
+	return b
 }
 
 // inferBatch fans a batch out across the CPUs — the Inferencer is
 // safe for concurrent use and each text's result is deterministic
 // regardless of scheduling, so batch output matches the equivalent
-// sequence of single-document requests. Extra workers are drawn from
-// the server-wide slot pool: an idle server gives one batch near-
-// linear speedup, while overlapping batches share the same bounded
-// pool instead of multiplying goroutines. The request's own goroutine
-// always participates, so progress never depends on slot availability.
-func (s *Server) inferBatch(texts []string, iters int) []inferResult {
-	results := make([]inferResult, len(texts))
+// sequence of single-document requests (and shares cache entries with
+// them). Extra workers are drawn from the server-wide slot pool: an
+// idle server gives one batch near-linear speedup, while overlapping
+// batches share the same bounded pool instead of multiplying
+// goroutines. The request's own goroutine always participates, so
+// progress never depends on slot availability.
+func (s *Server) inferBatch(entry *ModelEntry, st *modelState, texts []string, iters int) []json.RawMessage {
+	results := make([]json.RawMessage, len(texts))
 	var next atomic.Int64
 	// A panic on a spawned worker would crash the whole process (only
 	// the request goroutine enjoys net/http's per-connection recovery),
@@ -254,7 +414,7 @@ func (s *Server) inferBatch(texts []string, iters int) []inferResult {
 			if i >= len(texts) {
 				return
 			}
-			results[i] = s.infer(texts[i], iters)
+			results[i] = s.inferDoc(entry, st, texts[i], iters)
 		}
 	}
 	var wg sync.WaitGroup
@@ -293,21 +453,41 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	segs := s.inf.Segment(req.Text)
+	entry, st, ok := s.resolveModel(w, req.Model)
+	if !ok {
+		return
+	}
+	key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindSegment, text: req.Text}
+	if b, ok := s.cache.get(key); ok {
+		writeRawJSON(w, http.StatusOK, b)
+		return
+	}
+	segs := st.inf.Segment(req.Text)
 	if segs == nil {
 		segs = [][]string{}
 	}
-	writeJSON(w, http.StatusOK, segmentResponse{Segments: segs})
+	b, err := json.Marshal(segmentResponse{Segments: segs})
+	if err != nil {
+		panic(err)
+	}
+	s.cache.put(key, b)
+	writeRawJSON(w, http.StatusOK, b)
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !requireGet(w, r) {
 		return
 	}
-	resp := topicsResponse{NumTopics: s.inf.NumTopics(), Topics: []topicSummary{}}
-	for _, t := range s.inf.Topics() {
+	entry, st, ok := s.resolveModel(w, r.URL.Query().Get("model"))
+	if !ok {
+		return
+	}
+	resp := topicsResponse{
+		Model:     entry.Name(),
+		NumTopics: st.inf.NumTopics(),
+		Topics:    []topicSummary{},
+	}
+	for _, t := range st.inf.Topics() {
 		sum := topicSummary{Topic: t.Topic, Unigrams: t.Unigrams, Phrases: []topicPhrase{}}
 		if sum.Unigrams == nil {
 			sum.Unigrams = []string{}
@@ -320,6 +500,137 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// modelInfo is one registry entry's public description.
+type modelInfo struct {
+	Name       string `json:"name"`
+	Default    bool   `json:"default"`
+	Path       string `json:"path,omitempty"`
+	Ready      bool   `json:"ready"`
+	Reloadable bool   `json:"reloadable"`
+	Generation uint64 `json:"generation"`
+	Reloads    uint64 `json:"reloads"`
+	LoadedAt   string `json:"loaded_at"`
+	// Topics is 0 for mining-only models: /v1/segment works, /v1/infer
+	// answers 503.
+	Topics    int    `json:"topics"`
+	VocabSize int    `json:"vocab_size"`
+	Phrases   int    `json:"phrases"`
+	Seed      uint64 `json:"seed"`
+}
+
+type modelsResponse struct {
+	Default string      `json:"default"`
+	Models  []modelInfo `json:"models"`
+}
+
+func (s *Server) describeModel(e *ModelEntry) modelInfo {
+	st := e.snapshot()
+	info := modelInfo{
+		Name:       e.Name(),
+		Default:    e.Name() == s.reg.DefaultName(),
+		Path:       e.Path(),
+		Ready:      st != nil && st.inf != nil,
+		Reloadable: e.loader != nil,
+		Reloads:    e.Reloads(),
+		LoadedAt:   e.LoadedAt().UTC().Format(time.RFC3339Nano),
+	}
+	if st != nil {
+		info.Generation = st.gen
+		if st.inf != nil {
+			stats := st.inf.Stats()
+			info.Topics = stats.Topics
+			info.VocabSize = stats.VocabSize
+			info.Phrases = stats.Phrases
+			info.Seed = stats.Seed
+		}
+	}
+	return info
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	resp := modelsResponse{Default: s.reg.DefaultName(), Models: []modelInfo{}}
+	for _, name := range s.reg.Names() {
+		e, ok := s.reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		resp.Models = append(resp.Models, s.describeModel(e))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.opt.AdminToken != "" {
+		// Compare SHA-256 digests in constant time: a plain string
+		// compare leaks a byte-by-byte timing oracle, and hashing first
+		// also masks the token length.
+		got := sha256.Sum256([]byte(r.Header.Get("Authorization")))
+		want := sha256.Sum256([]byte("Bearer " + s.opt.AdminToken))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="topmined admin"`)
+			writeError(w, http.StatusUnauthorized, "admin token required")
+			return
+		}
+	}
+	name := r.PathValue("name")
+	e, ok := s.reg.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	if e.loader == nil {
+		writeError(w, http.StatusConflict,
+			"model %q was registered in-memory and has no reloadable source", e.Name())
+		return
+	}
+	if err := s.reg.Reload(e.Name()); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.describeModel(e))
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyResponse reports per-model readiness; Ready is the conjunction,
+// and the HTTP status mirrors it (200 / 503) so load balancers can use
+// /readyz without parsing the body.
+type readyResponse struct {
+	Ready  bool            `json:"ready"`
+	Models map[string]bool `json:"models"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	resp := readyResponse{Ready: true, Models: map[string]bool{}}
+	for _, name := range s.reg.Names() {
+		e, ok := s.reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		ready := e.Ready()
+		resp.Models[name] = ready
+		resp.Ready = resp.Ready && ready
+	}
+	if s.reg.Len() == 0 {
+		resp.Ready = false
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

@@ -9,6 +9,11 @@ import "topmine/internal/xrand"
 // averaged over the sampling half. The model is not modified, so
 // concurrent inference on different documents is safe as long as the
 // model itself is not training.
+//
+// Burn-in contract: one call runs exactly 2×iters full Gibbs sweeps —
+// iters discarded as burn-in, then iters contributing samples. Anyone
+// budgeting CPU per call (e.g. a serving layer capping request work)
+// must count 2×iters sweeps, not iters.
 func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 {
 	if iters <= 0 {
 		iters = 50

@@ -126,6 +126,20 @@ func (o *Options) fill() error {
 	if o.MaxPhraseLen < 0 {
 		return fmt.Errorf("topmine: MaxPhraseLen must be >= 0")
 	}
+	// Negative priors are never meaningful: a negative significance
+	// threshold accepts every adjacent merge (each candidate pair's
+	// score starts at 0), and negative Dirichlet priors turn Gibbs
+	// sampling weights negative, corrupting the categorical draw.
+	// Reject them instead of training a silently broken model.
+	if o.SigThreshold < 0 {
+		return fmt.Errorf("topmine: SigThreshold must be >= 0 (0 selects the default 5), got %v", o.SigThreshold)
+	}
+	if o.Alpha < 0 {
+		return fmt.Errorf("topmine: Alpha must be >= 0 (0 selects the default 50/K), got %v", o.Alpha)
+	}
+	if o.Beta < 0 {
+		return fmt.Errorf("topmine: Beta must be >= 0 (0 selects the default 0.01), got %v", o.Beta)
+	}
 	if o.SigThreshold == 0 {
 		o.SigThreshold = 5
 	}
