@@ -5,6 +5,8 @@
 // Usage:
 //
 //	topmine -input corpus.txt -k 10 -iters 1000
+//	topmine -input reviews.jsonl -jsonl text -k 10
+//	zcat corpus.txt.gz | topmine -input - -k 10
 //	topmine -synth yelp-reviews -docs 2000 -k 10
 //
 // A trained run can be persisted as a pipeline snapshot and reused
@@ -17,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -29,7 +32,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topmine: ")
 
-	input := flag.String("input", "", "path to corpus file, one document per line")
+	input := flag.String("input", "", "path to corpus file, one document per line ('-' reads stdin)")
+	jsonlField := flag.String("jsonl", "", "treat -input as JSON lines and take document text from this field")
 	synthDomain := flag.String("synth", "", "generate a synthetic corpus instead: "+
 		strings.Join(topmine.ExampleDomains(), ", "))
 	docs := flag.Int("docs", 2000, "documents to generate with -synth")
@@ -40,7 +44,7 @@ func main() {
 	sig := flag.Float64("alpha", 5, "significance threshold for merging (Algorithm 2)")
 	maxLen := flag.Int("maxlen", 8, "maximum phrase length (0 = unbounded)")
 	seed := flag.Uint64("seed", 42, "random seed")
-	workers := flag.Int("workers", 0, "parallel workers for mining/segmentation (0 = all cores)")
+	workers := flag.Int("workers", 0, "parallel workers for ingest/mining/segmentation (0 = all cores)")
 	topN := flag.Int("top", 10, "phrases and unigrams to display per topic")
 	noHyper := flag.Bool("nohyper", false, "disable hyperparameter optimisation")
 	filterBG := flag.Bool("filterbg", false, "filter background phrases from topic lists")
@@ -79,8 +83,10 @@ func main() {
 	switch {
 	case *input != "" && *synthDomain != "":
 		log.Fatal("use either -input or -synth, not both")
+	case *jsonlField != "" && *input == "":
+		log.Fatal("-jsonl needs -input")
 	case *input != "":
-		c, err = topmine.LoadCorpusFile(*input, topmine.DefaultCorpusOptions())
+		c, err = loadInput(*input, *jsonlField, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +95,12 @@ func main() {
 		if gerr != nil {
 			log.Fatal(gerr)
 		}
-		c = topmine.BuildCorpus(raw, topmine.DefaultCorpusOptions())
+		copt := topmine.DefaultCorpusOptions()
+		copt.Workers = *workers
+		c, err = topmine.BuildCorpusFromSource(topmine.SliceSource(raw), copt)
+		if err != nil {
+			log.Fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -163,6 +174,30 @@ func main() {
 	if *inferText != "" {
 		printInference(res, *inferText, *inferIters)
 	}
+}
+
+// loadInput streams the corpus off disk (or stdin when path is "-"),
+// tokenizing on all requested cores; raw text is never accumulated, so
+// multi-GB inputs ingest in memory proportional to their token count.
+func loadInput(path, jsonlField string, workers int) (*topmine.Corpus, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var src topmine.Source
+	if jsonlField != "" {
+		src = topmine.JSONLSource(r, jsonlField)
+	} else {
+		src = topmine.LineSource(r)
+	}
+	opt := topmine.DefaultCorpusOptions()
+	opt.Workers = workers
+	return topmine.BuildCorpusFromSource(src, opt)
 }
 
 // runLoaded consumes a snapshot: prints its topics, re-saves it when

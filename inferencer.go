@@ -118,7 +118,7 @@ func (inf *Inferencer) callSeed(text string) uint64 {
 func (inf *Inferencer) cliques(doc *corpus.Document) [][]int32 {
 	var cliques [][]int32
 	for si := range doc.Segments {
-		words := doc.Segments[si].Words
+		words := doc.Segments[si].Words()
 		for _, sp := range inf.seg.Partition(words) {
 			clique := make([]int32, sp.Len())
 			copy(clique, words[sp.Start:sp.End])
@@ -156,7 +156,7 @@ func (inf *Inferencer) InferTopicsTokens(text string, iters int) ([]float64, int
 	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
 	tokens := 0
 	for si := range doc.Segments {
-		tokens += len(doc.Segments[si].Words)
+		tokens += doc.Segments[si].Len()
 	}
 	return inf.model.InferTheta(inf.cliques(doc), iters, inf.callSeed(text)), tokens
 }
@@ -168,7 +168,7 @@ func (inf *Inferencer) Segment(text string) [][]string {
 	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
 	out := make([][]string, 0, len(doc.Segments))
 	for si := range doc.Segments {
-		words := doc.Segments[si].Words
+		words := doc.Segments[si].Words()
 		spans := inf.seg.Partition(words)
 		phrases := make([]string, len(spans))
 		for i, sp := range spans {
@@ -186,7 +186,7 @@ func (inf *Inferencer) TraceText(text string) []SegmentTrace {
 	doc := corpus.MapText(text, inf.vocab.Vocab, inf.copt)
 	var out []SegmentTrace
 	for si := range doc.Segments {
-		words := doc.Segments[si].Words
+		words := doc.Segments[si].Words()
 		spans, steps := inf.seg.TracePartition(words)
 		tr := SegmentTrace{Steps: steps}
 		for _, w := range words {

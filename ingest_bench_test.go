@@ -1,0 +1,69 @@
+package topmine
+
+// Ingest-path benchmarks guarding the streaming/columnar refactor:
+// BenchmarkBuildCorpus reports tokens/sec (build throughput) and
+// bytes/doc (heap retained by the finished corpus), so regressions in
+// either dimension show up as a metric shift. CI runs it with
+// -benchtime=1x as a smoke test on every push.
+//
+//	go test -run '^$' -bench BenchmarkBuildCorpus -benchtime 10x .
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func benchmarkBuild(b *testing.B, raw []string, opt CorpusOptions) {
+	b.Helper()
+	var c *Corpus
+	var err error
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		c, err = BuildCorpusFromSource(SliceSource(raw), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(c.TotalTokens)*float64(b.N)/elapsed.Seconds(), "tokens/sec")
+
+	// Retained footprint: build one corpus across a GC fence and
+	// report the live-heap delta per document.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	kept, err := BuildCorpusFromSource(SliceSource(raw), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/float64(kept.NumDocs()), "bytes/doc")
+	runtime.KeepAlive(kept)
+}
+
+func BenchmarkBuildCorpus(b *testing.B) {
+	for _, domain := range []string{"yelp-reviews", "dblp-titles"} {
+		raw, err := GenerateExampleCorpus(domain, 2000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			opt := DefaultCorpusOptions()
+			opt.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", domain, workers), func(b *testing.B) {
+				benchmarkBuild(b, raw, opt)
+			})
+		}
+		b.Run(fmt.Sprintf("%s/nosurface", domain), func(b *testing.B) {
+			opt := DefaultCorpusOptions()
+			opt.KeepSurface = false
+			opt.Workers = 1
+			benchmarkBuild(b, raw, opt)
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package topmine_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topmine"
+)
+
+// TestRunSourceMatchesRun is the ingest-equivalence gate of the
+// streaming refactor: for a fixed seed, running the full pipeline over
+// a file streamed from disk must yield byte-identical topic summaries
+// to running it over the same documents in memory, at every worker
+// count. Every stage downstream of ingest is already deterministic, so
+// any divergence pins a corpus-construction difference.
+func TestRunSourceMatchesRun(t *testing.T) {
+	raw, err := topmine.GenerateExampleCorpus("dblp-titles", 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range raw {
+		if strings.ContainsRune(d, '\n') {
+			t.Fatal("generated doc contains a newline; one-doc-per-line file would split it")
+		}
+	}
+	opt := topmine.DefaultOptions()
+	opt.Topics = 4
+	opt.Iterations = 40
+	opt.MinSupport = 3
+	opt.SigThreshold = 3
+	opt.Seed = 7
+
+	want, err := topmine.Run(raw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTopics := topmine.FormatTopics(want.Topics)
+
+	path := filepath.Join(t.TempDir(), "docs.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(raw, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		o := opt
+		o.Workers = workers
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := topmine.RunSource(topmine.LineSource(f), o)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTopics := topmine.FormatTopics(got.Topics); gotTopics != wantTopics {
+			t.Errorf("workers=%d: streamed topics differ from in-memory run\n--- want ---\n%s--- got ---\n%s",
+				workers, wantTopics, gotTopics)
+		}
+		if got.Corpus.TotalTokens != want.Corpus.TotalTokens ||
+			got.Corpus.Vocab.Size() != want.Corpus.Vocab.Size() {
+			t.Errorf("workers=%d: corpus shape differs: tokens %d vs %d, vocab %d vs %d", workers,
+				got.Corpus.TotalTokens, want.Corpus.TotalTokens,
+				got.Corpus.Vocab.Size(), want.Corpus.Vocab.Size())
+		}
+	}
+}
+
+// TestRunSourceJSONL covers the JSONL adapter end to end through the
+// public API (the CLI's -jsonl path).
+func TestRunSourceJSONL(t *testing.T) {
+	raw, err := topmine.GenerateExampleCorpus("dblp-titles", 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range raw {
+		b.WriteString(`{"id": 0, "title": `)
+		b.WriteString(quoteJSON(d))
+		b.WriteString("}\n")
+	}
+	opt := topmine.DefaultOptions()
+	opt.Topics = 2
+	opt.Iterations = 20
+	opt.Seed = 9
+
+	fromJSONL, err := topmine.RunSource(topmine.JSONLSource(strings.NewReader(b.String()), "title"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMemory, err := topmine.Run(raw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topmine.FormatTopics(fromJSONL.Topics) != topmine.FormatTopics(fromMemory.Topics) {
+		t.Fatal("JSONL-streamed topics differ from in-memory run")
+	}
+}
+
+// quoteJSON is a minimal JSON string encoder for test fixtures.
+func quoteJSON(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\t", `\t`)
+	return `"` + r.Replace(s) + `"`
+}

@@ -33,7 +33,7 @@ func pdldaStateForTest(c *corpus.Corpus, k, iters int, seed uint64) *pdldaState 
 			if si > 0 {
 				stream = append(stream, -1)
 			}
-			stream = append(stream, doc.Segments[si].Words...)
+			stream = append(stream, doc.Segments[si].Words()...)
 		}
 		st.docs[d] = stream
 		st.join[d] = make([]int8, len(stream))

@@ -223,7 +223,7 @@ func (p PDLDA) Run(c *corpus.Corpus, opt Options) []TopicPhrases {
 			if si > 0 {
 				stream = append(stream, -1)
 			}
-			stream = append(stream, doc.Segments[si].Words...)
+			stream = append(stream, doc.Segments[si].Words()...)
 		}
 		st.docs[d] = stream
 		st.join[d] = make([]int8, len(stream))

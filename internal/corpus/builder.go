@@ -1,7 +1,6 @@
 package corpus
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +19,10 @@ type BuildOptions struct {
 	// Required for stop-word re-insertion in displayed phrases; costs
 	// memory proportional to the corpus, so benchmarks disable it.
 	KeepSurface bool
+	// Workers sets how many goroutines BuildFromSource tokenizes with
+	// (0 = GOMAXPROCS). It affects only build speed: the built corpus
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultBuildOptions mirrors the paper's preprocessing: stemming on,
@@ -32,13 +35,14 @@ func DefaultBuildOptions() BuildOptions {
 type Builder struct {
 	opt   BuildOptions
 	vocab *textproc.Vocab
+	ar    *tokenArena
 	docs  []*Document
 	total int
 }
 
 // NewBuilder returns a Builder with the given options.
 func NewBuilder(opt BuildOptions) *Builder {
-	return &Builder{opt: opt, vocab: textproc.NewVocab()}
+	return &Builder{opt: opt, vocab: textproc.NewVocab(), ar: newArena(opt.KeepSurface)}
 }
 
 // Add processes one raw document and appends it to the corpus.
@@ -51,57 +55,49 @@ func (b *Builder) Add(text string) *Document {
 		if len(kept) == 0 {
 			continue
 		}
-		seg := Segment{Words: make([]int32, len(kept))}
-		if b.opt.KeepSurface {
-			seg.Surface = make([]string, len(kept))
-			seg.Gaps = make([]string, len(kept))
-		}
-		for i, tok := range kept {
+		b.ar.grow(len(kept))
+		off := b.ar.mark()
+		for _, tok := range kept {
 			stem := tok.Surface
 			if b.opt.Stem {
 				stem = textproc.Stem(stem)
 			}
-			seg.Words[i] = b.vocab.Intern(stem, tok.Surface)
-			if b.opt.KeepSurface {
-				seg.Surface[i] = tok.Surface
-				seg.Gaps[i] = tok.Gap
-			}
+			b.ar.push(b.vocab.Intern(stem, tok.Surface), tok.Surface, tok.Gap)
 		}
-		doc.Segments = append(doc.Segments, seg)
+		doc.Segments = append(doc.Segments, b.ar.seg(off))
 		b.total += len(kept)
 	}
 	b.docs = append(b.docs, doc)
 	return doc
 }
 
-// Corpus finalises and returns the built corpus. The Builder may keep
-// being used; later Adds extend the same underlying corpus.
+// Corpus returns a snapshot of everything added so far: the returned
+// Corpus's document list and TotalTokens are fixed at the moment of
+// the call and are not extended by later Adds — call Corpus again for
+// an updated view. Snapshots are cheap: the documents, token arena and
+// vocabulary are shared with the Builder (the arena only ever grows,
+// so earlier snapshots stay valid), which also means vocabulary counts
+// visible through a snapshot keep growing while the Builder is in use.
 func (b *Builder) Corpus() *Corpus {
-	return &Corpus{Docs: b.docs, Vocab: b.vocab, TotalTokens: b.total, BuildOpts: b.opt}
+	return &Corpus{Docs: b.docs[:len(b.docs):len(b.docs)], Vocab: b.vocab,
+		TotalTokens: b.total, BuildOpts: b.opt}
 }
 
 // FromStrings builds a corpus treating each element as one document.
 func FromStrings(docs []string, opt BuildOptions) *Corpus {
-	b := NewBuilder(opt)
-	for _, d := range docs {
-		b.Add(d)
+	c, err := BuildFromSource(SliceSource(docs), opt)
+	if err != nil {
+		// SliceSource never fails and the builder itself has no error
+		// paths, so this is unreachable.
+		panic(err)
 	}
-	return b.Corpus()
+	return c
 }
 
 // ReadLines builds a corpus from r, one document per line. Long lines
 // (up to 16 MiB) are supported.
 func ReadLines(r io.Reader, opt BuildOptions) (*Corpus, error) {
-	b := NewBuilder(opt)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		b.Add(sc.Text())
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("corpus: reading documents: %w", err)
-	}
-	return b.Corpus(), nil
+	return BuildFromSource(LineSource(r), opt)
 }
 
 // LoadFile builds a corpus from a one-document-per-line text file.

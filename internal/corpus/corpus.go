@@ -16,20 +16,65 @@ import (
 	"topmine/internal/textproc"
 )
 
-// Segment is one punctuation-delimited chunk of a document.
+// Segment is one punctuation-delimited chunk of a document: an offset
+// range into its corpus's token arena (see arena.go). Segments are
+// cheap 16-byte values; the token data lives once per corpus.
 type Segment struct {
-	// Words holds the stemmed vocabulary ids of the kept tokens.
-	Words []int32
-	// Surface, when present (see BuildOptions.KeepSurface), holds the
-	// original lowercase surface form of each kept token.
-	Surface []string
-	// Gaps, when present, holds for each kept token the dropped words
-	// (stop words, numbers) between it and the previous kept token.
-	Gaps []string
+	ar  *tokenArena
+	off int32
+	n   int32
+}
+
+// Words returns the stemmed vocabulary ids of the kept tokens. The
+// returned slice aliases the corpus token arena; callers must not
+// mutate it.
+func (s *Segment) Words() []int32 {
+	if s.ar == nil {
+		return nil
+	}
+	return s.ar.words[s.off : s.off+s.n : s.off+s.n]
 }
 
 // Len returns the number of kept tokens in the segment.
-func (s *Segment) Len() int { return len(s.Words) }
+func (s *Segment) Len() int { return int(s.n) }
+
+// HasSurface reports whether the segment retains surface forms and
+// gaps (see BuildOptions.KeepSurface).
+func (s *Segment) HasSurface() bool { return s.ar != nil && s.ar.keep }
+
+// Surface returns the original lowercase surface form of kept token i,
+// or "" when surfaces were not retained. It panics on out-of-range i:
+// the arena is shared by every segment of the corpus, so an unchecked
+// read past s.Len() would silently return a neighboring segment's
+// token.
+func (s *Segment) Surface(i int) string {
+	if uint32(i) >= uint32(s.n) {
+		panic("corpus: Segment.Surface index out of range")
+	}
+	if !s.HasSurface() {
+		return ""
+	}
+	return s.ar.pool.strs[s.ar.surface[s.off+int32(i)]]
+}
+
+// Gap returns the dropped words (stop words, numbers) between kept
+// token i and the previous kept token, or "" when surfaces were not
+// retained. Like Surface, it panics on out-of-range i.
+func (s *Segment) Gap(i int) string {
+	if uint32(i) >= uint32(s.n) {
+		panic("corpus: Segment.Gap index out of range")
+	}
+	if !s.HasSurface() {
+		return ""
+	}
+	return s.ar.pool.strs[s.ar.gaps[s.off+int32(i)]]
+}
+
+// prefix returns the segment's first n tokens as a segment sharing the
+// same arena.
+func (s Segment) prefix(n int) Segment {
+	return Segment{ar: s.ar, off: s.off, n: int32(n)}
+}
 
 // Document is an ordered list of segments.
 type Document struct {
@@ -41,7 +86,7 @@ type Document struct {
 func (d *Document) Len() int {
 	n := 0
 	for i := range d.Segments {
-		n += len(d.Segments[i].Words)
+		n += d.Segments[i].Len()
 	}
 	return n
 }
@@ -50,7 +95,7 @@ func (d *Document) Len() int {
 func (d *Document) Tokens() []int32 {
 	out := make([]int32, 0, d.Len())
 	for i := range d.Segments {
-		out = append(out, d.Segments[i].Words...)
+		out = append(out, d.Segments[i].Words()...)
 	}
 	return out
 }
@@ -107,18 +152,19 @@ func (st Stats) String() string {
 // un-stemmed vocabulary forms otherwise.
 func (c *Corpus) DisplayPhrase(seg *Segment, start, end int) string {
 	var b strings.Builder
+	hasSurface := seg.HasSurface()
 	for i := start; i < end; i++ {
 		if i > start {
-			if seg.Gaps != nil && seg.Gaps[i] != "" {
+			if g := seg.Gap(i); g != "" {
 				b.WriteByte(' ')
-				b.WriteString(seg.Gaps[i])
+				b.WriteString(g)
 			}
 			b.WriteByte(' ')
 		}
-		if seg.Surface != nil {
-			b.WriteString(seg.Surface[i])
+		if hasSurface {
+			b.WriteString(seg.Surface(i))
 		} else {
-			b.WriteString(c.Vocab.Unstem(seg.Words[i]))
+			b.WriteString(c.Vocab.Unstem(seg.Words()[i]))
 		}
 	}
 	return b.String()

@@ -91,7 +91,7 @@ func TestDisplayPhraseReinsertsStopwords(t *testing.T) {
 	d := c.Docs[2] // "The house and senate passed the bill."
 	seg := &d.Segments[0]
 	if seg.Len() < 3 {
-		t.Fatalf("unexpected segment: %v", seg.Words)
+		t.Fatalf("unexpected segment: %v", seg.Words())
 	}
 	got := c.DisplayPhrase(seg, 0, 2)
 	if got != "house and senate" {
@@ -146,7 +146,7 @@ func TestBuildWithoutSurface(t *testing.T) {
 	opt.KeepSurface = false
 	c := FromStrings([]string{"support vector machines"}, opt)
 	seg := &c.Docs[0].Segments[0]
-	if seg.Surface != nil || seg.Gaps != nil {
+	if seg.HasSurface() || seg.Surface(0) != "" || seg.Gap(0) != "" {
 		t.Fatal("surface kept despite KeepSurface=false")
 	}
 	// DisplayPhrase must fall back to unstemming.

@@ -1,12 +1,9 @@
 package corpus
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 )
 
 // ReadJSONL builds a corpus from JSON-lines input, extracting the
@@ -14,37 +11,7 @@ import (
 // Yelp-style review dumps, "title" for DBLP-style records). Lines that
 // fail to parse or lack the field produce an error naming the line.
 func ReadJSONL(r io.Reader, field string, opt BuildOptions) (*Corpus, error) {
-	if field == "" {
-		return nil, fmt.Errorf("corpus: ReadJSONL requires a field name")
-	}
-	b := NewBuilder(opt)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var obj map[string]json.RawMessage
-		if err := json.Unmarshal([]byte(line), &obj); err != nil {
-			return nil, fmt.Errorf("corpus: line %d: %w", lineNo, err)
-		}
-		raw, ok := obj[field]
-		if !ok {
-			return nil, fmt.Errorf("corpus: line %d: field %q missing", lineNo, field)
-		}
-		var text string
-		if err := json.Unmarshal(raw, &text); err != nil {
-			return nil, fmt.Errorf("corpus: line %d: field %q is not a string: %w", lineNo, field, err)
-		}
-		b.Add(text)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("corpus: reading JSONL: %w", err)
-	}
-	return b.Corpus(), nil
+	return BuildFromSource(JSONLSource(r, field), opt)
 }
 
 // LoadJSONLFile is ReadJSONL over a file.
@@ -61,26 +28,5 @@ func LoadJSONLFile(path, field string, opt BuildOptions) (*Corpus, error) {
 // zero-based column as the document text (other columns — ids, labels,
 // dates — are ignored). Rows with too few columns produce an error.
 func ReadTSV(r io.Reader, column int, opt BuildOptions) (*Corpus, error) {
-	if column < 0 {
-		return nil, fmt.Errorf("corpus: ReadTSV requires column >= 0")
-	}
-	b := NewBuilder(opt)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		if strings.TrimSpace(sc.Text()) == "" {
-			continue
-		}
-		cols := strings.Split(sc.Text(), "\t")
-		if column >= len(cols) {
-			return nil, fmt.Errorf("corpus: line %d: column %d of %d missing", lineNo, column, len(cols))
-		}
-		b.Add(cols[column])
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("corpus: reading TSV: %w", err)
-	}
-	return b.Corpus(), nil
+	return BuildFromSource(TSVSource(r, column), opt)
 }

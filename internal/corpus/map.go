@@ -5,15 +5,18 @@ import "topmine/internal/textproc"
 // MapText tokenizes raw text against an existing vocabulary without
 // mutating it: out-of-vocabulary words are dropped (treated like stop
 // words, joining the following token's gap). This is the read-only
-// path used when folding new documents into a trained model.
+// path used when folding new documents into a trained model. The
+// returned document owns a private token arena sized to the text, so
+// mapped documents are independent of any training corpus.
 func MapText(text string, v *textproc.Vocab, opt BuildOptions) *Document {
 	doc := &Document{ID: -1}
+	ar := newArena(opt.KeepSurface)
 	for _, rawSeg := range textproc.Tokenize(text) {
 		kept := textproc.Filter(rawSeg, opt.RemoveStopwords)
 		if len(kept) == 0 {
 			continue
 		}
-		seg := Segment{}
+		off := ar.mark()
 		var pendingGap string
 		for _, tok := range kept {
 			stem := tok.Surface
@@ -23,18 +26,22 @@ func MapText(text string, v *textproc.Vocab, opt BuildOptions) *Document {
 			id, ok := v.ID(stem)
 			if !ok {
 				// OOV: absorb into the gap before the next kept token.
-				if pendingGap != "" {
-					pendingGap += " "
+				// Gap strings are assembled only when they will be
+				// stored — MapText runs on the serving hot path.
+				if opt.KeepSurface {
+					if pendingGap != "" {
+						pendingGap += " "
+					}
+					if tok.Gap != "" {
+						pendingGap += tok.Gap + " "
+					}
+					pendingGap += tok.Surface
 				}
-				if tok.Gap != "" {
-					pendingGap += tok.Gap + " "
-				}
-				pendingGap += tok.Surface
 				continue
 			}
-			seg.Words = append(seg.Words, id)
+			var gap string
 			if opt.KeepSurface {
-				gap := tok.Gap
+				gap = tok.Gap
 				if pendingGap != "" {
 					if gap != "" {
 						gap = pendingGap + " " + gap
@@ -43,16 +50,13 @@ func MapText(text string, v *textproc.Vocab, opt BuildOptions) *Document {
 					}
 					pendingGap = ""
 				}
-				if len(seg.Words) == 1 {
+				if ar.mark() == off {
 					gap = "" // leading gap is never phrase-internal
 				}
-				seg.Surface = append(seg.Surface, tok.Surface)
-				seg.Gaps = append(seg.Gaps, gap)
-			} else {
-				pendingGap = ""
 			}
+			ar.push(id, tok.Surface, gap)
 		}
-		if len(seg.Words) > 0 {
+		if seg := ar.seg(off); seg.Len() > 0 {
 			doc.Segments = append(doc.Segments, seg)
 		}
 	}

@@ -17,7 +17,7 @@ func TestMapTextKnownWords(t *testing.T) {
 		t.Fatalf("kept tokens = %d, want 3", got)
 	}
 	fid, _ := c.Vocab.ID("frequent")
-	if doc.Segments[0].Words[0] != fid {
+	if doc.Segments[0].Words()[0] != fid {
 		t.Fatal("first token should be 'frequent'")
 	}
 }

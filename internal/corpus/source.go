@@ -1,0 +1,172 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// A Source yields raw documents one at a time, letting corpora of any
+// size be built without materialising every document in memory. Next
+// returns ok=false with a nil error when the source is exhausted; an
+// error aborts the build and is returned to the caller verbatim.
+type Source interface {
+	Next() (doc string, ok bool, err error)
+}
+
+// maxLineBytes is the longest input line every corpus loader accepts.
+const maxLineBytes = 16 * 1024 * 1024
+
+// lineReader is the one bufio.Scanner wrapper behind every line-based
+// loader: it applies the shared 16 MiB line cap, counts lines for
+// error messages, and turns the scanner's bare bufio.ErrTooLong into
+// an error naming the offending line and the limit.
+type lineReader struct {
+	sc   *bufio.Scanner
+	line int // 1-based number of the last line returned by next
+	max  int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return newLineReaderSize(r, maxLineBytes)
+}
+
+func newLineReaderSize(r io.Reader, max int) *lineReader {
+	sc := bufio.NewScanner(r)
+	buf := 64 * 1024
+	if buf > max {
+		buf = max
+	}
+	sc.Buffer(make([]byte, 0, buf), max)
+	return &lineReader{sc: sc, max: max}
+}
+
+func (lr *lineReader) next() (string, bool) {
+	if !lr.sc.Scan() {
+		return "", false
+	}
+	lr.line++
+	return lr.sc.Text(), true
+}
+
+// finish reports the terminal scanner state: nil at clean EOF, or an
+// error prefixed with the loader context otherwise.
+func (lr *lineReader) finish(what string) error {
+	err := lr.sc.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("corpus: %s: line %d exceeds %d MiB", what, lr.line+1, lr.max>>20)
+	}
+	return fmt.Errorf("corpus: %s: %w", what, err)
+}
+
+// SliceSource yields each element of docs as one document.
+func SliceSource(docs []string) Source { return &sliceSource{docs: docs} }
+
+type sliceSource struct {
+	docs []string
+	i    int
+}
+
+func (s *sliceSource) Next() (string, bool, error) {
+	if s.i >= len(s.docs) {
+		return "", false, nil
+	}
+	doc := s.docs[s.i]
+	s.i++
+	return doc, true, nil
+}
+
+// LineSource yields one document per line of r. Lines up to 16 MiB are
+// supported.
+func LineSource(r io.Reader) Source { return &lineSource{lr: newLineReader(r)} }
+
+type lineSource struct{ lr *lineReader }
+
+func (s *lineSource) Next() (string, bool, error) {
+	line, ok := s.lr.next()
+	if !ok {
+		return "", false, s.lr.finish("reading documents")
+	}
+	return line, true, nil
+}
+
+// JSONLSource yields one document per JSON-lines object of r, taking
+// the document text from the given field (e.g. "text" for Yelp-style
+// review dumps, "title" for DBLP-style records). Blank lines are
+// skipped; lines that fail to parse or lack the field produce an error
+// naming the line.
+func JSONLSource(r io.Reader, field string) Source {
+	return &jsonlSource{lr: newLineReader(r), field: field}
+}
+
+type jsonlSource struct {
+	lr    *lineReader
+	field string
+}
+
+func (s *jsonlSource) Next() (string, bool, error) {
+	if s.field == "" {
+		return "", false, fmt.Errorf("corpus: a JSONL source requires a field name")
+	}
+	for {
+		line, ok := s.lr.next()
+		if !ok {
+			return "", false, s.lr.finish("reading JSONL")
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			return "", false, fmt.Errorf("corpus: line %d: %w", s.lr.line, err)
+		}
+		raw, ok := obj[s.field]
+		if !ok {
+			return "", false, fmt.Errorf("corpus: line %d: field %q missing", s.lr.line, s.field)
+		}
+		var text string
+		if err := json.Unmarshal(raw, &text); err != nil {
+			return "", false, fmt.Errorf("corpus: line %d: field %q is not a string: %w", s.lr.line, s.field, err)
+		}
+		return text, true, nil
+	}
+}
+
+// TSVSource yields one document per row of tab-separated input, using
+// the given zero-based column as the document text (other columns —
+// ids, labels, dates — are ignored). Blank lines are skipped; rows
+// with too few columns produce an error naming the line.
+func TSVSource(r io.Reader, column int) Source {
+	return &tsvSource{lr: newLineReader(r), column: column}
+}
+
+type tsvSource struct {
+	lr     *lineReader
+	column int
+}
+
+func (s *tsvSource) Next() (string, bool, error) {
+	if s.column < 0 {
+		return "", false, fmt.Errorf("corpus: a TSV source requires column >= 0")
+	}
+	for {
+		line, ok := s.lr.next()
+		if !ok {
+			return "", false, s.lr.finish("reading TSV")
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if s.column >= len(cols) {
+			return "", false, fmt.Errorf("corpus: line %d: column %d of %d missing", s.lr.line, s.column, len(cols))
+		}
+		return cols[s.column], true, nil
+	}
+}

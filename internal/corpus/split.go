@@ -48,20 +48,18 @@ func SplitDocumentCompletion(c *Corpus, frac float64, minTrainTokens int) *HeldO
 				segs = append(segs, seg)
 				continue
 			}
-			if remaining >= len(seg.Words) {
+			words := seg.Words()
+			if remaining >= len(words) {
 				// entire segment withheld
-				test = append(test, reverse32(seg.Words)...)
-				remaining -= len(seg.Words)
+				test = append(test, reverse32(words)...)
+				remaining -= len(words)
 				continue
 			}
-			keep := len(seg.Words) - remaining
-			test = append(test, reverse32(seg.Words[keep:])...)
-			trunc := Segment{Words: seg.Words[:keep]}
-			if seg.Surface != nil {
-				trunc.Surface = seg.Surface[:keep]
-				trunc.Gaps = seg.Gaps[:keep]
-			}
-			segs = append(segs, trunc)
+			keep := len(words) - remaining
+			test = append(test, reverse32(words[keep:])...)
+			// The truncated segment shares the source arena: surfaces
+			// and gaps of the kept prefix come along for free.
+			segs = append(segs, seg.prefix(keep))
 			remaining = 0
 		}
 		// segs and test were collected back-to-front; restore order.

@@ -1,0 +1,167 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// genDocs produces a deterministic, vocabulary-rich document set large
+// enough to span several builder chunks (so parallel merges are
+// actually exercised) without importing the synth package (which would
+// cycle back into corpus).
+func genDocs(n int) []string {
+	subjects := []string{"frequent pattern", "support vector", "topic model",
+		"neural network", "query optimization", "data stream"}
+	verbs := []string{"mining", "learning", "indexing", "ranking", "sampling"}
+	tails := []string{"for large databases", "over evolving text corpora",
+		"with bounded memory", "at web scale", "under noisy labels"}
+	docs := make([]string, n)
+	state := uint64(88172645463325252)
+	next := func(m int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(m))
+	}
+	for i := range docs {
+		docs[i] = fmt.Sprintf("%s %s %s: novel%d results, and the %s approach.",
+			subjects[next(len(subjects))], verbs[next(len(verbs))],
+			tails[next(len(tails))], next(37), subjects[next(len(subjects))])
+	}
+	return docs
+}
+
+// renderCorpus serialises everything observable about a corpus —
+// document/segment structure, token ids, surfaces, gaps, display
+// forms, vocabulary contents, counts and un-stemmed forms — so two
+// corpora can be compared for exact equivalence.
+func renderCorpus(c *Corpus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "docs=%d total=%d vocab=%d\n", c.NumDocs(), c.TotalTokens, c.Vocab.Size())
+	for id := int32(0); int(id) < c.Vocab.Size(); id++ {
+		fmt.Fprintf(&b, "w%d=%s count=%d unstem=%s\n", id, c.Vocab.Word(id), c.Vocab.Count(id), c.Vocab.Unstem(id))
+	}
+	for _, d := range c.Docs {
+		fmt.Fprintf(&b, "doc%d:", d.ID)
+		for si := range d.Segments {
+			seg := &d.Segments[si]
+			fmt.Fprintf(&b, " [%v", seg.Words())
+			for i := 0; i < seg.Len(); i++ {
+				fmt.Fprintf(&b, " %q/%q", seg.Surface(i), seg.Gap(i))
+			}
+			fmt.Fprintf(&b, " disp=%q]", c.DisplayPhrase(seg, 0, seg.Len()))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestBuildFromSourceMatchesFromStrings(t *testing.T) {
+	docs := genDocs(700) // several 256-doc chunks plus a partial tail
+	for _, keepSurface := range []bool{true, false} {
+		opt := DefaultBuildOptions()
+		opt.KeepSurface = keepSurface
+		want := renderCorpus(FromStrings(docs, opt))
+		for _, workers := range []int{1, 2, 8} {
+			opt.Workers = workers
+			c, err := BuildFromSource(SliceSource(docs), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderCorpus(c); got != want {
+				t.Fatalf("keepSurface=%v workers=%d: streamed corpus differs from FromStrings", keepSurface, workers)
+			}
+		}
+	}
+}
+
+func TestBuildFromSourceLineSourceMatchesSlice(t *testing.T) {
+	docs := genDocs(300)
+	opt := DefaultBuildOptions()
+	opt.Workers = 4
+	fromSlice, err := BuildFromSource(SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromLines, err := BuildFromSource(LineSource(strings.NewReader(strings.Join(docs, "\n")+"\n")), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderCorpus(fromLines) != renderCorpus(fromSlice) {
+		t.Fatal("line-streamed corpus differs from slice-built corpus")
+	}
+}
+
+func TestBuildFromSourcePropagatesError(t *testing.T) {
+	r := &failingReader{data: strings.Repeat("a fine document line\n", 400)}
+	for _, workers := range []int{1, 4} {
+		opt := DefaultBuildOptions()
+		opt.Workers = workers
+		if _, err := BuildFromSource(LineSource(r), opt); err == nil {
+			t.Fatalf("workers=%d: injected read failure not surfaced", workers)
+		}
+		r.data = strings.Repeat("a fine document line\n", 400)
+	}
+}
+
+func TestLineReaderReportsTooLongLine(t *testing.T) {
+	// White-box: shrink the cap so the test does not allocate 16 MiB.
+	lr := newLineReaderSize(strings.NewReader("ok line\n"+strings.Repeat("x", 4<<20)), 1<<20)
+	if _, ok := lr.next(); !ok {
+		t.Fatal("first line should scan")
+	}
+	if _, ok := lr.next(); ok {
+		t.Fatal("over-long line should stop the scanner")
+	}
+	err := lr.finish("reading documents")
+	if err == nil {
+		t.Fatal("over-long line should surface an error")
+	}
+	for _, want := range []string{"line 2", "exceeds 1 MiB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestJSONLSourceNamesFailingLine(t *testing.T) {
+	input := "{\"text\": \"fine\"}\n\n{\"text\": \"also fine\"}\n{\"wrong\": 1}\n"
+	src := JSONLSource(strings.NewReader(input), "text")
+	for i := 0; i < 2; i++ {
+		if _, ok, err := src.Next(); !ok || err != nil {
+			t.Fatalf("doc %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	_, _, err := src.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error should name line 4 (blank lines still count), got %v", err)
+	}
+}
+
+// TestBuilderCorpusSnapshot pins the Builder.Corpus contract: the
+// returned corpus is a snapshot whose document list and token total
+// are unaffected by later Adds, while already-snapshotted documents
+// stay fully readable as the shared arena grows underneath them.
+func TestBuilderCorpusSnapshot(t *testing.T) {
+	b := NewBuilder(DefaultBuildOptions())
+	b.Add("alpha beta gamma")
+	snap := b.Corpus()
+	if snap.NumDocs() != 1 || snap.TotalTokens != 3 {
+		t.Fatalf("snapshot = %d docs / %d tokens, want 1/3", snap.NumDocs(), snap.TotalTokens)
+	}
+	for i := 0; i < 2000; i++ { // force several arena reallocations
+		b.Add(fmt.Sprintf("delta epsilon zeta eta theta word%d", i))
+	}
+	if snap.NumDocs() != 1 || snap.TotalTokens != 3 {
+		t.Fatalf("later Adds leaked into snapshot: %d docs / %d tokens", snap.NumDocs(), snap.TotalTokens)
+	}
+	seg := &snap.Docs[0].Segments[0]
+	if seg.Len() != 3 || seg.Surface(0) != "alpha" || seg.Surface(2) != "gamma" {
+		t.Fatalf("snapshotted segment unreadable after arena growth: len=%d %q %q",
+			seg.Len(), seg.Surface(0), seg.Surface(2))
+	}
+	if got := b.Corpus(); got.NumDocs() != 2001 {
+		t.Fatalf("fresh snapshot = %d docs, want 2001", got.NumDocs())
+	}
+}

@@ -37,7 +37,7 @@ func BuildIndex(c *corpus.Corpus) *Index {
 	for d, doc := range c.Docs {
 		seen := make(map[int32]bool)
 		for si := range doc.Segments {
-			words := doc.Segments[si].Words
+			words := doc.Segments[si].Words()
 			for i, w := range words {
 				idx.uniTok[w]++
 				idx.tokens++

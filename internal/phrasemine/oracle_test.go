@@ -16,7 +16,7 @@ func naiveCounts(c *corpus.Corpus, maxLen int) *counter.NGrams {
 	out := counter.New()
 	for _, d := range c.Docs {
 		for si := range d.Segments {
-			words := d.Segments[si].Words
+			words := d.Segments[si].Words()
 			for i := 0; i < len(words); i++ {
 				for n := 1; n <= maxLen && i+n <= len(words); n++ {
 					out.Inc(counter.Key(words[i : i+n]))

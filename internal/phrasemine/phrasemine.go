@@ -82,7 +82,7 @@ func Mine(c *corpus.Corpus, opt Options) *Result {
 	var segs []*segState
 	for _, d := range c.Docs {
 		for i := range d.Segments {
-			w := d.Segments[i].Words
+			w := d.Segments[i].Words()
 			if len(w) == 0 {
 				continue
 			}

@@ -84,7 +84,7 @@ func TestScoreFuncAblationStillPartitions(t *testing.T) {
 	c, mined := minedFromDocs(docs, 5)
 	for name, f := range map[string]ScoreFunc{"tstat": TStat, "pmi": PMI, "chi": ChiSquare} {
 		seg := NewSegmenter(mined, Options{Alpha: 0.1, MaxPhraseLen: 8, Workers: 1, Score: f})
-		words := c.Docs[0].Segments[0].Words
+		words := c.Docs[0].Segments[0].Words()
 		spans := seg.Partition(words)
 		pos := 0
 		for _, sp := range spans {

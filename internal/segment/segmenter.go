@@ -229,7 +229,7 @@ func (s *Segmenter) SegmentDocument(d *corpus.Document) *SegmentedDoc {
 func (s *Segmenter) segmentDocument(d *corpus.Document, w *workspace) *SegmentedDoc {
 	out := &SegmentedDoc{DocID: d.ID, Spans: make([][]Span, len(d.Segments))}
 	for i := range d.Segments {
-		out.Spans[i] = s.partition(d.Segments[i].Words, w)
+		out.Spans[i] = s.partition(d.Segments[i].Words(), w)
 	}
 	return out
 }
@@ -277,7 +277,7 @@ func PhraseInstances(c *corpus.Corpus, segs []*SegmentedDoc) *counter.NGrams {
 	for _, sd := range segs {
 		d := c.Docs[sd.DocID]
 		for si, spans := range sd.Spans {
-			words := d.Segments[si].Words
+			words := d.Segments[si].Words()
 			for _, sp := range spans {
 				kb = counter.AppendKey(kb, words, sp.Start, sp.End)
 				out.IncBytes(kb)

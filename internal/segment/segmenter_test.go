@@ -56,7 +56,7 @@ func TestPartitionCoversSegment(t *testing.T) {
 	docs := repeat([]string{"support vector machines classify documents"}, 8)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, Options{Alpha: 4, MaxPhraseLen: 8, Workers: 1})
-	words := c.Docs[0].Segments[0].Words
+	words := c.Docs[0].Segments[0].Words()
 	spans := seg.Partition(words)
 	if len(spans) == 0 {
 		t.Fatal("no spans")
@@ -103,7 +103,7 @@ func TestPartitionHighAlphaKeepsSingletons(t *testing.T) {
 	docs := repeat([]string{"alpha beta gamma"}, 10)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, Options{Alpha: math.Inf(1), Workers: 1})
-	spans := seg.Partition(c.Docs[0].Segments[0].Words)
+	spans := seg.Partition(c.Docs[0].Segments[0].Words())
 	if len(spans) != 3 {
 		t.Fatalf("alpha=+Inf should yield singletons, got %+v", spans)
 	}
@@ -113,7 +113,7 @@ func TestPartitionSingleToken(t *testing.T) {
 	docs := repeat([]string{"alpha"}, 6)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, DefaultOptions())
-	spans := seg.Partition(c.Docs[0].Segments[0].Words)
+	spans := seg.Partition(c.Docs[0].Segments[0].Words())
 	if len(spans) != 1 || spans[0] != (Span{0, 1}) {
 		t.Fatalf("single-token partition = %+v", spans)
 	}
@@ -131,7 +131,7 @@ func TestPartitionRespectsMaxPhraseLen(t *testing.T) {
 	docs := repeat([]string{"alpha beta gamma delta"}, 12)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, Options{Alpha: 0.5, MaxPhraseLen: 2, Workers: 1})
-	spans := seg.Partition(c.Docs[0].Segments[0].Words)
+	spans := seg.Partition(c.Docs[0].Segments[0].Words())
 	for _, sp := range spans {
 		if sp.Len() > 2 {
 			t.Fatalf("span exceeds MaxPhraseLen: %+v", spans)
@@ -145,7 +145,7 @@ func TestPartitionMergesWholeFrequentSegment(t *testing.T) {
 	docs := repeat([]string{"alpha beta gamma delta"}, 12)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, Options{Alpha: 0.5, MaxPhraseLen: 8, Workers: 1})
-	spans := seg.Partition(c.Docs[0].Segments[0].Words)
+	spans := seg.Partition(c.Docs[0].Segments[0].Words())
 	if len(spans) != 1 || spans[0].Len() != 4 {
 		t.Fatalf("expected single 4-token phrase, got %+v", spans)
 	}
@@ -202,7 +202,7 @@ func TestSegmentCorpusPartitionProperty(t *testing.T) {
 			t.Fatalf("doc %d: %d span lists for %d segments", i, len(sd.Spans), len(d.Segments))
 		}
 		for si, spans := range sd.Spans {
-			n := len(d.Segments[si].Words)
+			n := d.Segments[si].Len()
 			pos := 0
 			for _, sp := range spans {
 				if sp.Start != pos || sp.End <= sp.Start {
@@ -235,7 +235,7 @@ func TestPartitionPropertyQuick(t *testing.T) {
 					}
 					pos = sp.End
 				}
-				if pos != len(d.Segments[si].Words) {
+				if pos != d.Segments[si].Len() {
 					return false
 				}
 			}
@@ -284,7 +284,7 @@ func TestExamplePaperTitleSegmentation(t *testing.T) {
 	seg := NewSegmenter(mined, Options{Alpha: 3, MaxPhraseLen: 8, Workers: 1})
 	sd := seg.SegmentDocument(c.Docs[0])
 	// Find a span of length >= 2 containing "frequent pattern".
-	words := c.Docs[0].Segments[0].Words
+	words := c.Docs[0].Segments[0].Words()
 	fid, _ := c.Vocab.ID("frequent")
 	found := false
 	for _, sp := range sd.Spans[0] {

@@ -16,7 +16,7 @@ func TestTracePartitionRecordsMerges(t *testing.T) {
 	}, 5)
 	c, mined := minedFromDocs(docs, 4)
 	seg := NewSegmenter(mined, Options{Alpha: 2, MaxPhraseLen: 8, Workers: 1})
-	words := c.Docs[0].Segments[0].Words
+	words := c.Docs[0].Segments[0].Words()
 	spans, steps := seg.TracePartition(words)
 	if len(steps) == 0 {
 		t.Fatal("no merges recorded")
@@ -56,7 +56,7 @@ func TestTracePartitionMatchesPartition(t *testing.T) {
 	docs := repeat([]string{"alpha beta gamma delta"}, 10)
 	c, mined := minedFromDocs(docs, 5)
 	seg := NewSegmenter(mined, Options{Alpha: 1, MaxPhraseLen: 8, Workers: 1})
-	words := c.Docs[0].Segments[0].Words
+	words := c.Docs[0].Segments[0].Words()
 	plain := seg.Partition(words)
 	traced, _ := seg.TracePartition(words)
 	if len(plain) != len(traced) {

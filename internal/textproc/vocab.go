@@ -14,9 +14,18 @@ import (
 // (or per-shard and merge) and then share it read-only.
 type Vocab struct {
 	byWord  map[string]int32
-	words   []string         // id -> stem
-	counts  []int64          // id -> total corpus frequency
-	surface []map[string]int // id -> surface form -> count
+	words   []string        // id -> stem
+	counts  []int64         // id -> total corpus frequency
+	surface [][]surfaceVote // id -> surface-form tallies
+}
+
+// surfaceVote is one surface form's occurrence count for a stem. A
+// stem typically sees one to three distinct surface forms, so a small
+// linearly-scanned slice beats a map both in memory (a map costs
+// hundreds of bytes even for one entry) and in Intern's hot path.
+type surfaceVote struct {
+	form string
+	n    int
 }
 
 // NewVocab returns an empty vocabulary.
@@ -36,13 +45,53 @@ func (v *Vocab) Intern(stem, surfaceForm string) int32 {
 		v.surface = append(v.surface, nil)
 	}
 	v.counts[id]++
-	m := v.surface[id]
-	if m == nil {
-		m = make(map[string]int, 1)
-		v.surface[id] = m
+	votes := v.surface[id]
+	for i := range votes {
+		if votes[i].form == surfaceForm {
+			votes[i].n++
+			return id
+		}
 	}
-	m[surfaceForm]++
+	v.surface[id] = append(votes, surfaceVote{form: surfaceForm, n: 1})
 	return id
+}
+
+// MergeInto folds v's stems, counts and surface tallies into dst,
+// walking v in id order (which is v's first-occurrence order) and
+// interning each stem absent from dst. It returns the remap table from
+// v's ids to dst's. Merging shard vocabularies into a global one in
+// corpus order is therefore equivalent to replaying every Intern call
+// against the global vocabulary directly: ids, counts and surface
+// tallies all come out identical.
+func (v *Vocab) MergeInto(dst *Vocab) []int32 {
+	remap := make([]int32, len(v.words))
+	for lid, stem := range v.words {
+		gid, ok := dst.byWord[stem]
+		if !ok {
+			gid = int32(len(dst.words))
+			dst.byWord[stem] = gid
+			dst.words = append(dst.words, stem)
+			dst.counts = append(dst.counts, 0)
+			dst.surface = append(dst.surface, nil)
+		}
+		dst.counts[gid] += v.counts[lid]
+		for _, sv := range v.surface[lid] {
+			votes := dst.surface[gid]
+			found := false
+			for i := range votes {
+				if votes[i].form == sv.form {
+					votes[i].n += sv.n
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst.surface[gid] = append(votes, sv)
+			}
+		}
+		remap[lid] = gid
+	}
+	return remap
 }
 
 // ID returns the id for stem and whether it is present.
@@ -64,13 +113,13 @@ func (v *Vocab) Size() int { return len(v.words) }
 // falling back to the stem itself. Ties break lexicographically so the
 // result is deterministic.
 func (v *Vocab) Unstem(id int32) string {
-	if int(id) >= len(v.surface) || v.surface[id] == nil {
+	if int(id) >= len(v.surface) || len(v.surface[id]) == 0 {
 		return v.Word(id)
 	}
 	best, bestN := "", -1
-	for s, n := range v.surface[id] {
-		if n > bestN || (n == bestN && s < best) {
-			best, bestN = s, n
+	for _, sv := range v.surface[id] {
+		if sv.n > bestN || (sv.n == bestN && sv.form < best) {
+			best, bestN = sv.form, sv.n
 		}
 	}
 	if best == "" {

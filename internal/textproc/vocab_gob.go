@@ -29,18 +29,18 @@ func (v *Vocab) GobEncode() ([]byte, error) {
 		SurfaceForms:  make([][]string, len(v.surface)),
 		SurfaceCounts: make([][]int, len(v.surface)),
 	}
-	for id, m := range v.surface {
-		if len(m) == 0 {
+	for id, votes := range v.surface {
+		if len(votes) == 0 {
 			continue
 		}
-		forms := make([]string, 0, len(m))
-		for s := range m {
-			forms = append(forms, s)
-		}
-		sort.Strings(forms)
-		counts := make([]int, len(forms))
-		for i, s := range forms {
-			counts[i] = m[s]
+		sorted := make([]surfaceVote, len(votes))
+		copy(sorted, votes)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].form < sorted[b].form })
+		forms := make([]string, len(sorted))
+		counts := make([]int, len(sorted))
+		for i, sv := range sorted {
+			forms[i] = sv.form
+			counts[i] = sv.n
 		}
 		w.SurfaceForms[id] = forms
 		w.SurfaceCounts[id] = counts
@@ -70,7 +70,7 @@ func (v *Vocab) GobDecode(data []byte) error {
 	for i, s := range w.Words {
 		v.byWord[s] = int32(i)
 	}
-	v.surface = make([]map[string]int, len(w.Words))
+	v.surface = make([][]surfaceVote, len(w.Words))
 	for id, forms := range w.SurfaceForms {
 		if len(forms) != len(w.SurfaceCounts[id]) {
 			return fmt.Errorf("textproc: decoding vocab: stem %d has %d surface forms but %d counts",
@@ -79,11 +79,11 @@ func (v *Vocab) GobDecode(data []byte) error {
 		if len(forms) == 0 {
 			continue
 		}
-		m := make(map[string]int, len(forms))
+		votes := make([]surfaceVote, len(forms))
 		for i, s := range forms {
-			m[s] = w.SurfaceCounts[id][i]
+			votes[i] = surfaceVote{form: s, n: w.SurfaceCounts[id][i]}
 		}
-		v.surface[id] = m
+		v.surface[id] = votes
 	}
 	return nil
 }

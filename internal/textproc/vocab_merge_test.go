@@ -1,0 +1,54 @@
+package textproc
+
+import "testing"
+
+// TestMergeIntoMatchesReplay pins the property the parallel corpus
+// builder rests on: merging shard vocabularies into a global one in
+// shard order produces exactly the state of replaying every Intern
+// call serially — same ids, same counts, same un-stemmed forms.
+func TestMergeIntoMatchesReplay(t *testing.T) {
+	type occ struct{ stem, surface string }
+	chunks := [][]occ{
+		{{"mine", "mining"}, {"pattern", "patterns"}, {"mine", "mine"}},
+		{{"tree", "trees"}, {"mine", "mining"}, {"vector", "vector"}},
+		{{"pattern", "pattern"}, {"pattern", "patterns"}, {"stream", "streams"}},
+	}
+
+	serial := NewVocab()
+	for _, chunk := range chunks {
+		for _, o := range chunk {
+			serial.Intern(o.stem, o.surface)
+		}
+	}
+
+	merged := NewVocab()
+	for _, chunk := range chunks {
+		shard := NewVocab()
+		var localIDs []int32
+		for _, o := range chunk {
+			localIDs = append(localIDs, shard.Intern(o.stem, o.surface))
+		}
+		remap := shard.MergeInto(merged)
+		for i, o := range chunk {
+			gid, ok := merged.ID(o.stem)
+			if !ok || remap[localIDs[i]] != gid {
+				t.Fatalf("remap[%q] = %d, vocabulary says %d (ok=%v)", o.stem, remap[localIDs[i]], gid, ok)
+			}
+		}
+	}
+
+	if serial.Size() != merged.Size() {
+		t.Fatalf("sizes differ: serial=%d merged=%d", serial.Size(), merged.Size())
+	}
+	for id := int32(0); int(id) < serial.Size(); id++ {
+		if serial.Word(id) != merged.Word(id) {
+			t.Fatalf("id %d: serial stem %q, merged stem %q", id, serial.Word(id), merged.Word(id))
+		}
+		if serial.Count(id) != merged.Count(id) {
+			t.Fatalf("id %d (%q): serial count %d, merged count %d", id, serial.Word(id), serial.Count(id), merged.Count(id))
+		}
+		if serial.Unstem(id) != merged.Unstem(id) {
+			t.Fatalf("id %d (%q): serial unstem %q, merged unstem %q", id, serial.Word(id), serial.Unstem(id), merged.Unstem(id))
+		}
+	}
+}

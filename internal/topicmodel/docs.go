@@ -51,7 +51,7 @@ func DocsFromSegmentation(c *corpus.Corpus, segs []*segment.SegmentedDoc) []Doc 
 		src := c.Docs[sd.DocID]
 		d := Doc{ID: sd.DocID}
 		for si, spans := range sd.Spans {
-			words := src.Segments[si].Words
+			words := src.Segments[si].Words()
 			for _, sp := range spans {
 				clique := make([]int32, sp.Len())
 				copy(clique, words[sp.Start:sp.End])
@@ -72,7 +72,7 @@ func DocsUnigram(c *corpus.Corpus) []Doc {
 	for i, src := range c.Docs {
 		d := Doc{ID: src.ID}
 		for si := range src.Segments {
-			words := src.Segments[si].Words
+			words := src.Segments[si].Words()
 			for t, w := range words {
 				d.Cliques = append(d.Cliques, []int32{w})
 				d.Origin = append(d.Origin, CliqueOrigin{

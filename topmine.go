@@ -20,6 +20,7 @@ package topmine
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"topmine/internal/core"
@@ -89,7 +90,8 @@ type Options struct {
 	TopUnigrams, TopPhrases int
 	// Seed drives every random choice.
 	Seed uint64
-	// Workers parallelises mining and segmentation (0 = GOMAXPROCS).
+	// Workers parallelises corpus ingestion (Run/RunSource), mining
+	// and segmentation (0 = GOMAXPROCS). It never changes any output.
 	Workers int
 	// TopicWorkers > 1 trains the topic model with the approximate
 	// AD-LDA-style distributed sampler (see internal/topicmodel's
@@ -209,11 +211,41 @@ func (r *Result) PhraseString(p PhraseCount) string {
 	return r.Corpus.DisplayWords(p.Words)
 }
 
+// Source yields raw documents one at a time — the streaming input to
+// BuildCorpusFromSource and RunSource, letting corpora far larger than
+// memory ingest without materialising a []string. A Source's Next
+// returns ok=false with a nil error at end of input.
+type Source = corpus.Source
+
+// SliceSource adapts an in-memory document slice to a Source.
+func SliceSource(docs []string) Source { return corpus.SliceSource(docs) }
+
+// LineSource adapts a reader to a Source, one document per line (lines
+// up to 16 MiB).
+func LineSource(r io.Reader) Source { return corpus.LineSource(r) }
+
+// JSONLSource adapts a JSON-lines reader to a Source, taking each
+// object's given string field as the document text.
+func JSONLSource(r io.Reader, field string) Source { return corpus.JSONLSource(r, field) }
+
+// TSVSource adapts a tab-separated reader to a Source, taking the
+// given zero-based column as the document text.
+func TSVSource(r io.Reader, column int) Source { return corpus.TSVSource(r, column) }
+
 // BuildCorpus preprocesses raw documents (one string each) with the
 // paper's pipeline: punctuation segmentation, lower-casing, stop-word
 // removal with gap tracking, Porter stemming.
 func BuildCorpus(docs []string, opt CorpusOptions) *Corpus {
 	return corpus.FromStrings(docs, opt)
+}
+
+// BuildCorpusFromSource streams documents out of src into a corpus,
+// tokenizing on opt.Workers goroutines (0 = all cores). Memory stays
+// proportional to the built corpus — raw text is never accumulated —
+// and the result is bit-identical to BuildCorpus over the same
+// documents, for any worker count.
+func BuildCorpusFromSource(src Source, opt CorpusOptions) (*Corpus, error) {
+	return corpus.BuildFromSource(src, opt)
 }
 
 // DefaultCorpusOptions mirrors the paper's preprocessing.
@@ -232,7 +264,21 @@ func LoadCorpusJSONL(path, field string, opt CorpusOptions) (*Corpus, error) {
 
 // Run executes the full pipeline on raw documents.
 func Run(docs []string, opt Options) (*Result, error) {
-	return RunCorpus(BuildCorpus(docs, DefaultCorpusOptions()), opt)
+	return RunSource(SliceSource(docs), opt)
+}
+
+// RunSource executes the full pipeline on documents streamed from src,
+// preprocessing them with DefaultCorpusOptions on opt.Workers cores.
+// For a fixed seed the result is byte-identical to Run over the same
+// documents, at any worker count.
+func RunSource(src Source, opt Options) (*Result, error) {
+	copt := DefaultCorpusOptions()
+	copt.Workers = opt.Workers
+	c, err := corpus.BuildFromSource(src, copt)
+	if err != nil {
+		return nil, err
+	}
+	return RunCorpus(c, opt)
 }
 
 // RunCorpus executes the full pipeline on a prebuilt corpus.
