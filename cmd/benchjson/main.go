@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, the format of the repository's performance
+// trajectory artifacts (BENCH_*.json uploaded by CI). Each benchmark
+// line becomes one record carrying every reported metric, so later
+// runs can be diffed mechanically:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/topicmodel | benchjson -out BENCH_topicmodel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived artifact: environment header plus records.
+type Document struct {
+	Package string   `json:"package,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Bench   []Record `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "", "benchmark output to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Bench) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse scans `go test -bench` output: header lines (goos/goarch/pkg/
+// cpu) and benchmark result lines. Unknown lines are ignored, so the
+// full `go test` output can be piped through unfiltered.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok := parseBench(line)
+			if ok {
+				doc.Bench = append(doc.Bench, rec)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkSweep/K200/sparse-4  30  4287782 ns/op  5465205 tokens/s  0 B/op  0 allocs/op
+func parseBench(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Name:       trimProcSuffix(strings.TrimPrefix(fields[0], "Benchmark")),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	if len(rec.Metrics) == 0 {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker so names stay
+// comparable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

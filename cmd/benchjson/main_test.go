@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: topmine/internal/topicmodel
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweep/K200/sparse-4         	      30	   4287782 ns/op	   5465205 tokens/s	       0 B/op	       0 allocs/op
+BenchmarkSweepParallel/K200/workers2 	      10	  24281742 ns/op	   1206189 tokens/s	     176 B/op	       5 allocs/op
+PASS
+ok  	topmine/internal/topicmodel	0.632s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" ||
+		doc.Package != "topmine/internal/topicmodel" ||
+		!strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header misparsed: %+v", doc)
+	}
+	if len(doc.Bench) != 2 {
+		t.Fatalf("got %d records, want 2", len(doc.Bench))
+	}
+	r := doc.Bench[0]
+	if r.Name != "Sweep/K200/sparse" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be trimmed)", r.Name)
+	}
+	if r.Iterations != 30 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 4287782, "tokens/s": 5465205, "B/op": 0, "allocs/op": 0,
+	} {
+		if r.Metrics[unit] != want {
+			t.Fatalf("metric %s = %v, want %v", unit, r.Metrics[unit], want)
+		}
+	}
+	if doc.Bench[1].Name != "SweepParallel/K200/workers2" {
+		t.Fatalf("second record name = %q", doc.Bench[1].Name)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("hello\nBenchmarkBad x y\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Bench) != 0 {
+		t.Fatalf("parsed %d records from noise", len(doc.Bench))
+	}
+}

@@ -45,6 +45,8 @@ func main() {
 	maxLen := flag.Int("maxlen", 8, "maximum phrase length (0 = unbounded)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers for ingest/mining/segmentation (0 = all cores)")
+	topicWorkers := flag.Int("topic-workers", 0, "parallel Gibbs workers for topic training (approximate AD-LDA sampler, "+
+		"deterministic per worker count, O(touched cells) extra memory per sweep; 0/1 = exact serial sparse sampler)")
 	topN := flag.Int("top", 10, "phrases and unigrams to display per topic")
 	noHyper := flag.Bool("nohyper", false, "disable hyperparameter optimisation")
 	filterBG := flag.Bool("filterbg", false, "filter background phrases from topic lists")
@@ -116,6 +118,7 @@ func main() {
 	opt.MaxPhraseLen = *maxLen
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.TopicWorkers = *topicWorkers
 	opt.TopPhrases = *topN
 	opt.TopUnigrams = *topN
 	opt.OptimizeHyper = !*noHyper

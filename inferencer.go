@@ -3,9 +3,11 @@ package topmine
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"topmine/internal/corpus"
 	"topmine/internal/segment"
+	"topmine/internal/topicmodel"
 )
 
 // Inferencer is the serving-side view of a trained pipeline: the
@@ -28,6 +30,20 @@ type Inferencer struct {
 	// phrases is captured at construction so serving stats never touch
 	// the (potentially large) mined counter after startup.
 	phrases int
+	// scratch pools the per-request working memory of InferTopics —
+	// the Gibbs count/assignment/weight buffers and RNG
+	// (topicmodel.InferScratch) plus the clique headers and token
+	// arena — so a warm inference allocates only the returned mixture
+	// and the tokenised document.
+	scratch sync.Pool
+}
+
+// inferScratch is the pooled per-request working memory.
+type inferScratch struct {
+	ts      topicmodel.InferScratch
+	seg     segment.Workspace
+	cliques [][]int32
+	words   []int32 // shared arena the clique slices point into
 }
 
 // Stats summarises the trained artifacts behind an Inferencer — the
@@ -64,7 +80,7 @@ func NewInferencer(r *Result) (*Inferencer, error) {
 	// options (and snapshots persist them); callers hand-assembling a
 	// Corpus literal must set BuildOpts themselves — the zero value
 	// legitimately means no stemming and no stop-word removal.
-	return &Inferencer{
+	inf := &Inferencer{
 		vocab: r.Corpus,
 		seg: segment.NewSegmenter(r.Mined, segment.Options{
 			Alpha:        r.Options.SigThreshold,
@@ -76,7 +92,9 @@ func NewInferencer(r *Result) (*Inferencer, error) {
 		copt:    r.Corpus.BuildOpts,
 		topics:  r.Topics,
 		phrases: r.Mined.Counts.Len(),
-	}, nil
+	}
+	inf.scratch.New = func() any { return new(inferScratch) }
+	return inf, nil
 }
 
 // Stats returns the precomputed model summary; it never allocates and
@@ -113,18 +131,24 @@ func (inf *Inferencer) callSeed(text string) uint64 {
 	return inf.opt.Seed ^ h.Sum64() ^ 0x1f2e3d
 }
 
-// cliques maps a document's segments through the segmenter into phrase
-// cliques, the unit the topic model samples.
-func (inf *Inferencer) cliques(doc *corpus.Document) [][]int32 {
-	var cliques [][]int32
+// cliquesInto maps a document's segments through the segmenter into
+// phrase cliques — the unit the topic model samples — writing into
+// sc's reusable buffers. The
+// clique slices point into sc.words (or, if that arena grows mid-
+// build, a superseded backing array that stays alive with them), so
+// they are valid until the scratch's next use.
+func (inf *Inferencer) cliquesInto(doc *corpus.Document, sc *inferScratch) [][]int32 {
+	cliques := sc.cliques[:0]
+	arena := sc.words[:0]
 	for si := range doc.Segments {
 		words := doc.Segments[si].Words()
-		for _, sp := range inf.seg.Partition(words) {
-			clique := make([]int32, sp.Len())
-			copy(clique, words[sp.Start:sp.End])
-			cliques = append(cliques, clique)
+		for _, sp := range inf.seg.PartitionWith(words, &sc.seg) {
+			start := len(arena)
+			arena = append(arena, words[sp.Start:sp.End]...)
+			cliques = append(cliques, arena[start:len(arena):len(arena)])
 		}
 	}
+	sc.cliques, sc.words = cliques, arena
 	return cliques
 }
 
@@ -158,7 +182,11 @@ func (inf *Inferencer) InferTopicsTokens(text string, iters int) ([]float64, int
 	for si := range doc.Segments {
 		tokens += doc.Segments[si].Len()
 	}
-	return inf.model.InferTheta(inf.cliques(doc), iters, inf.callSeed(text)), tokens
+	sc := inf.scratch.Get().(*inferScratch)
+	cliques := inf.cliquesInto(doc, sc)
+	theta := inf.model.InferThetaScratch(cliques, iters, inf.callSeed(text), &sc.ts)
+	inf.scratch.Put(sc)
+	return theta, tokens
 }
 
 // Segment partitions unseen raw text into phrases with the mined

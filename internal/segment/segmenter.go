@@ -118,6 +118,22 @@ func (s *Segmenter) Partition(words []int32) []Span {
 	return s.partition(words, &w)
 }
 
+// Workspace is Partition's reusable working memory for hot callers
+// (the serving path partitions every request's segments): the zero
+// value is ready, and one Workspace amortises the per-call scratch
+// across any number of sequential PartitionWith calls. Not safe for
+// concurrent use.
+type Workspace struct {
+	w workspace
+}
+
+// PartitionWith is Partition drawing its scratch from ws. The
+// returned spans alias the workspace and are only valid until its
+// next use; callers that keep them must copy.
+func (s *Segmenter) PartitionWith(words []int32, ws *Workspace) []Span {
+	return s.partitionSpans(words, &ws.w)
+}
+
 // TracePartition is Partition plus the ordered list of merges it
 // performed, highest significance first (the execution order).
 func (s *Segmenter) TracePartition(words []int32) ([]Span, []MergeStep) {
@@ -127,13 +143,27 @@ func (s *Segmenter) TracePartition(words []int32) ([]Span, []MergeStep) {
 	return spans, *w.trace
 }
 
+// partition runs Algorithm 2 and returns freshly allocated spans.
 func (s *Segmenter) partition(words []int32, w *workspace) []Span {
+	spans := s.partitionSpans(words, w)
+	if spans == nil {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	return out
+}
+
+// partitionSpans runs Algorithm 2 into the workspace's span scratch;
+// the result is overwritten by the workspace's next use.
+func (s *Segmenter) partitionSpans(words []int32, w *workspace) []Span {
 	n := len(words)
 	if n == 0 {
 		return nil
 	}
 	if n == 1 {
-		return []Span{{0, 1}}
+		w.spansScratch = append(w.spansScratch[:0], Span{0, 1})
+		return w.spansScratch
 	}
 	w.resize(n)
 	for i := 0; i < n; i++ {
@@ -191,9 +221,7 @@ func (s *Segmenter) partition(words []int32, w *workspace) []Span {
 		spans = append(spans, Span{int(w.start[id]), int(w.end[id])})
 	}
 	w.spansScratch = spans
-	out := make([]Span, len(spans))
-	copy(out, spans)
-	return out
+	return spans
 }
 
 // pushCandidate scores the merge of adjacent nodes l and r and pushes

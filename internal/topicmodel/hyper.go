@@ -46,7 +46,7 @@ func (m *Model) OptimizeAlpha(iters int) {
 			num := 0.0
 			psiAk := Digamma(m.Alpha[k])
 			for di := range m.Docs {
-				if n := m.Ndk[di][k]; n > 0 {
+				if n := m.ndkRow(di)[k]; n > 0 {
 					num += Digamma(float64(n)+m.Alpha[k]) - psiAk
 				}
 			}
@@ -74,7 +74,7 @@ func (m *Model) OptimizeBeta(iters int) {
 		psiB := Digamma(m.Beta)
 		num := 0.0
 		for w := 0; w < m.V; w++ {
-			row := m.Nwk[w]
+			row := m.nwkRow(int32(w))
 			for k := 0; k < m.K; k++ {
 				if row[k] > 0 {
 					num += Digamma(float64(row[k])+m.Beta) - psiB

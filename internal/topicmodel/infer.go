@@ -2,6 +2,30 @@ package topicmodel
 
 import "topmine/internal/xrand"
 
+// InferScratch holds the per-call working memory of InferTheta so a
+// serving layer can pool it across requests instead of allocating
+// four slices and an RNG per inference. The zero value is ready to
+// use; a scratch adapts itself to any model/document shape, so one
+// pool can serve models of different K.
+type InferScratch struct {
+	ndk     []int32
+	z       []int32
+	weights []float64
+	acc     []float64
+	rng     xrand.RNG
+}
+
+// grow returns a zeroed slice of length n, reusing s's backing array
+// when it is large enough.
+func grow[T int32 | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // InferTheta folds an unseen document into a trained model: the
 // model's topic-word counts stay fixed while the new document's clique
 // assignments are Gibbs-sampled for iters sweeps (plus an equal burn-
@@ -15,12 +39,26 @@ import "topmine/internal/xrand"
 // budgeting CPU per call (e.g. a serving layer capping request work)
 // must count 2×iters sweeps, not iters.
 func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 {
+	return m.InferThetaScratch(cliques, iters, seed, nil)
+}
+
+// InferThetaScratch is InferTheta drawing its working memory from s
+// (allocated internally when nil). The returned mixture is always a
+// fresh slice — the only allocation when a scratch is supplied — so
+// callers may retain it while recycling s. A scratch must not be used
+// concurrently; pool it (see topmine.Inferencer) or keep one per
+// goroutine.
+func (m *Model) InferThetaScratch(cliques [][]int32, iters int, seed uint64, s *InferScratch) []float64 {
 	if iters <= 0 {
 		iters = 50
 	}
-	rng := xrand.New(seed)
-	ndk := make([]int32, m.K)
-	z := make([]int32, len(cliques))
+	if s == nil {
+		s = &InferScratch{}
+	}
+	s.rng.Seed(seed)
+	rng := &s.rng
+	ndk := grow(s.ndk, m.K)
+	z := grow(s.z, len(cliques))
 	var nd int32
 	for g, clique := range cliques {
 		k := int32(rng.Intn(m.K))
@@ -28,8 +66,9 @@ func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 
 		ndk[k] += int32(len(clique))
 		nd += int32(len(clique))
 	}
-	weights := make([]float64, m.K)
-	acc := make([]float64, m.K)
+	weights := grow(s.weights, m.K)
+	acc := grow(s.acc, m.K)
+	s.ndk, s.z, s.weights, s.acc = ndk, z, weights, acc
 	samples := 0
 	total := 2 * iters
 	for it := 0; it < total; it++ {
@@ -42,7 +81,7 @@ func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 
 				denom := m.BetaSum + float64(m.Nk[k])
 				for j, word := range clique {
 					fj := float64(j)
-					p *= (ak + fj) * (m.Beta + float64(m.Nwk[word][k])) / (denom + fj)
+					p *= (ak + fj) * (m.Beta + float64(m.nwkRow(word)[k])) / (denom + fj)
 				}
 				weights[k] = p
 			}
@@ -58,17 +97,18 @@ func (m *Model) InferTheta(cliques [][]int32, iters int, seed uint64) []float64 
 			samples++
 		}
 	}
+	out := make([]float64, m.K)
 	if samples == 0 {
 		denom := float64(nd) + m.AlphaSum
 		for k := 0; k < m.K; k++ {
-			acc[k] = (float64(ndk[k]) + m.Alpha[k]) / denom
+			out[k] = (float64(ndk[k]) + m.Alpha[k]) / denom
 		}
-		return acc
+		return out
 	}
 	for k := range acc {
-		acc[k] /= float64(samples)
+		out[k] = acc[k] / float64(samples)
 	}
-	return acc
+	return out
 }
 
 // BestTopic returns the argmax of a topic mixture.

@@ -28,6 +28,11 @@ type Options struct {
 	BurnIn int
 	// Seed drives the sampler deterministically.
 	Seed uint64
+	// DenseSampler selects the reference O(K)-per-clique dense sampler
+	// instead of the default sparse bucketed one. Both draw from the
+	// exact conditional of Eq. 7; the dense path exists as the
+	// correctness baseline for equivalence tests and benchmarks.
+	DenseSampler bool
 	// OnIteration, when set, runs after each sweep (1-based); used for
 	// perplexity curves and runtime instrumentation.
 	OnIteration func(iter int, m *Model)
@@ -77,30 +82,52 @@ type Model struct {
 	// Z[d][g] is the topic of clique g in document d.
 	Z [][]int32
 
-	// Ndk[d][k]: tokens of doc d assigned to topic k.
+	// Ndk[d][k]: tokens of doc d assigned to topic k. The rows are
+	// K-stride views into one flat arena (see compactCounts); the
+	// exported [][]int32 shape is kept for the gob wire format and for
+	// read access, and the arena keeps the hot sampling loops
+	// cache-local with no per-row pointer chase.
 	Ndk [][]int32
-	// Nwk[w][k]: tokens with word w assigned to topic k.
+	// Nwk[w][k]: tokens with word w assigned to topic k. Arena-backed
+	// like Ndk. Callers must treat the rows as read-only: the sampler
+	// maintains sparse per-word topic indexes that mirror these counts.
 	Nwk [][]int32
 	// Nk[k]: tokens assigned to topic k.
 	Nk []int64
 	// Nd[d]: tokens in doc d.
 	Nd []int32
+	// DenseSampler records Options.DenseSampler so the choice survives
+	// a Save/Load round trip (resumed training must consume the same
+	// sampler's RNG stream to stay reproducible). Gob skips unknown
+	// fields, so snapshots stay loadable in both directions across
+	// this addition.
+	DenseSampler bool
 
-	rng     *xrand.RNG
-	weights []float64 // scratch for sampling
+	// Flat count arenas backing the exported row views. nwk has V×K
+	// entries (row w at nwk[w*K:]), ndk has len(Docs)×K. They are nil
+	// only on a freshly gob-decoded model before ResetSampler runs.
+	nwk []int32
+	ndk []int32
+
+	rng       *xrand.RNG
+	weights   []float64 // scratch for dense sampling
+	denseRows [][]int32 // per-clique row cache for the dense path
+	sp        *sparseSampler
+	par       *parState
 }
 
 // NewModel allocates a model and randomly initialises assignments.
 func NewModel(docs []Doc, vocabSize int, opt Options) *Model {
 	opt.fill()
 	m := &Model{
-		K:       opt.K,
-		V:       vocabSize,
-		Beta:    opt.Beta,
-		BetaSum: opt.Beta * float64(vocabSize),
-		Docs:    docs,
-		rng:     xrand.New(opt.Seed),
-		weights: make([]float64, opt.K),
+		K:            opt.K,
+		V:            vocabSize,
+		Beta:         opt.Beta,
+		BetaSum:      opt.Beta * float64(vocabSize),
+		Docs:         docs,
+		rng:          xrand.New(opt.Seed),
+		weights:      make([]float64, opt.K),
+		DenseSampler: opt.DenseSampler,
 	}
 	m.Alpha = make([]float64, opt.K)
 	for k := range m.Alpha {
@@ -109,16 +136,18 @@ func NewModel(docs []Doc, vocabSize int, opt Options) *Model {
 	m.AlphaSum = opt.Alpha * float64(opt.K)
 
 	m.Z = make([][]int32, len(docs))
-	m.Ndk = make([][]int32, len(docs))
+	m.nwk = make([]int32, vocabSize*opt.K)
 	m.Nwk = make([][]int32, vocabSize)
 	for w := range m.Nwk {
-		m.Nwk[w] = make([]int32, opt.K)
+		m.Nwk[w] = m.nwk[w*opt.K : (w+1)*opt.K : (w+1)*opt.K]
 	}
+	m.ndk = make([]int32, len(docs)*opt.K)
+	m.Ndk = make([][]int32, len(docs))
 	m.Nk = make([]int64, opt.K)
 	m.Nd = make([]int32, len(docs))
 
 	for d := range docs {
-		m.Ndk[d] = make([]int32, opt.K)
+		m.Ndk[d] = m.ndk[d*opt.K : (d+1)*opt.K : (d+1)*opt.K]
 		m.Z[d] = make([]int32, len(docs[d].Cliques))
 		for g, clique := range docs[d].Cliques {
 			k := int32(m.rng.Intn(opt.K))
@@ -130,58 +159,137 @@ func NewModel(docs []Doc, vocabSize int, opt Options) *Model {
 	return m
 }
 
-// addClique adds (sign=+1) or removes (sign=-1) a clique's counts.
+// nwkRow returns word w's topic-count row out of the flat arena.
+// Every construction path arms the arena (NewModel natively, Load and
+// LoadSnapshot via shape validation + ResetSampler, Frozen by
+// sharing), so no view fallback is needed.
+func (m *Model) nwkRow(w int32) []int32 {
+	return m.nwk[int(w)*m.K : (int(w)+1)*m.K]
+}
+
+// ndkRow returns document d's topic-count row (see nwkRow).
+func (m *Model) ndkRow(d int) []int32 {
+	return m.ndk[d*m.K : (d+1)*m.K]
+}
+
+// compactCounts (re)builds the flat arenas and re-points the exported
+// Ndk/Nwk rows into them. It is a no-op when the views already alias
+// the arenas, so calling it on a natively-built model costs nothing;
+// after a gob decode it migrates the independently-allocated rows into
+// cache-local storage. Malformed matrices (rows of the wrong length)
+// are left untouched for the caller's shape validation to reject.
+func (m *Model) compactCounts() {
+	m.nwk = compactMatrix(m.Nwk, m.nwk, m.K)
+	m.ndk = compactMatrix(m.Ndk, m.ndk, m.K)
+}
+
+func compactMatrix(rows [][]int32, arena []int32, k int) []int32 {
+	if len(rows) == 0 || k <= 0 {
+		return nil
+	}
+	for _, r := range rows {
+		if len(r) != k {
+			return nil
+		}
+	}
+	if arena != nil && len(arena) == len(rows)*k && &rows[0][0] == &arena[0] {
+		return arena // views already alias this arena
+	}
+	arena = make([]int32, len(rows)*k)
+	for i, r := range rows {
+		copy(arena[i*k:], r)
+		rows[i] = arena[i*k : (i+1)*k : (i+1)*k]
+	}
+	return arena
+}
+
+// addClique adds (sign=+1) or removes (sign=-1) a clique's counts. It
+// bypasses the sparse sampler's word-topic index, so it invalidates
+// it — the sparse path maintains counts through sparseSampler.apply
+// instead.
 func (m *Model) addClique(d int, clique []int32, k int32, sign int32) {
-	m.Ndk[d][k] += sign * int32(len(clique))
+	m.invalidateSparse()
+	m.ndkRow(d)[k] += sign * int32(len(clique))
 	for _, w := range clique {
-		m.Nwk[w][k] += sign
+		m.nwkRow(w)[k] += sign
 	}
 	m.Nk[k] += int64(sign) * int64(len(clique))
 }
 
-// sampleClique resamples the topic of clique g of document d from its
-// conditional posterior, Equation 7 of the paper:
+// denseCliqueWeights fills m.weights with the unnormalised conditional
+// posterior of a (removed) clique in document d, Equation 7 of the
+// paper:
 //
 //	p(C = k | ·) ∝ Π_{j=1..W} (α_k + N_dk^-  + j−1) ·
 //	               (β_wj + N_{wj,k}^-) / (Σβ + N_k^- + j−1)
-func (m *Model) sampleClique(d, g int) {
-	clique := m.Docs[d].Cliques[g]
-	old := m.Z[d][g]
-	m.addClique(d, clique, old, -1)
+func (m *Model) denseCliqueWeights(d int, clique []int32) []float64 {
+	return m.cliqueWeightsInto(m.ndkRow(d), clique)
+}
 
-	ndk := m.Ndk[d]
+// cliqueWeightsInto is denseCliqueWeights against an explicit
+// document count row — the sparse sampler's fallback reuses it with
+// its cached row.
+func (m *Model) cliqueWeightsInto(ndk []int32, clique []int32) []float64 {
 	w := m.weights
 	if len(clique) == 1 {
 		// LDA fast path (W = 1).
-		word := clique[0]
-		row := m.Nwk[word]
+		row := m.nwkRow(clique[0])
 		for k := 0; k < m.K; k++ {
 			w[k] = (m.Alpha[k] + float64(ndk[k])) *
 				(m.Beta + float64(row[k])) /
 				(m.BetaSum + float64(m.Nk[k]))
 		}
 	} else {
+		rows := m.denseRows[:0]
+		for _, word := range clique {
+			rows = append(rows, m.nwkRow(word))
+		}
+		m.denseRows = rows
 		for k := 0; k < m.K; k++ {
 			p := 1.0
 			ak := m.Alpha[k] + float64(ndk[k])
 			denom := m.BetaSum + float64(m.Nk[k])
-			for j, word := range clique {
+			for j := range clique {
 				fj := float64(j)
-				p *= (ak + fj) * (m.Beta + float64(m.Nwk[word][k])) / (denom + fj)
+				p *= (ak + fj) * (m.Beta + float64(rows[j][k])) / (denom + fj)
 			}
 			w[k] = p
 		}
 	}
-	k := int32(m.rng.Categorical(w))
+	return w
+}
+
+// sampleCliqueDense resamples the topic of clique g of document d from
+// its full conditional with the O(K) dense scan — the reference
+// sampler the sparse bucketed path is tested against.
+func (m *Model) sampleCliqueDense(d, g int) {
+	clique := m.Docs[d].Cliques[g]
+	old := m.Z[d][g]
+	m.addClique(d, clique, old, -1)
+	k := int32(m.rng.Categorical(m.denseCliqueWeights(d, clique)))
 	m.Z[d][g] = k
 	m.addClique(d, clique, k, 1)
 }
 
-// Sweep runs one full Gibbs pass over all cliques.
+// Sweep runs one full Gibbs pass over all cliques. By default it uses
+// the sparse bucketed sampler (amortised O(K_d + K_w) per clique, see
+// sparse.go); models built with Options.DenseSampler use the dense
+// O(K) reference path. Both sample from the exact conditional.
 func (m *Model) Sweep() {
+	if m.DenseSampler {
+		m.SweepDense()
+		return
+	}
+	m.sweepSparse()
+}
+
+// SweepDense runs one full Gibbs pass with the reference dense
+// sampler, regardless of how the model was configured. (addClique
+// invalidates the sparse word-topic index as it mutates counts.)
+func (m *Model) SweepDense() {
 	for d := range m.Docs {
 		for g := range m.Docs[d].Cliques {
-			m.sampleClique(d, g)
+			m.sampleCliqueDense(d, g)
 		}
 	}
 }
@@ -210,8 +318,9 @@ func (m *Model) Theta(d int, dst []float64) []float64 {
 		dst = make([]float64, m.K)
 	}
 	denom := float64(m.Nd[d]) + m.AlphaSum
+	ndk := m.ndkRow(d)
 	for k := 0; k < m.K; k++ {
-		dst[k] = (float64(m.Ndk[d][k]) + m.Alpha[k]) / denom
+		dst[k] = (float64(ndk[k]) + m.Alpha[k]) / denom
 	}
 	return dst
 }
@@ -223,14 +332,14 @@ func (m *Model) Phi(k int, dst []float64) []float64 {
 	}
 	denom := float64(m.Nk[k]) + m.BetaSum
 	for w := 0; w < m.V; w++ {
-		dst[w] = (float64(m.Nwk[w][k]) + m.Beta) / denom
+		dst[w] = (float64(m.nwkRow(int32(w))[k]) + m.Beta) / denom
 	}
 	return dst
 }
 
 // PhiAt returns φ_k,w without materialising the full row.
 func (m *Model) PhiAt(k int, w int32) float64 {
-	return (float64(m.Nwk[w][k]) + m.Beta) / (float64(m.Nk[k]) + m.BetaSum)
+	return (float64(m.nwkRow(w)[k]) + m.Beta) / (float64(m.Nk[k]) + m.BetaSum)
 }
 
 // TotalTokens returns the number of tokens in the training set.
@@ -244,7 +353,8 @@ func (m *Model) TotalTokens() int {
 
 // CheckInvariants verifies count-matrix consistency with assignments;
 // it is used by tests and returns an error describing the first
-// violation found.
+// violation found. When the sparse sampler's word-topic index is
+// live, its agreement with the count matrix is verified too.
 func (m *Model) CheckInvariants() error {
 	ndk := make([][]int32, len(m.Docs))
 	nwk := make(map[int64]int32)
@@ -268,6 +378,9 @@ func (m *Model) CheckInvariants() error {
 			if ndk[d][k] != m.Ndk[d][k] {
 				return fmt.Errorf("Ndk[%d][%d] = %d, recomputed %d", d, k, m.Ndk[d][k], ndk[d][k])
 			}
+			if m.ndk != nil && m.ndk[d*m.K+k] != m.Ndk[d][k] {
+				return fmt.Errorf("ndk arena desynced from Ndk view at [%d][%d]", d, k)
+			}
 		}
 	}
 	for k := 0; k < m.K; k++ {
@@ -281,6 +394,14 @@ func (m *Model) CheckInvariants() error {
 			if m.Nwk[w][k] != want {
 				return fmt.Errorf("Nwk[%d][%d] = %d, recomputed %d", w, k, m.Nwk[w][k], want)
 			}
+			if m.nwk != nil && m.nwk[w*m.K+k] != want {
+				return fmt.Errorf("nwk arena desynced from Nwk view at [%d][%d]", w, k)
+			}
+		}
+	}
+	if m.sp != nil && m.sp.valid {
+		if err := m.sp.checkWordLists(); err != nil {
+			return err
 		}
 	}
 	return nil

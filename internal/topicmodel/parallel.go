@@ -10,11 +10,11 @@ import (
 // style of AD-LDA (Newman et al., "Distributed Algorithms for Topic
 // Models"), addressing the §8 future-work item on further scalability
 // of the topic-modeling stage. Documents are sharded across workers;
-// each sweep, every worker samples its shard against a private copy of
-// the topic-word counts seeded from the global state, and the workers'
-// deltas are reconciled at the sweep barrier:
+// each sweep, every worker samples its shard against the global
+// topic-word counts frozen at the sweep barrier plus its own private
+// delta, and the deltas are reconciled at the barrier:
 //
-//	global' = snapshot + Σ_w (local_w − snapshot)
+//	global' = global + Σ_w delta_w
 //
 // Because every clique belongs to exactly one worker, the reconciled
 // counts equal the counts recomputed from the final assignments — the
@@ -23,7 +23,15 @@ import (
 // approximation. Results are deterministic for a fixed worker count
 // but differ from the serial sampler's.
 //
-// Memory: each worker holds a V×K count copy (4·V·K bytes).
+// Memory: a worker's delta is sparse — one reusable K-stride row per
+// word its shard actually touched, plus an O(V) row index — so a
+// sweep's footprint is O(cells touched) instead of the V×K count copy
+// per worker the first implementation snapshotted (4·V·K bytes per
+// worker per sweep). The buffers persist across sweeps: after the
+// first sweep of a training run, SweepParallel allocates nothing
+// proportional to the model. Reconciliation likewise walks only the
+// touched rows, worker-outermost, each row one contiguous K-stride
+// block of the arena.
 
 // SweepParallel runs one Gibbs pass with the given number of workers.
 // workers <= 1 falls back to the exact serial sweep.
@@ -33,15 +41,8 @@ func (m *Model) SweepParallel(workers int) {
 		return
 	}
 	base := m.rng.Uint64()
+	ps := m.ensurePar(workers)
 
-	// Snapshot the global topic-word state.
-	snapNwk := make([][]int32, m.V)
-	for w := range snapNwk {
-		snapNwk[w] = append([]int32(nil), m.Nwk[w]...)
-	}
-	snapNk := append([]int64(nil), m.Nk...)
-
-	locals := make([]*workerState, workers)
 	var wg sync.WaitGroup
 	chunk := (len(m.Docs) + workers - 1) / workers
 	for wi := 0; wi < workers; wi++ {
@@ -53,102 +54,151 @@ func (m *Model) SweepParallel(workers int) {
 			continue
 		}
 		wg.Add(1)
-		go func(wi, lo, hi int) {
+		go func(ws *parWorker, wi, lo, hi int) {
 			defer wg.Done()
-			ws := newWorkerState(snapNwk, snapNk, xrand.New(base+uint64(wi)*0x9e3779b97f4a7c15), m.K)
+			ws.rng.Seed(base + uint64(wi)*0x9e3779b97f4a7c15)
 			for d := lo; d < hi; d++ {
 				for g := range m.Docs[d].Cliques {
-					m.sampleCliqueLocal(ws, d, g)
+					m.sampleCliqueDelta(ws, d, g)
 				}
 			}
-			locals[wi] = ws
-		}(wi, lo, hi)
+		}(ps.workers[wi], wi, lo, hi)
 	}
 	wg.Wait()
 
-	// Reconcile: global = snapshot + sum of worker deltas.
-	for w := 0; w < m.V; w++ {
-		row := m.Nwk[w]
-		snap := snapNwk[w]
-		for k := 0; k < m.K; k++ {
-			v := snap[k]
-			for _, ws := range locals {
-				if ws != nil {
-					v += ws.nwk[w][k] - snap[k]
-				}
+	// Reconcile worker-outermost: each worker's touched rows are
+	// contiguous K-stride blocks, applied and re-zeroed in one pass,
+	// O(touched rows × K) total.
+	for _, ws := range ps.workers {
+		for _, w := range ws.touched {
+			row := ws.rows[ws.rowOf[w]]
+			dst := m.nwkRow(w)
+			for k, v := range row {
+				dst[k] += v
+				row[k] = 0
 			}
-			row[k] = v
+			ws.rowOf[w] = -1
+		}
+		ws.touched = ws.touched[:0]
+		ws.used = 0
+		for k, v := range ws.nk {
+			m.Nk[k] += v
+			ws.nk[k] = 0
 		}
 	}
-	for k := 0; k < m.K; k++ {
-		v := snapNk[k]
-		for _, ws := range locals {
-			if ws != nil {
-				v += ws.nk[k] - snapNk[k]
-			}
-		}
-		m.Nk[k] = v
-	}
+	// The bulk count update bypassed the sparse sampler's word-topic
+	// index; rebuild it lazily on the next serial sparse sweep.
+	m.invalidateSparse()
 }
 
-type workerState struct {
-	nwk     [][]int32
-	nk      []int64
+// parState holds the reusable worker buffers across sweeps.
+type parState struct {
+	workers []*parWorker
+}
+
+// parWorker is one worker's sparse delta against the frozen global
+// counts, plus its sampling scratch. All buffers are reused; rows are
+// zeroed during reconciliation so a sweep starts clean.
+type parWorker struct {
+	rowOf   []int32   // [V] index into rows, -1 = word untouched
+	rows    [][]int32 // row pool, each K entries
+	used    int       // rows handed out this sweep
+	touched []int32   // words with a live row, in first-touch order
+	nk      []int64   // [K] topic-total delta
+	weights []float64 // [K] sampling scratch
+	rowPtr  [][]int32 // per-clique delta-row cache (phrase cliques)
+	gRowPtr [][]int32 // per-clique global-row cache (phrase cliques)
 	rng     *xrand.RNG
-	weights []float64
 }
 
-func newWorkerState(snapNwk [][]int32, snapNk []int64, rng *xrand.RNG, k int) *workerState {
-	ws := &workerState{
-		nwk:     make([][]int32, len(snapNwk)),
-		nk:      append([]int64(nil), snapNk...),
-		rng:     rng,
-		weights: make([]float64, k),
+// ensurePar returns reusable worker state for the given worker count,
+// building it when the count changes (determinism is only promised
+// for a fixed count, so a rebuild never mixes streams).
+func (m *Model) ensurePar(workers int) *parState {
+	if m.par != nil && len(m.par.workers) == workers {
+		return m.par
 	}
-	for w := range snapNwk {
-		ws.nwk[w] = append([]int32(nil), snapNwk[w]...)
+	ps := &parState{workers: make([]*parWorker, workers)}
+	for i := range ps.workers {
+		ws := &parWorker{
+			rowOf:   make([]int32, m.V),
+			nk:      make([]int64, m.K),
+			weights: make([]float64, m.K),
+			rng:     xrand.New(0),
+		}
+		for w := range ws.rowOf {
+			ws.rowOf[w] = -1
+		}
+		ps.workers[i] = ws
 	}
-	return ws
+	m.par = ps
+	return ps
 }
 
-// sampleCliqueLocal is sampleClique against a worker's private counts.
-// Ndk/Nd are owned by the document's worker, so they mutate in place.
-func (m *Model) sampleCliqueLocal(ws *workerState, d, g int) {
+// deltaRow returns the worker's delta row for word w, creating (or
+// recycling) one on first touch.
+func (ws *parWorker) deltaRow(w int32, k int) []int32 {
+	if ri := ws.rowOf[w]; ri >= 0 {
+		return ws.rows[ri]
+	}
+	if ws.used == len(ws.rows) {
+		ws.rows = append(ws.rows, make([]int32, k))
+	}
+	row := ws.rows[ws.used]
+	ws.rowOf[w] = int32(ws.used)
+	ws.used++
+	ws.touched = append(ws.touched, w)
+	return row
+}
+
+// sampleCliqueDelta is the dense clique draw against the worker's view
+// of the counts: frozen global + private delta. Ndk/Nd rows are owned
+// by the document's worker, so they mutate in place.
+func (m *Model) sampleCliqueDelta(ws *parWorker, d, g int) {
 	clique := m.Docs[d].Cliques[g]
 	old := m.Z[d][g]
-	m.Ndk[d][old] -= int32(len(clique))
+	ndk := m.ndkRow(d)
+	ndk[old] -= int32(len(clique))
 	for _, w := range clique {
-		ws.nwk[w][old]--
+		ws.deltaRow(w, m.K)[old]--
 	}
 	ws.nk[old] -= int64(len(clique))
 
-	ndk := m.Ndk[d]
 	wts := ws.weights
 	if len(clique) == 1 {
 		word := clique[0]
-		row := ws.nwk[word]
+		gRow := m.nwkRow(word)
+		dRow := ws.rows[ws.rowOf[word]] // live: the removal above touched it
 		for k := 0; k < m.K; k++ {
 			wts[k] = (m.Alpha[k] + float64(ndk[k])) *
-				(m.Beta + float64(row[k])) /
-				(m.BetaSum + float64(ws.nk[k]))
+				(m.Beta + float64(gRow[k]+dRow[k])) /
+				(m.BetaSum + float64(m.Nk[k]+ws.nk[k]))
 		}
 	} else {
+		dRows := ws.rowPtr[:0]
+		gRows := ws.gRowPtr[:0]
+		for _, w := range clique {
+			dRows = append(dRows, ws.rows[ws.rowOf[w]])
+			gRows = append(gRows, m.nwkRow(w))
+		}
+		ws.rowPtr, ws.gRowPtr = dRows, gRows
 		for k := 0; k < m.K; k++ {
 			p := 1.0
 			ak := m.Alpha[k] + float64(ndk[k])
-			denom := m.BetaSum + float64(ws.nk[k])
-			for j, word := range clique {
+			denom := m.BetaSum + float64(m.Nk[k]+ws.nk[k])
+			for j := range clique {
 				fj := float64(j)
-				p *= (ak + fj) * (m.Beta + float64(ws.nwk[word][k])) / (denom + fj)
+				nw := gRows[j][k] + dRows[j][k]
+				p *= (ak + fj) * (m.Beta + float64(nw)) / (denom + fj)
 			}
 			wts[k] = p
 		}
 	}
 	k := int32(ws.rng.Categorical(wts))
 	m.Z[d][g] = k
-	m.Ndk[d][k] += int32(len(clique))
+	ndk[k] += int32(len(clique))
 	for _, w := range clique {
-		ws.nwk[w][k]++
+		ws.deltaRow(w, m.K)[k]++
 	}
 	ws.nk[k] += int64(len(clique))
 }

@@ -30,7 +30,7 @@ func Perplexity(m *Model, test [][]int32) float64 {
 			if int(w) >= m.V {
 				continue // out-of-vocabulary guard
 			}
-			row := m.Nwk[w]
+			row := m.nwkRow(w)
 			var p float64
 			for k := 0; k < m.K; k++ {
 				phiW[k] = (float64(row[k]) + m.Beta) / (float64(m.Nk[k]) + m.BetaSum)
@@ -60,7 +60,7 @@ func TrainPerplexity(m *Model) float64 {
 		m.Theta(d, theta)
 		for _, clique := range m.Docs[d].Cliques {
 			for _, w := range clique {
-				row := m.Nwk[w]
+				row := m.nwkRow(w)
 				var p float64
 				for k := 0; k < m.K; k++ {
 					p += theta[k] * (float64(row[k]) + m.Beta) / (float64(m.Nk[k]) + m.BetaSum)

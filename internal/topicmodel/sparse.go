@@ -1,0 +1,569 @@
+package topicmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse bucketed Gibbs sampling in the style of SparseLDA (Yao,
+// Mimno, McCallum: "Efficient Methods for Topic Model Inference on
+// Streaming Document Collections", KDD 2009), generalised to
+// PhraseLDA's clique conditional (Eq. 7 of the paper).
+//
+// For a unigram clique the conditional factors into three buckets
+//
+//	p(k) ∝ α_k·β/(Σβ+N_k)            smoothing: dense but tiny mass
+//	     + N_dk·β/(Σβ+N_k)           document: nonzero only on K_d topics
+//	     + (α_k+N_dk)·N_wk/(Σβ+N_k)  word: nonzero only on K_w topics
+//
+// so a draw costs O(K_d + K_w) after maintaining the bucket masses
+// incrementally: the smoothing mass changes only through N_k (two
+// topics per draw), the document mass and the q-coefficients
+// (α_k+N_dk)/(Σβ+N_k) are rebuilt in O(K) once per document and
+// patched per draw, and the word bucket walks word w's nonzero topic
+// list, kept as packed (count<<32|topic) entries in decreasing count
+// order so the walk usually stops after one or two entries.
+//
+// A phrase clique of length W keeps the exact Eq. 7 product but only
+// evaluates it on the candidate topics where it can differ from the
+// "all counts zero" baseline — the document's nonzero topics plus
+// each clique word's nonzero topics. All other topics share the
+// precomputed smoothing mass S_W = Σ_k Π_j (α_k+j)·β/(Σβ+N_k+j),
+// one such mass per clique length present in the corpus.
+//
+// The per-length masses are not patched eagerly on every draw (that
+// would cost a division per maintained length per count change, most
+// of it wasted on the unigram draws that dominate a sweep). Instead
+// every N_k change is appended to a journal, and a draw of length W
+// catches its mass up by replaying the journal entries it has not
+// seen — re-deriving the per-topic term and folding the difference
+// into S_W — or recomputing from scratch when the backlog exceeds K.
+//
+// All masses are floating-point accumulators, so they are recomputed
+// at every sweep start (which also absorbs hyperparameter updates)
+// and guarded during sampling: a draw whose total mass is not a
+// positive finite number falls back to the dense O(K) path, which is
+// always exact.
+
+// sparseSampler carries the incremental state of the sparse sweep. It
+// lives on the Model but is rebuilt on demand: parallel sweeps and
+// deserialisation invalidate the word-topic index wholesale.
+type sparseSampler struct {
+	m     *Model
+	valid bool       // wt mirrors Nwk
+	wt    [][]uint64 // per word: packed (count<<32 | topic), count-descending
+
+	lengths []int       // distinct clique lengths in the corpus, ascending
+	betaPow []float64   // [W] β^W, refreshed per sweep
+	aprod   [][]float64 // [W][k] Π_{j<W} (α_k+j), refreshed per sweep
+	smooth  []float64   // [W] smoothing-bucket mass S_W (0 for absent W)
+	term    [][]float64 // [W][k] the term of k folded into smooth[W]
+	invden  []float64   // [k] 1/(Σβ+N_k), patched on every count change
+	nkLog   []int32     // journal of topics whose N_k changed this sweep
+	cursor  []int       // [W] nkLog prefix already folded into smooth[W]
+
+	// Per-document state, rebuilt by beginDoc in O(K).
+	ndkRow    []int32   // current doc's count row
+	qcoef     []float64 // [k] (α_k + N_dk) / (Σβ + N_k)
+	docR      float64   // document-bucket mass (unigram cliques)
+	docTopics []int32   // topics with N_dk > 0
+	docPos    []int32   // [k] index into docTopics, or -1
+
+	// Phrase-clique scratch.
+	rows  [][]int32 // per-word count rows of the clique at hand
+	cand  []int32
+	cw    []float64
+	mark  []int64 // [k] stamp marks
+	stamp int64
+}
+
+// ensureSparse returns a sampler whose word-topic index is in sync
+// with the count matrices, building whatever is stale.
+func (m *Model) ensureSparse() *sparseSampler {
+	if m.sp == nil {
+		sp := &sparseSampler{
+			m:      m,
+			qcoef:  make([]float64, m.K),
+			invden: make([]float64, m.K),
+			docPos: make([]int32, m.K),
+			mark:   make([]int64, m.K),
+		}
+		seen := make(map[int]bool)
+		for d := range m.Docs {
+			for _, c := range m.Docs[d].Cliques {
+				seen[len(c)] = true
+			}
+		}
+		for l := range seen {
+			sp.lengths = append(sp.lengths, l)
+		}
+		sort.Ints(sp.lengths)
+		maxW := 0
+		if n := len(sp.lengths); n > 0 {
+			maxW = sp.lengths[n-1]
+		}
+		sp.smooth = make([]float64, maxW+1)
+		sp.betaPow = make([]float64, maxW+1)
+		sp.aprod = make([][]float64, maxW+1)
+		sp.term = make([][]float64, maxW+1)
+		sp.cursor = make([]int, maxW+1)
+		for _, l := range sp.lengths {
+			sp.aprod[l] = make([]float64, m.K)
+			sp.term[l] = make([]float64, m.K)
+		}
+		sp.rows = make([][]int32, maxW)
+		m.sp = sp
+	}
+	if !m.sp.valid {
+		m.sp.buildWordLists()
+	}
+	return m.sp
+}
+
+// invalidateSparse marks the word-topic index stale; any path that
+// mutates Nwk without maintaining the index must call it.
+func (m *Model) invalidateSparse() {
+	if m.sp != nil {
+		m.sp.valid = false
+	}
+}
+
+// buildWordLists materialises the packed per-word nonzero topic lists
+// from the count matrix: one O(V·K) scan, paid only after the index
+// was invalidated (first sparse sweep, or a sparse sweep following
+// parallel training).
+func (sp *sparseSampler) buildWordLists() {
+	m := sp.m
+	if sp.wt == nil {
+		sp.wt = make([][]uint64, m.V)
+	}
+	for w := 0; w < m.V; w++ {
+		list := sp.wt[w][:0]
+		row := m.nwkRow(int32(w))
+		for k, c := range row {
+			if c > 0 {
+				list = append(list, uint64(c)<<32|uint64(k))
+			}
+		}
+		// Descending packed order = descending count order; frequent
+		// topics come first so bucket walks exit early.
+		sort.Slice(list, func(i, j int) bool { return list[i] > list[j] })
+		sp.wt[w] = list
+	}
+	sp.valid = true
+}
+
+// checkWordLists verifies the packed index against the count matrix;
+// used by Model.CheckInvariants.
+func (sp *sparseSampler) checkWordLists() error {
+	m := sp.m
+	for w := 0; w < m.V; w++ {
+		row := m.nwkRow(int32(w))
+		nnz := 0
+		for _, c := range row {
+			if c > 0 {
+				nnz++
+			}
+		}
+		if nnz != len(sp.wt[w]) {
+			return fmt.Errorf("sparse index: word %d has %d entries, counts say %d", w, len(sp.wt[w]), nnz)
+		}
+		for _, e := range sp.wt[w] {
+			k := uint32(e)
+			if int(k) >= m.K || row[k] != int32(e>>32) {
+				return fmt.Errorf("sparse index: word %d topic %d listed as %d, counts say %d",
+					w, k, e>>32, row[k])
+			}
+		}
+	}
+	return nil
+}
+
+// refresh recomputes every maintained mass from the current counts
+// and priors — run at each sweep start so hyperparameter updates and
+// within-sweep floating-point drift never outlive a sweep.
+func (sp *sparseSampler) refresh() {
+	m := sp.m
+	for k := 0; k < m.K; k++ {
+		sp.invden[k] = 1 / (m.BetaSum + float64(m.Nk[k]))
+	}
+	sp.nkLog = sp.nkLog[:0]
+	for _, W := range sp.lengths {
+		bp := 1.0
+		for j := 0; j < W; j++ {
+			bp *= m.Beta
+		}
+		sp.betaPow[W] = bp
+		ap := sp.aprod[W]
+		for k := 0; k < m.K; k++ {
+			a := 1.0
+			for j := 0; j < W; j++ {
+				a *= m.Alpha[k] + float64(j)
+			}
+			ap[k] = a
+		}
+		sp.recomputeSmooth(W)
+	}
+}
+
+// recomputeSmooth rebuilds S_W and its per-topic terms from scratch
+// and marks the whole journal as seen by length W.
+func (sp *sparseSampler) recomputeSmooth(W int) {
+	m := sp.m
+	ap, bp, tm := sp.aprod[W], sp.betaPow[W], sp.term[W]
+	total := 0.0
+	if W == 1 {
+		for k := 0; k < m.K; k++ {
+			t := ap[k] * bp * sp.invden[k]
+			tm[k] = t
+			total += t
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			t := ap[k] * bp / denProd(m.BetaSum+float64(m.Nk[k]), W)
+			tm[k] = t
+			total += t
+		}
+	}
+	sp.smooth[W] = total
+	sp.cursor[W] = len(sp.nkLog)
+}
+
+// catchUp folds every journaled N_k change that length W has not seen
+// into S_W. Replay cost is the backlog length with an O(K) full
+// recompute cap, so a sweep's total catch-up work is bounded by
+// O(changes × lengths) no matter how draws interleave.
+func (sp *sparseSampler) catchUp(W int) {
+	cur := sp.cursor[W]
+	if cur == len(sp.nkLog) {
+		return
+	}
+	if len(sp.nkLog)-cur >= sp.m.K {
+		sp.recomputeSmooth(W)
+		return
+	}
+	m := sp.m
+	ap, bp, tm := sp.aprod[W], sp.betaPow[W], sp.term[W]
+	s := sp.smooth[W]
+	if W == 1 {
+		for _, k := range sp.nkLog[cur:] {
+			t := ap[k] * bp * sp.invden[k]
+			s += t - tm[k]
+			tm[k] = t
+		}
+	} else {
+		for _, k := range sp.nkLog[cur:] {
+			t := ap[k] * bp / denProd(m.BetaSum+float64(m.Nk[k]), W)
+			s += t - tm[k]
+			tm[k] = t
+		}
+	}
+	sp.smooth[W] = s
+	sp.cursor[W] = len(sp.nkLog)
+}
+
+// denProd returns Π_{j<W} (den + j), the denominator chain of Eq. 7.
+func denProd(den float64, W int) float64 {
+	p := den
+	for j := 1; j < W; j++ {
+		p *= den + float64(j)
+	}
+	return p
+}
+
+// sweepSparse is Model.Sweep's default implementation.
+func (m *Model) sweepSparse() {
+	sp := m.ensureSparse()
+	sp.refresh()
+	for d := range m.Docs {
+		if len(m.Docs[d].Cliques) == 0 {
+			continue
+		}
+		sp.beginDoc(d)
+		for g := range m.Docs[d].Cliques {
+			sp.sample(d, g)
+		}
+	}
+}
+
+// beginDoc rebuilds the per-document state in O(K), amortised over
+// the document's cliques.
+func (sp *sparseSampler) beginDoc(d int) {
+	m := sp.m
+	sp.ndkRow = m.ndkRow(d)
+	sp.docTopics = sp.docTopics[:0]
+	r := 0.0
+	for k := 0; k < m.K; k++ {
+		inv := sp.invden[k]
+		n := sp.ndkRow[k]
+		sp.qcoef[k] = (m.Alpha[k] + float64(n)) * inv
+		sp.docPos[k] = -1
+		if n > 0 {
+			sp.docPos[k] = int32(len(sp.docTopics))
+			sp.docTopics = append(sp.docTopics, int32(k))
+			r += float64(n) * m.Beta * inv
+		}
+	}
+	sp.docR = r
+}
+
+// sample resamples clique g of the current document d.
+func (sp *sparseSampler) sample(d, g int) {
+	m := sp.m
+	clique := m.Docs[d].Cliques[g]
+	old := m.Z[d][g]
+	sp.apply(clique, old, -1)
+	var k int32
+	if len(clique) == 1 {
+		k = sp.drawUnigram(clique)
+	} else {
+		k = sp.drawPhrase(clique)
+	}
+	m.Z[d][g] = k
+	sp.apply(clique, k, 1)
+}
+
+// apply adds (sign=+1) or removes (sign=-1) a clique's counts for
+// topic k in the current document, patching the count matrices, the
+// word-topic index, the reciprocal denominator, the document bucket,
+// and the q-coefficient of k, and journaling the N_k change for the
+// lazily maintained smoothing masses. Cost: O(W) plus one division.
+func (sp *sparseSampler) apply(clique []int32, k int32, sign int32) {
+	m := sp.m
+	ki := int(k)
+	w := int32(len(clique))
+	oldNdk := sp.ndkRow[ki]
+	newNdk := oldNdk + sign*w
+
+	sp.ndkRow[ki] = newNdk
+	m.Nk[ki] += int64(sign) * int64(w)
+	if sign > 0 {
+		for _, word := range clique {
+			m.nwkRow(word)[ki]++
+			sp.wt[word] = wtInc(sp.wt[word], uint32(k))
+		}
+	} else {
+		for _, word := range clique {
+			m.nwkRow(word)[ki]--
+			sp.wt[word] = wtDec(sp.wt[word], uint32(k))
+		}
+	}
+
+	// Document topic list membership.
+	switch {
+	case oldNdk == 0 && newNdk > 0:
+		sp.docPos[ki] = int32(len(sp.docTopics))
+		sp.docTopics = append(sp.docTopics, k)
+	case oldNdk > 0 && newNdk == 0:
+		pos := sp.docPos[ki]
+		last := int32(len(sp.docTopics) - 1)
+		moved := sp.docTopics[last]
+		sp.docTopics[pos] = moved
+		sp.docPos[moved] = pos
+		sp.docTopics = sp.docTopics[:last]
+		sp.docPos[ki] = -1
+	}
+
+	oldInv := sp.invden[ki]
+	newInv := 1 / (m.BetaSum + float64(m.Nk[ki]))
+	sp.invden[ki] = newInv
+	sp.nkLog = append(sp.nkLog, k)
+	if len(sp.nkLog) >= 4*m.K {
+		sp.compactLog()
+	}
+	sp.docR += float64(newNdk)*m.Beta*newInv - float64(oldNdk)*m.Beta*oldInv
+	sp.qcoef[ki] = (m.Alpha[ki] + float64(newNdk)) * newInv
+}
+
+// compactLog bounds the journal: entries more than K behind every
+// cursor can never be replayed (catchUp recomputes from scratch at
+// that backlog), so once the log reaches a few K the lengths are all
+// folded up to date and the log reset. This keeps the journal O(K)
+// for the model's lifetime instead of O(cliques) per sweep, at an
+// amortised O(#lengths) cost per draw.
+func (sp *sparseSampler) compactLog() {
+	for _, W := range sp.lengths {
+		sp.catchUp(W)
+	}
+	sp.nkLog = sp.nkLog[:0]
+	for _, W := range sp.lengths {
+		sp.cursor[W] = 0
+	}
+}
+
+// drawUnigram draws from the three-bucket decomposition of the W=1
+// conditional. Cost: O(K_w) for the word-bucket mass plus the walk of
+// whichever bucket the uniform lands in; the O(K) smoothing walk is
+// hit with probability s/(s+r+q), which is tiny on trained models.
+func (sp *sparseSampler) drawUnigram(clique []int32) int32 {
+	m := sp.m
+	w := clique[0]
+	sp.catchUp(1)
+	list := sp.wt[w]
+	var q float64
+	for _, e := range list {
+		q += float64(e>>32) * sp.qcoef[uint32(e)]
+	}
+	total := q + sp.docR + sp.smooth[1]
+	if !(total > 0) || math.IsInf(total, 1) || math.IsNaN(total) {
+		return m.denseDraw(clique)
+	}
+	u := m.rng.Float64() * total
+	if u < q {
+		for _, e := range list {
+			u -= float64(e>>32) * sp.qcoef[uint32(e)]
+			if u < 0 {
+				return int32(uint32(e))
+			}
+		}
+		return int32(uint32(list[len(list)-1])) // float slack
+	}
+	u -= q
+	if u < sp.docR && len(sp.docTopics) > 0 {
+		for _, k := range sp.docTopics {
+			u -= float64(sp.ndkRow[k]) * m.Beta * sp.invden[k]
+			if u < 0 {
+				return k
+			}
+		}
+		return sp.docTopics[len(sp.docTopics)-1] // float slack
+	}
+	u -= sp.docR
+	tm := sp.term[1]
+	for k := 0; k < m.K; k++ {
+		u -= tm[k]
+		if u < 0 {
+			return int32(k)
+		}
+	}
+	return int32(m.K - 1) // float slack: every topic has smoothing mass
+}
+
+// drawPhrase draws a W>1 clique's topic: the exact Eq. 7 product on
+// the candidate topics (document nonzeros ∪ each word's nonzeros),
+// the caught-up smoothing mass S_W for everything else.
+func (sp *sparseSampler) drawPhrase(clique []int32) int32 {
+	m := sp.m
+	W := len(clique)
+	sp.catchUp(W)
+	sp.stamp++
+	st := sp.stamp
+	cand := sp.cand[:0]
+	rows := sp.rows[:0]
+	for _, k := range sp.docTopics {
+		sp.mark[k] = st
+		cand = append(cand, k)
+	}
+	for _, word := range clique {
+		rows = append(rows, m.nwkRow(word))
+		for _, e := range sp.wt[word] {
+			k := int32(uint32(e))
+			if sp.mark[k] != st {
+				sp.mark[k] = st
+				cand = append(cand, k)
+			}
+		}
+	}
+	sp.cand, sp.rows = cand, rows
+
+	tm := sp.term[W]
+	cw := sp.cw[:0]
+	var psum, corr float64
+	for _, k := range cand {
+		akn := m.Alpha[k] + float64(sp.ndkRow[k])
+		den := m.BetaSum + float64(m.Nk[k])
+		p := 1.0
+		for j := range clique {
+			fj := float64(j)
+			p *= (akn + fj) * (m.Beta + float64(rows[j][k])) / (den + fj)
+		}
+		cw = append(cw, p)
+		psum += p
+		corr += tm[k]
+	}
+	sp.cw = cw
+	rest := sp.smooth[W] - corr
+	if rest < 0 {
+		rest = 0 // candidates held the entire maintained mass; drift guard
+	}
+	total := psum + rest
+	if !(total > 0) || math.IsInf(total, 1) || math.IsNaN(total) {
+		return m.denseDraw(clique)
+	}
+	u := m.rng.Float64() * total
+	if u < psum {
+		for i, p := range cw {
+			u -= p
+			if u < 0 {
+				return cand[i]
+			}
+		}
+		return cand[len(cand)-1] // float slack
+	}
+	u -= psum
+	for k := 0; k < m.K; k++ {
+		if sp.mark[k] == st {
+			continue
+		}
+		u -= tm[k]
+		if u < 0 {
+			return int32(k)
+		}
+	}
+	for k := m.K - 1; k >= 0; k-- { // float slack: last non-candidate
+		if sp.mark[k] != st {
+			return int32(k)
+		}
+	}
+	return cand[len(cand)-1] // every topic was a candidate
+}
+
+// denseDraw is the exact fallback: the full O(K) conditional of the
+// (already removed) clique in the current document. It is reached
+// only when the maintained masses cannot produce a positive finite
+// total — degenerate priors, drift at the edge of float range.
+func (m *Model) denseDraw(clique []int32) int32 {
+	return int32(m.rng.Categorical(m.cliqueWeightsInto(m.sp.ndkRow, clique)))
+}
+
+// wtInc bumps topic k in a packed word-topic list, inserting it at
+// count 1 if absent, and restores decreasing-count order by bubbling
+// the entry left past its equals — O(distance moved), usually O(1).
+func wtInc(list []uint64, k uint32) []uint64 {
+	for i, e := range list {
+		if uint32(e) == k {
+			e += 1 << 32
+			for i > 0 && list[i-1] < e {
+				list[i] = list[i-1]
+				i--
+			}
+			list[i] = e
+			return list
+		}
+	}
+	return append(list, 1<<32|uint64(k))
+}
+
+// wtDec decrements topic k, dropping the entry when its count reaches
+// zero (swap-with-last: the tail of the list holds the minimal
+// counts) and bubbling right otherwise.
+func wtDec(list []uint64, k uint32) []uint64 {
+	for i, e := range list {
+		if uint32(e) == k {
+			if e>>32 <= 1 {
+				last := len(list) - 1
+				list[i] = list[last]
+				return list[:last]
+			}
+			e -= 1 << 32
+			for i < len(list)-1 && list[i+1] > e {
+				list[i] = list[i+1]
+				i++
+			}
+			list[i] = e
+			return list
+		}
+	}
+	panic("topicmodel: word-topic index out of sync with counts")
+}

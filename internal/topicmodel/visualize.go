@@ -269,7 +269,7 @@ func (m *Model) TopUnigrams(k, n int, c *corpus.Corpus) []string {
 	}
 	all := make([]wc, 0, 64)
 	for w := 0; w < m.V; w++ {
-		if cnt := m.Nwk[w][k]; cnt > 0 {
+		if cnt := m.nwkRow(int32(w))[k]; cnt > 0 {
 			all = append(all, wc{int32(w), cnt})
 		}
 	}

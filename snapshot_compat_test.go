@@ -1,0 +1,53 @@
+package topmine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLoadPrePR4Snapshot pins backward wire compatibility against a
+// golden fixture: testdata/snapshot_pr3.tpm was written by the PR-3
+// build (before the topicmodel count matrices moved to flat arenas
+// and before Model.DenseSampler existed) with
+//
+//	topmine -synth dblp-titles -docs 300 -k 4 -iters 30 -seed 7 -save ...
+//
+// The current build must load it, reconstruct arena-backed counts via
+// ResetSampler, and serve deterministic inference from it. A failure
+// here means a change to the Model/snapshot encoding broke every
+// snapshot in the wild.
+func TestLoadPrePR4Snapshot(t *testing.T) {
+	res, err := LoadSnapshotFile("testdata/snapshot_pr3.tpm")
+	if err != nil {
+		t.Fatalf("pre-PR4 snapshot no longer loads: %v", err)
+	}
+	if res.Model == nil || res.Model.K != 4 {
+		t.Fatalf("loaded model malformed: %+v", res.Model)
+	}
+	if res.Model.V != res.Corpus.Vocab.Size() {
+		t.Fatalf("vocab mismatch: model V=%d, vocab=%d", res.Model.V, res.Corpus.Vocab.Size())
+	}
+	inf, err := res.Inferencer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, tokens := inf.InferTopicsTokens("parallel database query optimization", 30)
+	if tokens == 0 {
+		t.Fatal("planted-domain text mapped to zero in-vocab tokens")
+	}
+	sum := 0.0
+	for _, v := range theta {
+		if v <= 0 {
+			t.Fatalf("non-positive mixture component: %v", theta)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mixture does not normalise: %v", sum)
+	}
+	// Inference over a loaded snapshot is deterministic per text.
+	again, _ := inf.InferTopicsTokens("parallel database query optimization", 30)
+	if !reflect.DeepEqual(theta, again) {
+		t.Fatal("repeated inference on loaded snapshot diverged")
+	}
+}
