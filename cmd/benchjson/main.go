@@ -23,9 +23,15 @@ type Record struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Package labels the record when the input mixes several packages
+	// (CI concatenates multiple `go test -bench` runs into one
+	// artifact); omitted when the document-level Package applies.
+	Package string `json:"package,omitempty"`
 }
 
 // Document is the archived artifact: environment header plus records.
+// Package is set when every record came from one package; mixed-
+// package inputs leave it empty and label each record instead.
 type Document struct {
 	Package string   `json:"package,omitempty"`
 	Goos    string   `json:"goos,omitempty"`
@@ -76,6 +82,7 @@ func main() {
 // full `go test` output can be piped through unfiltered.
 func parse(r io.Reader) (*Document, error) {
 	doc := &Document{}
+	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -86,14 +93,31 @@ func parse(r io.Reader) (*Document, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "cpu:"):
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			rec, ok := parseBench(line)
 			if ok {
+				rec.Package = pkg
 				doc.Bench = append(doc.Bench, rec)
 			}
+		}
+	}
+	// One package: hoist the label to the document, as single-run
+	// artifacts always did. Mixed packages: label every record so
+	// concatenated runs stay attributable.
+	uniform := true
+	for _, rec := range doc.Bench {
+		if rec.Package != doc.Bench[0].Package {
+			uniform = false
+			break
+		}
+	}
+	if uniform && len(doc.Bench) > 0 {
+		doc.Package = doc.Bench[0].Package
+		for i := range doc.Bench {
+			doc.Bench[i].Package = ""
 		}
 	}
 	return doc, sc.Err()

@@ -6,17 +6,31 @@
 //
 //	topmine -input corpus.txt -k 10 -iters 1000
 //	topmine -input reviews.jsonl -jsonl text -k 10
+//	topmine -input corpus.txt.gz -k 10            # gzip auto-detected
 //	zcat corpus.txt.gz | topmine -input - -k 10
 //	topmine -synth yelp-reviews -docs 2000 -k 10
 //
+// Preprocessing (ingest, phrase mining, segmentation) can run once and
+// be persisted as a .tpc corpus file; later training jobs mmap it and
+// skip straight to Gibbs sampling:
+//
+//	topmine -input reviews.jsonl -jsonl text -preprocess reviews.tpc
+//	topmine -corpus reviews.tpc -k 10 -iters 1000
+//	topmine -corpus reviews.tpc -k 40 -seed 7 -save k40.tpm
+//
 // A trained run can be persisted as a pipeline snapshot and reused
-// without retraining (by this command or by the topmined server):
+// without retraining (by this command or by the topmined server); with
+// -save-state the snapshot keeps the full Gibbs state so training can
+// continue later:
 //
 //	topmine -synth yelp-reviews -k 10 -save model.tpm
 //	topmine -load model.tpm -infer "great food and friendly service"
+//	topmine -synth yelp-reviews -k 10 -save model.tpm -save-state
+//	topmine -load model.tpm -iters 500 -save model2.tpm -save-state
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,83 +45,101 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topmine: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2) // flag package already printed the complaint
+		}
+		log.Fatal(err)
+	}
+}
 
-	input := flag.String("input", "", "path to corpus file, one document per line ('-' reads stdin)")
-	jsonlField := flag.String("jsonl", "", "treat -input as JSON lines and take document text from this field")
-	synthDomain := flag.String("synth", "", "generate a synthetic corpus instead: "+
+// errUsage marks a bad flag combination; main exits 2 without the
+// "topmine:" error prefix duplicating what the flag package printed.
+var errUsage = errors.New("usage error")
+
+// run is the whole command behind an injectable stdin/stdout/stderr,
+// so tests can drive every flag combination in-process — in particular
+// the pin that `-input -` consumes stdin exactly once regardless of
+// -save/-infer. All corpus input flows through the reader passed here;
+// nothing else may touch os.Stdin.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("topmine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	input := fs.String("input", "", "path to corpus file, one document per line ('-' reads stdin; .gz auto-detected)")
+	jsonlField := fs.String("jsonl", "", "treat -input as JSON lines and take document text from this field")
+	synthDomain := fs.String("synth", "", "generate a synthetic corpus instead: "+
 		strings.Join(topmine.ExampleDomains(), ", "))
-	docs := flag.Int("docs", 2000, "documents to generate with -synth")
-	k := flag.Int("k", 10, "number of topics")
-	iters := flag.Int("iters", 1000, "Gibbs iterations")
-	minSupport := flag.Int("minsup", 5, "minimum phrase support (epsilon)")
-	relSupport := flag.Float64("relsup", 0, "relative support as a fraction of corpus tokens (overrides -minsup when larger)")
-	sig := flag.Float64("alpha", 5, "significance threshold for merging (Algorithm 2)")
-	maxLen := flag.Int("maxlen", 8, "maximum phrase length (0 = unbounded)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	workers := flag.Int("workers", 0, "parallel workers for ingest/mining/segmentation (0 = all cores)")
-	topicWorkers := flag.Int("topic-workers", 0, "parallel Gibbs workers for topic training (approximate AD-LDA sampler, "+
+	docs := fs.Int("docs", 2000, "documents to generate with -synth")
+	corpusFile := fs.String("corpus", "", "train from this preprocessed .tpc corpus file (mmap; skips ingest/mining/segmentation)")
+	preprocess := fs.String("preprocess", "", "preprocess only: write the corpus, mined phrases and segmentation to this .tpc file and exit")
+	k := fs.Int("k", 10, "number of topics")
+	iters := fs.Int("iters", 1000, "Gibbs iterations (with -load: continue training this many sweeps)")
+	minSupport := fs.Int("minsup", 5, "minimum phrase support (epsilon)")
+	relSupport := fs.Float64("relsup", 0, "relative support as a fraction of corpus tokens (overrides -minsup when larger)")
+	sig := fs.Float64("alpha", 5, "significance threshold for merging (Algorithm 2)")
+	maxLen := fs.Int("maxlen", 8, "maximum phrase length (0 = unbounded)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers for ingest/mining/segmentation (0 = all cores)")
+	topicWorkers := fs.Int("topic-workers", 0, "parallel Gibbs workers for topic training (approximate AD-LDA sampler, "+
 		"deterministic per worker count, O(touched cells) extra memory per sweep; 0/1 = exact serial sparse sampler)")
-	topN := flag.Int("top", 10, "phrases and unigrams to display per topic")
-	noHyper := flag.Bool("nohyper", false, "disable hyperparameter optimisation")
-	filterBG := flag.Bool("filterbg", false, "filter background phrases from topic lists")
-	phrasesOnly := flag.Bool("phrases-only", false, "stop after phrase mining and print frequent phrases")
-	segmentOnly := flag.Bool("segment", false, "stop after segmentation and print each document as a bag of phrases")
-	saveModel := flag.String("save", "", "save the trained pipeline snapshot to this path")
-	loadModel := flag.String("load", "", "load a pipeline snapshot instead of training")
-	inferText := flag.String("infer", "", "infer the topic mixture of this text (after training, or against -load)")
-	inferIters := flag.Int("infer-iters", 50, "Gibbs sweeps for -infer")
-	flag.Parse()
+	topN := fs.Int("top", 10, "phrases and unigrams to display per topic")
+	noHyper := fs.Bool("nohyper", false, "disable hyperparameter optimisation")
+	filterBG := fs.Bool("filterbg", false, "filter background phrases from topic lists")
+	phrasesOnly := fs.Bool("phrases-only", false, "stop after phrase mining and print frequent phrases")
+	segmentOnly := fs.Bool("segment", false, "stop after segmentation and print each document as a bag of phrases")
+	saveModel := fs.String("save", "", "save the trained pipeline snapshot to this path")
+	saveState := fs.Bool("save-state", false, "make -save keep the full Gibbs training state so -load -iters can continue training")
+	loadModel := fs.String("load", "", "load a pipeline snapshot instead of training")
+	inferText := fs.String("infer", "", "infer the topic mixture of this text (after training, or against -load)")
+	inferIters := fs.Int("infer-iters", 50, "Gibbs sweeps for -infer")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// The FlagSet already printed the complaint and usage to
+		// stderr; wrapping in errUsage keeps main from printing the
+		// same message a second time via log.Fatal.
+		return errUsage
+	}
 
+	if *saveState && *saveModel == "" {
+		return fmt.Errorf("-save-state needs -save")
+	}
 	if *loadModel != "" {
-		// -load replaces training entirely: reject explicitly-set
-		// training flags instead of silently ignoring them.
-		allowed := map[string]bool{"load": true, "save": true, "infer": true, "infer-iters": true}
+		// -load replaces training: reject explicitly-set flags it would
+		// silently ignore. -iters is meaningful again — it continues
+		// Gibbs training on a snapshot saved with -save-state.
+		allowed := map[string]bool{"load": true, "save": true, "save-state": true,
+			"infer": true, "infer-iters": true, "iters": true}
 		var ignored []string
-		flag.Visit(func(f *flag.Flag) {
+		itersSet := false
+		fs.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
 				ignored = append(ignored, "-"+f.Name)
 			}
+			if f.Name == "iters" {
+				itersSet = true
+			}
 		})
 		if len(ignored) > 0 {
-			log.Fatalf("-load replaces training; %s would be ignored", strings.Join(ignored, ", "))
+			return fmt.Errorf("-load replaces training; %s would be ignored", strings.Join(ignored, ", "))
 		}
-		runLoaded(*loadModel, *saveModel, *inferText, *inferIters)
-		return
+		resumeIters := 0
+		if itersSet {
+			resumeIters = *iters
+		}
+		return runLoaded(*loadModel, *saveModel, *saveState, *inferText, *inferIters, resumeIters, stdout, stderr)
 	}
 	if (*phrasesOnly || *segmentOnly) && (*saveModel != "" || *inferText != "") {
-		log.Fatal("-save and -infer need a trained model; do not combine them with -phrases-only or -segment")
+		return fmt.Errorf("-save and -infer need a trained model; do not combine them with -phrases-only or -segment")
 	}
-
-	var (
-		c   *topmine.Corpus
-		err error
-	)
-	switch {
-	case *input != "" && *synthDomain != "":
-		log.Fatal("use either -input or -synth, not both")
-	case *jsonlField != "" && *input == "":
-		log.Fatal("-jsonl needs -input")
-	case *input != "":
-		c, err = loadInput(*input, *jsonlField, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *synthDomain != "":
-		raw, gerr := topmine.GenerateExampleCorpus(*synthDomain, *docs, *seed)
-		if gerr != nil {
-			log.Fatal(gerr)
-		}
-		copt := topmine.DefaultCorpusOptions()
-		copt.Workers = *workers
-		c, err = topmine.BuildCorpusFromSource(topmine.SliceSource(raw), copt)
-		if err != nil {
-			log.Fatal(err)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	if *preprocess != "" && (*saveModel != "" || *inferText != "" || *phrasesOnly || *segmentOnly || *corpusFile != "") {
+		return fmt.Errorf("-preprocess writes a corpus file and exits; do not combine it with -corpus, -save, -infer, -phrases-only or -segment")
 	}
-	fmt.Fprintf(os.Stderr, "corpus: %v\n", c.ComputeStats())
 
 	opt := topmine.DefaultOptions()
 	opt.Topics = *k
@@ -123,22 +155,119 @@ func main() {
 	opt.TopUnigrams = *topN
 	opt.OptimizeHyper = !*noHyper
 	opt.FilterBackground = *filterBG
+	// Normalise and validate once, exactly as the library entry points
+	// do: zero selects documented defaults (-alpha 0 -> 5), negative
+	// priors are rejected here instead of silently corrupting training,
+	// and — critically — the direct path mines/segments under the very
+	// same effective parameters that -preprocess stores and -corpus
+	// matches against, keeping all three routes byte-identical.
+	if err := opt.Normalize(); err != nil {
+		return err
+	}
 
-	t0 := time.Now()
-	mined := topmine.MinePhrases(c, opt)
-	fmt.Fprintf(os.Stderr, "phrase mining: %v (%d frequent phrases, support %d, longest %d)\n",
-		time.Since(t0).Round(time.Millisecond), mined.Counts.Len(), mined.MinSupport, mined.MaxPhraseLen)
+	var (
+		c  *topmine.Corpus
+		cf *topmine.CorpusFile
+	)
+	switch {
+	case *corpusFile != "" && (*input != "" || *synthDomain != ""):
+		return fmt.Errorf("use -corpus or a raw input (-input/-synth), not both")
+	case *corpusFile != "" && flagWasSet(fs, "docs"):
+		// Mirror the -load path's reject-ignored-flags contract.
+		return fmt.Errorf("-corpus trains on the stored corpus; -docs would be ignored")
+	case *input != "" && *synthDomain != "":
+		return fmt.Errorf("use either -input or -synth, not both")
+	case *jsonlField != "" && *input == "":
+		return fmt.Errorf("-jsonl needs -input")
+	case *corpusFile != "":
+		t0 := time.Now()
+		var err error
+		cf, err = topmine.OpenCorpusFile(*corpusFile)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		c = cf.Corpus()
+		how := "read"
+		if cf.Mapped() {
+			how = "mmap"
+		}
+		fmt.Fprintf(stderr, "corpus file %s opened (%s) in %v\n",
+			*corpusFile, how, time.Since(t0).Round(time.Millisecond))
+	case *input != "":
+		var err error
+		c, err = loadInput(*input, *jsonlField, *workers, stdin)
+		if err != nil {
+			return err
+		}
+	case *synthDomain != "":
+		raw, err := topmine.GenerateExampleCorpus(*synthDomain, *docs, *seed)
+		if err != nil {
+			return err
+		}
+		copt := topmine.DefaultCorpusOptions()
+		copt.Workers = *workers
+		c, err = topmine.BuildCorpusFromSource(topmine.SliceSource(raw), copt)
+		if err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return errUsage
+	}
+	fmt.Fprintf(stderr, "corpus: %v\n", c.ComputeStats())
+
+	if *preprocess != "" {
+		t0 := time.Now()
+		pre, err := topmine.PreprocessCorpus(c, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "phrase mining + segmentation: %v (%d frequent phrases)\n",
+			time.Since(t0).Round(time.Millisecond), pre.Mined.Counts.Len())
+		if err := topmine.SaveCorpusFile(*preprocess, pre); err != nil {
+			return err
+		}
+		fi, err := os.Stat(*preprocess)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "corpus file saved to %s (%.1f MiB); train with: topmine -corpus %s\n",
+			*preprocess, float64(fi.Size())/(1<<20), *preprocess)
+		return nil
+	}
+
+	var mined *topmine.MinedPhrases
+	var segs []*topmine.SegmentedDoc
+	if cf != nil && cf.CanReuseArtifacts(opt) {
+		mined, segs = cf.Mined(), cf.Segmented()
+		fmt.Fprintf(stderr, "reusing stored phrase mining (%d frequent phrases)", mined.Counts.Len())
+		if segs != nil {
+			fmt.Fprintf(stderr, " and segmentation")
+		}
+		fmt.Fprintln(stderr)
+	} else if cf != nil && cf.Mined() != nil {
+		fmt.Fprintln(stderr, "stored artifacts use different mining parameters; recomputing")
+	}
+	if mined == nil {
+		t0 := time.Now()
+		mined = topmine.MinePhrases(c, opt)
+		fmt.Fprintf(stderr, "phrase mining: %v (%d frequent phrases, support %d, longest %d)\n",
+			time.Since(t0).Round(time.Millisecond), mined.Counts.Len(), mined.MinSupport, mined.MaxPhraseLen)
+	}
 
 	if *phrasesOnly {
 		for _, p := range mined.Counts.Entries(2) {
-			fmt.Printf("%8d  %s\n", p.Count, c.DisplayWords(p.Words))
+			fmt.Fprintf(stdout, "%8d  %s\n", p.Count, c.DisplayWords(p.Words))
 		}
-		return
+		return nil
 	}
 
-	t0 = time.Now()
-	segs := topmine.SegmentCorpus(c, mined, opt)
-	fmt.Fprintf(os.Stderr, "segmentation: %v\n", time.Since(t0).Round(time.Millisecond))
+	if segs == nil {
+		t0 := time.Now()
+		segs = topmine.SegmentCorpus(c, mined, opt)
+		fmt.Fprintf(stderr, "segmentation: %v\n", time.Since(t0).Round(time.Millisecond))
+	}
 
 	if *segmentOnly {
 		for _, sd := range segs {
@@ -146,44 +275,57 @@ func main() {
 			for si, spans := range sd.Spans {
 				seg := &d.Segments[si]
 				for _, sp := range spans {
-					fmt.Printf("[%s] ", c.DisplayPhrase(seg, sp.Start, sp.End))
+					fmt.Fprintf(stdout, "[%s] ", c.DisplayPhrase(seg, sp.Start, sp.End))
 				}
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return nil
 	}
 
-	t0 = time.Now()
+	t0 := time.Now()
 	model := topmine.TrainModel(c, segs, opt)
-	fmt.Fprintf(os.Stderr, "topic modeling: %v (%d sweeps)\n",
-		time.Since(t0).Round(time.Millisecond), *iters)
+	fmt.Fprintf(stderr, "topic modeling: %v (%d sweeps)\n",
+		time.Since(t0).Round(time.Millisecond), opt.Iterations)
 
 	sums := model.Visualize(c, topmine.VisualizeOptions{
 		TopUnigrams: *topN, TopPhrases: *topN, FilterBackground: *filterBG,
 	})
-	fmt.Print(topmine.FormatTopics(sums))
+	fmt.Fprint(stdout, topmine.FormatTopics(sums))
 
 	res := &topmine.Result{
 		Corpus: c, Mined: mined, Segmented: segs,
 		Model: model, Topics: sums, Options: opt,
 	}
 	if *saveModel != "" {
-		if err := topmine.SaveSnapshotFile(*saveModel, res); err != nil {
-			log.Fatal(err)
+		if err := saveSnapshot(*saveModel, res, *saveState, stderr); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", *saveModel)
 	}
 	if *inferText != "" {
-		printInference(res, *inferText, *inferIters)
+		printInference(res, *inferText, *inferIters, stdout)
 	}
+	return nil
 }
 
-// loadInput streams the corpus off disk (or stdin when path is "-"),
-// tokenizing on all requested cores; raw text is never accumulated, so
-// multi-GB inputs ingest in memory proportional to their token count.
-func loadInput(path, jsonlField string, workers int) (*topmine.Corpus, error) {
-	r := io.Reader(os.Stdin)
+// flagWasSet reports whether the user set the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// loadInput streams the corpus off disk (or the given stdin reader
+// when path is "-"), tokenizing on all requested cores; raw text is
+// never accumulated, so multi-GB inputs ingest in memory proportional
+// to their token count. gzip input — on disk or piped — is detected by
+// magic bytes and decompressed transparently.
+func loadInput(path, jsonlField string, workers int, stdin io.Reader) (*topmine.Corpus, error) {
+	r := stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -191,6 +333,10 @@ func loadInput(path, jsonlField string, workers int) (*topmine.Corpus, error) {
 		}
 		defer f.Close()
 		r = f
+	}
+	r, err := topmine.MaybeDecompress(r)
+	if err != nil {
+		return nil, err
 	}
 	var src topmine.Source
 	if jsonlField != "" {
@@ -203,36 +349,63 @@ func loadInput(path, jsonlField string, workers int) (*topmine.Corpus, error) {
 	return topmine.BuildCorpusFromSource(src, opt)
 }
 
-// runLoaded consumes a snapshot: prints its topics, re-saves it when
-// savePath is given (refreshing the file in the current format), and
-// when text is given, folds it into the model and reports the
-// inferred mixture.
-func runLoaded(path, savePath, text string, iters int) {
+// saveSnapshot writes res to path, keeping the Gibbs training state
+// when withState is set.
+func saveSnapshot(path string, res *topmine.Result, withState bool, stderr io.Writer) error {
+	save, kind := topmine.SaveSnapshotFile, "snapshot"
+	if withState {
+		save, kind = topmine.SaveTrainingSnapshotFile, "training snapshot (resumable with -load -iters)"
+	}
+	if err := save(path, res); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "%s saved to %s\n", kind, path)
+	return nil
+}
+
+// runLoaded consumes a snapshot: prints its topics, optionally
+// continues Gibbs training for resumeIters sweeps (snapshots saved
+// with -save-state carry the training state this needs), re-saves when
+// savePath is given, and when text is given, folds it into the model
+// and reports the inferred mixture.
+func runLoaded(path, savePath string, saveState bool, text string, iters, resumeIters int, stdout, stderr io.Writer) error {
 	res, err := topmine.LoadSnapshotFile(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "snapshot %s: %d topics, %d stems, %d frequent phrases\n",
+	fmt.Fprintf(stderr, "snapshot %s: %d topics, %d stems, %d frequent phrases",
 		path, res.Options.Topics, res.Corpus.Vocab.Size(), res.Mined.Counts.Len())
-	fmt.Print(topmine.FormatTopics(res.Topics))
-	if savePath != "" {
-		if err := topmine.SaveSnapshotFile(savePath, res); err != nil {
-			log.Fatal(err)
+	if res.Resumable() {
+		fmt.Fprintf(stderr, ", resumable")
+	}
+	fmt.Fprintln(stderr)
+	if resumeIters > 0 {
+		t0 := time.Now()
+		if err := res.ResumeTraining(resumeIters); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", savePath)
+		fmt.Fprintf(stderr, "resumed training: %v (%d sweeps)\n",
+			time.Since(t0).Round(time.Millisecond), resumeIters)
+	}
+	fmt.Fprint(stdout, topmine.FormatTopics(res.Topics))
+	if savePath != "" {
+		if err := saveSnapshot(savePath, res, saveState, stderr); err != nil {
+			return err
+		}
 	}
 	if text != "" {
-		printInference(res, text, iters)
+		printInference(res, text, iters, stdout)
 	}
+	return nil
 }
 
 // printInference folds text into the trained model and reports the
 // mixture.
-func printInference(res *topmine.Result, text string, iters int) {
+func printInference(res *topmine.Result, text string, iters int, stdout io.Writer) {
 	theta := res.InferTopics(text, iters)
-	fmt.Printf("\ninferred mixture for %q:\n", text)
+	fmt.Fprintf(stdout, "\ninferred mixture for %q:\n", text)
 	for k, v := range theta {
-		fmt.Printf("  topic %d: %.4f\n", k, v)
+		fmt.Fprintf(stdout, "  topic %d: %.4f\n", k, v)
 	}
-	fmt.Printf("best topic: %d\n", topmine.BestTopic(theta))
+	fmt.Fprintf(stdout, "best topic: %d\n", topmine.BestTopic(theta))
 }

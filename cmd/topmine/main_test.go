@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// oneShotReader yields its content once and then fails hard on any
+// further Read after EOF — modelling a pipe: rereading stdin is
+// impossible, and any code path that tries must surface as an error
+// rather than silently training on an empty corpus.
+type oneShotReader struct {
+	r     io.Reader
+	done  bool
+	reads int
+}
+
+func (o *oneShotReader) Read(p []byte) (int, error) {
+	if o.done {
+		return 0, fmt.Errorf("stdin reread detected: Read called after EOF")
+	}
+	n, err := o.r.Read(p)
+	o.reads++
+	if err == io.EOF {
+		o.done = true
+	}
+	return n, err
+}
+
+func testStdinDocs() string {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		b.WriteString("great food and friendly service, great food indeed.\n")
+		b.WriteString("slow service and terrible food; never again.\n")
+	}
+	return b.String()
+}
+
+// fastArgs keeps in-process pipeline runs quick.
+func fastArgs(extra ...string) []string {
+	return append([]string{"-k", "2", "-iters", "3", "-minsup", "2", "-top", "3"}, extra...)
+}
+
+// TestStdinReadOnce pins the satellite fix: `-input -` combined with
+// -save and -infer must consume stdin exactly once — the infer path
+// folds text into the in-memory result and must never touch stdin
+// again.
+func TestStdinReadOnce(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "model.tpm")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var stdout, stderr bytes.Buffer
+	args := fastArgs("-input", "-", "-save", snap, "-infer", "great food")
+	if err := run(args, stdin, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "inferred mixture") {
+		t.Fatalf("no inference output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "snapshot saved") {
+		t.Fatalf("no snapshot confirmation:\n%s", stderr.String())
+	}
+	// Loading the snapshot back must not need stdin at all.
+	stdin2 := &oneShotReader{r: strings.NewReader("")}
+	stdin2.done = true // any read explodes
+	var out2, err2 bytes.Buffer
+	if err := run([]string{"-load", snap, "-infer", "terrible slow service"}, stdin2, &out2, &err2); err != nil {
+		t.Fatalf("run -load: %v\nstderr:\n%s", err, err2.String())
+	}
+	if !strings.Contains(out2.String(), "best topic:") {
+		t.Fatalf("no inference from loaded snapshot:\n%s", out2.String())
+	}
+}
+
+// TestPreprocessAndTrainFromCorpusFile drives the .tpc workflow end to
+// end through the CLI: preprocess once, then train from the corpus
+// file with stored artifacts reused.
+func TestPreprocessAndTrainFromCorpusFile(t *testing.T) {
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "corpus.tpc")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-preprocess", tpc), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "corpus file saved") {
+		t.Fatalf("no save confirmation:\n%s", errb.String())
+	}
+
+	var out2, errb2 bytes.Buffer
+	if err := run(fastArgs("-corpus", tpc), strings.NewReader(""), &out2, &errb2); err != nil {
+		t.Fatalf("train from corpus file: %v\nstderr:\n%s", err, errb2.String())
+	}
+	if !strings.Contains(errb2.String(), "reusing stored phrase mining") {
+		t.Fatalf("stored artifacts not reused:\n%s", errb2.String())
+	}
+	if !strings.Contains(out2.String(), "Topic 0") {
+		t.Fatalf("no topics printed:\n%s", out2.String())
+	}
+
+	// Different mining parameters must trigger a recompute, loudly.
+	var out3, errb3 bytes.Buffer
+	if err := run(fastArgs("-corpus", tpc, "-minsup", "3"), strings.NewReader(""), &out3, &errb3); err != nil {
+		t.Fatalf("train with different params: %v", err)
+	}
+	if !strings.Contains(errb3.String(), "recomputing") {
+		t.Fatalf("param mismatch not surfaced:\n%s", errb3.String())
+	}
+}
+
+// TestResumeWorkflow drives -save-state / -load -iters -save through
+// the CLI.
+func TestResumeWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.tpm")
+	s2 := filepath.Join(dir, "s2.tpm")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-save", s1, "-save-state"), stdin, &out, &errb); err != nil {
+		t.Fatalf("train+save-state: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "training snapshot") {
+		t.Fatalf("no training-snapshot confirmation:\n%s", errb.String())
+	}
+	var out2, errb2 bytes.Buffer
+	if err := run([]string{"-load", s1, "-iters", "4", "-save", s2}, strings.NewReader(""), &out2, &errb2); err != nil {
+		t.Fatalf("resume: %v\nstderr:\n%s", err, errb2.String())
+	}
+	if !strings.Contains(errb2.String(), "resumed training") {
+		t.Fatalf("resume not reported:\n%s", errb2.String())
+	}
+	// The frozen re-save must refuse a further resume.
+	var out3, errb3 bytes.Buffer
+	err := run([]string{"-load", s2, "-iters", "4"}, strings.NewReader(""), &out3, &errb3)
+	if err == nil || !strings.Contains(err.Error(), "training state") {
+		t.Fatalf("resume of a frozen snapshot should fail helpfully, got %v", err)
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	cases := [][]string{
+		{"-input", "x", "-synth", "yelp-reviews"},
+		{"-jsonl", "text"},
+		{"-corpus", "x.tpc", "-input", "y"},
+		{"-preprocess", "out.tpc", "-save", "m.tpm", "-input", "-"},
+		{"-save-state", "-input", "-"},
+		{"-load", "m.tpm", "-k", "5"},
+		{"-corpus", "x.tpc", "-docs", "100"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

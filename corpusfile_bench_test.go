@@ -1,0 +1,79 @@
+package topmine
+
+// Corpus-file benchmarks guarding the persistent corpus store:
+// BenchmarkOpenCorpusFile reports MB/s and allocs for the mmap open
+// path, and BenchmarkColdStart puts the two ways of starting a
+// training job side by side — re-running ingest+mining+segmentation
+// versus Open on the persisted .tpc — which is the measured form of
+// the "preprocess once, train many" claim (Open must be ≥10× faster).
+// CI runs both with -benchtime=1x as smoke and archives the numbers in
+// BENCH_topicmodel.json.
+//
+//	go test -run '^$' -bench 'CorpusFile|ColdStart' -benchtime 10x .
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchCorpusFile(b *testing.B) (path string, docs []string, opt Options) {
+	b.Helper()
+	docs, err := GenerateExampleCorpus("yelp-reviews", 2000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt = DefaultOptions()
+	opt.Workers = 1
+	pre, err := Preprocess(SliceSource(docs), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path = filepath.Join(b.TempDir(), "bench.tpc")
+	if err := SaveCorpusFile(path, pre); err != nil {
+		b.Fatal(err)
+	}
+	return path, docs, opt
+}
+
+func BenchmarkOpenCorpusFile(b *testing.B) {
+	path, _, _ := benchCorpusFile(b)
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("yelp-reviews/mmap", func(b *testing.B) {
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cf, err := OpenCorpusFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cf.Corpus().NumDocs() != 2000 {
+				b.Fatal("short corpus")
+			}
+			cf.Close()
+		}
+	})
+}
+
+func BenchmarkColdStart(b *testing.B) {
+	path, docs, opt := benchCorpusFile(b)
+	b.Run("yelp-reviews/reprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Preprocess(SliceSource(docs), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("yelp-reviews/opencorpusfile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cf, err := OpenCorpusFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cf.Close()
+		}
+	})
+}

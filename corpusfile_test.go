@@ -1,0 +1,249 @@
+package topmine
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// corpusFileTestOptions keeps the round-trip suites fast while still
+// exercising hyperparameter optimisation off the default path.
+func corpusFileTestOptions() Options {
+	opt := DefaultOptions()
+	opt.Topics = 4
+	opt.Iterations = 5
+	opt.MinSupport = 3
+	opt.Seed = 7
+	opt.OptimizeHyper = false
+	opt.Workers = 1
+	return opt
+}
+
+func corpusFileTestDocs(t testing.TB) []string {
+	t.Helper()
+	docs, err := GenerateExampleCorpus("yelp-reviews", 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+// TestCorpusFileRoundTripTopics is the acceptance pin for the
+// persistent corpus store: build corpus → preprocess → write .tpc →
+// mmap-open → train → the topics must be byte-identical to training
+// the same documents entirely in memory with the same seed. CI runs
+// this as the corpus round-trip smoke step.
+func TestCorpusFileRoundTripTopics(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+
+	want, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTopics := FormatTopics(want.Topics)
+
+	pre, err := Preprocess(SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Model != nil || pre.Topics != nil {
+		t.Fatal("Preprocess must not train a model")
+	}
+	path := filepath.Join(t.TempDir(), "corpus.tpc")
+	if err := SaveCorpusFile(path, pre); err != nil {
+		t.Fatal(err)
+	}
+
+	cf, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.CanReuseArtifacts(opt) {
+		t.Error("stored artifacts should match the options that produced them")
+	}
+	res, err := cf.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTopics(res.Topics); got != wantTopics {
+		t.Errorf("mmap-trained topics differ from in-memory topics:\n--- in-memory ---\n%s\n--- corpus file ---\n%s", wantTopics, got)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCorpusFileRunMany pins the reference-counted mapping: several
+// Results trained from one open file stay valid while siblings (and
+// the handle) close, and the mapping survives until the last closer.
+func TestCorpusFileRunMany(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+	pre, err := Preprocess(SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.tpc")
+	if err := SaveCorpusFile(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := cf.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := opt
+	opt2.Topics = 3
+	opt2.Seed = 99
+	res2, err := cf.Run(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing the handle and the first Result must leave res2's corpus
+	// (which aliases the shared mapping) fully usable.
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res2.InferTopics("great food and friendly service", 10)); got != 3 {
+		t.Fatalf("res2 inference after sibling close: %d topics, want 3", got)
+	}
+	stats := res2.Corpus.ComputeStats() // walks the mmap'd arena
+	if stats.Docs != 300 {
+		t.Fatalf("res2 corpus unreadable after sibling close: %+v", stats)
+	}
+	if err := res2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatalf("handle Close must stay idempotent: %v", err)
+	}
+	// The mapping is gone: a late Run must error, not hand out views
+	// into unmapped memory.
+	if _, err := cf.Run(opt); err == nil {
+		t.Fatal("Run on a fully released CorpusFile must error")
+	}
+}
+
+// TestCorpusFileRecomputesOnParamMismatch verifies that stored
+// artifacts are ignored (and mining+segmentation rerun) when the
+// training job uses different mining parameters — and that the result
+// still matches a fully in-memory run under those parameters.
+func TestCorpusFileRecomputesOnParamMismatch(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	preOpt := corpusFileTestOptions()
+	pre, err := Preprocess(SliceSource(docs), preOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.tpc")
+	if err := SaveCorpusFile(path, pre); err != nil {
+		t.Fatal(err)
+	}
+
+	trainOpt := preOpt
+	trainOpt.MinSupport = 5 // differs from the stored Params
+	want, err := Run(docs, trainOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cf, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.CanReuseArtifacts(trainOpt) {
+		t.Error("artifacts must not be reusable under different mining parameters")
+	}
+	res, err := cf.Run(trainOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if got, wantS := FormatTopics(res.Topics), FormatTopics(want.Topics); got != wantS {
+		t.Errorf("recomputed topics differ from in-memory run:\n%s\nvs\n%s", got, wantS)
+	}
+	if res.Mined == cf.Mined() {
+		t.Error("mined phrases should have been recomputed, not reused")
+	}
+}
+
+// TestCorpusFileCorpusOnly pins the corpus-only path: a Result that
+// never ran mining saves a corpus-only file, and training from it
+// still matches the in-memory pipeline bit for bit.
+func TestCorpusFileCorpusOnly(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+	c, err := BuildCorpusFromSource(SliceSource(docs), DefaultCorpusOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.tpc")
+	if err := SaveCorpusFile(path, &Result{Corpus: c}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCorpusFile(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Mined == nil || res.Segmented == nil {
+		t.Fatal("corpus-only run must recompute mining and segmentation")
+	}
+	if got, wantS := FormatTopics(res.Topics), FormatTopics(want.Topics); got != wantS {
+		t.Errorf("corpus-only topics differ from in-memory run")
+	}
+}
+
+// TestCorpusFileServesInference verifies the serving path works
+// against a corpus-file-trained Result (and that snapshots saved from
+// one remain self-contained after the mapping closes).
+func TestCorpusFileServesInference(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+	pre, err := Preprocess(SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "corpus.tpc")
+	if err := SaveCorpusFile(tpc, pre); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCorpusFile(tpc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := res.InferTopics("great food and friendly service", 10)
+	if len(theta) != opt.Topics {
+		t.Fatalf("inferred mixture has %d topics, want %d", len(theta), opt.Topics)
+	}
+	snap := filepath.Join(dir, "model.tpm")
+	if err := SaveSnapshotFile(snap, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must be fully independent of the closed mapping.
+	loaded, err := LoadSnapshotFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta2 := loaded.InferTopics("great food and friendly service", 10)
+	if len(theta2) != opt.Topics {
+		t.Fatalf("snapshot inference broken after mapping closed")
+	}
+}

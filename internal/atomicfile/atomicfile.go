@@ -1,0 +1,89 @@
+// Package atomicfile writes files atomically: content goes to an
+// exclusively-created temporary file in the destination directory,
+// which is renamed into place only after a complete, successful write.
+// A failed or interrupted save therefore never destroys an existing
+// file at the path, and no reader ever observes a half-written one.
+// Both the pipeline snapshot writer and the corpus-file writer publish
+// their artifacts through this package, so crash-safety fixes (e.g. a
+// future fsync-before-rename) land in exactly one place.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Error marks a failure of the atomic-write machinery itself — temp
+// creation, chmod, close, rename — as opposed to an error returned by
+// the caller's write function, which Write propagates verbatim.
+// Callers that prefix their own errors can therefore classify with
+// errors.As instead of sniffing message strings.
+type Error struct {
+	Path string
+	Err  error
+}
+
+func (e *Error) Error() string { return "atomically writing " + e.Path + ": " + e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Write atomically replaces path with whatever fn writes. Errors
+// returned by fn propagate verbatim (fn owns its error vocabulary);
+// file-system failures come back as *Error carrying the path. The
+// published file's permissions match a plain os.Create: an existing
+// file's mode is preserved, and a fresh file gets 0666 filtered by the
+// process umask.
+func Write(path string, fn func(io.Writer) error) error {
+	wrap := func(err error) error { return &Error{Path: path, Err: err} }
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage the temp file in the working
+		// directory, not os.TempDir(): a cross-filesystem os.Rename
+		// fails with EXDEV and would break the atomic replace.
+		dir = "."
+	}
+	f, tmp, err := createExclusiveTemp(dir, base)
+	if err != nil {
+		return wrap(err)
+	}
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if fi, err := os.Stat(path); err == nil {
+		// Replacing an existing file: preserve its permissions.
+		if err := f.Chmod(fi.Mode().Perm()); err != nil {
+			cleanup()
+			return wrap(err)
+		}
+	}
+	if err := fn(f); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return wrap(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return wrap(err)
+	}
+	return nil
+}
+
+// createExclusiveTemp creates a uniquely named file in dir with mode
+// 0666 filtered by the process umask (os.CreateTemp always uses 0600,
+// which is wrong for a file that will be renamed into a shared
+// artifact path).
+func createExclusiveTemp(dir, base string) (*os.File, string, error) {
+	for i := 0; i < 10000; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("%s.tmp%d-%d", base, os.Getpid(), i))
+		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			return f, name, nil
+		}
+		if !os.IsExist(err) {
+			return nil, "", err
+		}
+	}
+	return nil, "", fmt.Errorf("could not create a temporary file in %s", dir)
+}

@@ -50,6 +50,12 @@ type tokenArena struct {
 	gaps    []uint32
 	pool    stringPool
 	keep    bool
+	// sealed marks an arena whose backing storage is borrowed — a
+	// mmap'd corpus-file region, or slices handed to FromRaw — rather
+	// than owned append-grown memory. Pushing to a sealed arena would
+	// either fault (read-only mapping) or silently detach the borrowed
+	// view, so it panics instead.
+	sealed bool
 }
 
 func newArena(keepSurface bool) *tokenArena {
@@ -70,6 +76,9 @@ func newArena(keepSurface bool) *tokenArena {
 const maxArenaTokens = 1<<31 - 1
 
 func (ar *tokenArena) grow(n int) {
+	if ar.sealed {
+		panic("corpus: append to a sealed (borrowed-storage) token arena")
+	}
 	if len(ar.words)+n > maxArenaTokens {
 		panic("corpus: corpus exceeds 2^31 tokens; shard the input into multiple corpora")
 	}

@@ -101,11 +101,17 @@ func ReadLines(r io.Reader, opt BuildOptions) (*Corpus, error) {
 }
 
 // LoadFile builds a corpus from a one-document-per-line text file.
+// gzip-compressed files are detected by their magic bytes and
+// decompressed transparently.
 func LoadFile(path string, opt BuildOptions) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
 	defer f.Close()
-	return ReadLines(f, opt)
+	r, err := MaybeDecompress(f)
+	if err != nil {
+		return nil, err
+	}
+	return ReadLines(r, opt)
 }

@@ -1,0 +1,51 @@
+package corpus
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrZstd marks zstd-compressed input, which this build cannot
+// decompress natively (the Go standard library has no zstd reader and
+// the project deliberately carries no third-party dependencies). Pipe
+// the data through `zstd -dc` instead.
+var ErrZstd = errors.New("corpus: zstd-compressed input is not supported; pipe it through `zstd -dc`")
+
+// Compression magic bytes.
+var (
+	gzipMagic = []byte{0x1f, 0x8b}
+	zstdMagic = []byte{0x28, 0xb5, 0x2f, 0xfd}
+)
+
+// MaybeDecompress sniffs the stream's leading magic bytes and, when
+// they identify a gzip member, returns a reader of the decompressed
+// stream — so `.gz` corpora load without a manual `zcat |` pipe.
+// Uncompressed input passes through untouched (buffered); zstd input
+// returns ErrZstd rather than feeding binary garbage to a tokenizer.
+// Every file-opening corpus loader (LoadFile, LoadJSONLFile) and the
+// CLI input path route through this.
+func MaybeDecompress(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("corpus: sniffing input: %w", err)
+	}
+	if len(head) >= 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: opening gzip input: %w", err)
+		}
+		// Multi-member gzip files (e.g. from parallel compressors like
+		// pigz) concatenate members; the reader consumes them all by
+		// default, which is what a corpus loader wants.
+		return zr, nil
+	}
+	if len(head) >= 4 && head[0] == zstdMagic[0] && head[1] == zstdMagic[1] &&
+		head[2] == zstdMagic[2] && head[3] == zstdMagic[3] {
+		return nil, ErrZstd
+	}
+	return br, nil
+}

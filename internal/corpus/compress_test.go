@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gzipBytes(t *testing.T, chunks ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	// One gzip member per chunk: multi-member files are what parallel
+	// compressors (pigz, bgzip) emit, and the reader must consume all.
+	for _, c := range chunks {
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write([]byte(c)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestMaybeDecompressGzip(t *testing.T) {
+	want := "alpha beta.\ngamma delta.\n"
+	r, err := MaybeDecompress(bytes.NewReader(gzipBytes(t, want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestMaybeDecompressMultiMember(t *testing.T) {
+	r, err := MaybeDecompress(bytes.NewReader(gzipBytes(t, "first line\n", "second line\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first line\nsecond line\n" {
+		t.Fatalf("multi-member gzip not fully consumed: %q", got)
+	}
+}
+
+func TestMaybeDecompressPassthrough(t *testing.T) {
+	for _, in := range []string{"plain text, no magic", "", "\x1f", "ab"} {
+		r, err := MaybeDecompress(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != in {
+			t.Fatalf("passthrough mangled %q into %q", in, got)
+		}
+	}
+}
+
+func TestMaybeDecompressZstd(t *testing.T) {
+	_, err := MaybeDecompress(bytes.NewReader([]byte{0x28, 0xb5, 0x2f, 0xfd, 0, 0, 0}))
+	if !errors.Is(err, ErrZstd) {
+		t.Fatalf("want ErrZstd, got %v", err)
+	}
+}
+
+// TestLoadFileGzip pins the satellite behaviour end to end: a .gz
+// corpus file loads identically to its uncompressed twin, with no
+// manual pipe.
+func TestLoadFileGzip(t *testing.T) {
+	docs := "good coffee great service.\nterrible coffee rude service.\n"
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "docs.txt")
+	gz := filepath.Join(dir, "docs.txt.gz")
+	if err := os.WriteFile(plain, []byte(docs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gz, gzipBytes(t, docs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadFile(plain, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(gz, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := want.ComputeStats(), got.ComputeStats(); w != g {
+		t.Fatalf("gzip corpus differs: %v vs %v", w, g)
+	}
+}
+
+func TestLoadJSONLFileGzip(t *testing.T) {
+	jsonl := `{"text":"good coffee great service"}` + "\n" + `{"text":"rude service"}` + "\n"
+	gz := filepath.Join(t.TempDir(), "docs.jsonl.gz")
+	if err := os.WriteFile(gz, gzipBytes(t, jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadJSONLFile(gz, "text", DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Fatalf("got %d docs, want 2", c.NumDocs())
+	}
+}

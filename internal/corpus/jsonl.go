@@ -14,14 +14,19 @@ func ReadJSONL(r io.Reader, field string, opt BuildOptions) (*Corpus, error) {
 	return BuildFromSource(JSONLSource(r, field), opt)
 }
 
-// LoadJSONLFile is ReadJSONL over a file.
+// LoadJSONLFile is ReadJSONL over a file. gzip-compressed files are
+// detected by their magic bytes and decompressed transparently.
 func LoadJSONLFile(path, field string, opt BuildOptions) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
 	defer f.Close()
-	return ReadJSONL(f, field, opt)
+	r, err := MaybeDecompress(f)
+	if err != nil {
+		return nil, err
+	}
+	return ReadJSONL(r, field, opt)
 }
 
 // ReadTSV builds a corpus from tab-separated input, using the given

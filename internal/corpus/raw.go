@@ -1,0 +1,161 @@
+package corpus
+
+import (
+	"fmt"
+
+	"topmine/internal/textproc"
+)
+
+// Raw is the flat columnar view of a Corpus — exactly the arrays the
+// on-disk corpus format (internal/corpusfile) persists and restores.
+// Words/Surface/Gaps are the token arena columns; Pool is the interned
+// surface/gap string table (Pool[0] is always ""); SegCounts, SegOffs
+// and SegLens encode the document/segment structure as per-document
+// segment counts plus one (offset, length) pair per segment into the
+// arena. The per-document boundaries are what lets a future sharded
+// trainer assign token ranges to workers without parsing documents.
+type Raw struct {
+	Words   []int32
+	Surface []uint32 // nil unless KeepSurface
+	Gaps    []uint32 // nil unless KeepSurface
+	Pool    []string // nil unless KeepSurface
+	// KeepSurface mirrors the arena's surface retention (it always
+	// equals BuildOpts.KeepSurface for corpora built by this package).
+	KeepSurface bool
+
+	SegCounts []int32 // segments per document, len == number of docs
+	SegOffs   []int32 // arena offset per segment, len == total segments
+	SegLens   []int32 // kept-token count per segment
+
+	Vocab       *textproc.Vocab
+	TotalTokens int
+	BuildOpts   BuildOptions
+}
+
+// Raw flattens the corpus into its columnar view. The returned slices
+// alias the corpus storage — they are a view, not a copy — so the
+// caller must treat them as read-only. It errors on corpora whose
+// segments do not all share one token arena (impossible for corpora
+// built by this package, but representable by hand-assembled literals).
+func (c *Corpus) Raw() (*Raw, error) {
+	if c.Vocab == nil {
+		return nil, fmt.Errorf("corpus: Raw: corpus has no vocabulary")
+	}
+	r := &Raw{
+		SegCounts:   make([]int32, len(c.Docs)),
+		Vocab:       c.Vocab,
+		TotalTokens: c.TotalTokens,
+		BuildOpts:   c.BuildOpts,
+	}
+	var ar *tokenArena
+	total := 0
+	for _, d := range c.Docs {
+		total += len(d.Segments)
+	}
+	r.SegOffs = make([]int32, 0, total)
+	r.SegLens = make([]int32, 0, total)
+	for i, d := range c.Docs {
+		r.SegCounts[i] = int32(len(d.Segments))
+		for si := range d.Segments {
+			sg := &d.Segments[si]
+			if sg.ar == nil {
+				return nil, fmt.Errorf("corpus: Raw: doc %d segment %d has no token arena", i, si)
+			}
+			if ar == nil {
+				ar = sg.ar
+			} else if sg.ar != ar {
+				return nil, fmt.Errorf("corpus: Raw: doc %d segment %d uses a different token arena; corpora must share one arena to be persisted", i, si)
+			}
+			r.SegOffs = append(r.SegOffs, sg.off)
+			r.SegLens = append(r.SegLens, sg.n)
+		}
+	}
+	if ar != nil {
+		r.Words = ar.words
+		r.KeepSurface = ar.keep
+		if ar.keep {
+			r.Surface = ar.surface
+			r.Gaps = ar.gaps
+			r.Pool = ar.pool.strs
+		}
+	}
+	return r, nil
+}
+
+// FromRaw assembles a Corpus over the given columns without copying
+// them: the token arena borrows Words/Surface/Gaps (which may live in
+// a read-only mmap'd region) and is sealed against growth. Every
+// offset, pool id and word id is validated before a Segment is built,
+// so a corrupt but well-framed file fails here with an error instead
+// of panicking inside a later pipeline stage.
+func FromRaw(r *Raw) (*Corpus, error) {
+	if r.Vocab == nil {
+		return nil, fmt.Errorf("corpus: FromRaw: missing vocabulary")
+	}
+	if len(r.SegOffs) != len(r.SegLens) {
+		return nil, fmt.Errorf("corpus: FromRaw: %d segment offsets but %d lengths", len(r.SegOffs), len(r.SegLens))
+	}
+	totalSegs := 0
+	for i, n := range r.SegCounts {
+		if n < 0 {
+			return nil, fmt.Errorf("corpus: FromRaw: doc %d has negative segment count %d", i, n)
+		}
+		totalSegs += int(n)
+	}
+	if totalSegs != len(r.SegOffs) {
+		return nil, fmt.Errorf("corpus: FromRaw: documents claim %d segments, table has %d", totalSegs, len(r.SegOffs))
+	}
+	nTok := len(r.Words)
+	if nTok > maxArenaTokens {
+		return nil, fmt.Errorf("corpus: FromRaw: arena holds %d tokens, limit is %d", nTok, maxArenaTokens)
+	}
+	for i := range r.SegOffs {
+		off, n := r.SegOffs[i], r.SegLens[i]
+		if off < 0 || n < 0 || int(off)+int(n) > nTok {
+			return nil, fmt.Errorf("corpus: FromRaw: segment %d spans [%d,%d) of a %d-token arena", i, off, int(off)+int(n), nTok)
+		}
+	}
+	V := int32(r.Vocab.Size())
+	for i, w := range r.Words {
+		if w < 0 || w >= V {
+			return nil, fmt.Errorf("corpus: FromRaw: token %d has word id %d, vocabulary size is %d", i, w, V)
+		}
+	}
+	ar := &tokenArena{words: r.Words, keep: r.KeepSurface, sealed: true}
+	if r.KeepSurface {
+		if len(r.Surface) != nTok || len(r.Gaps) != nTok {
+			return nil, fmt.Errorf("corpus: FromRaw: %d tokens but %d surfaces and %d gaps", nTok, len(r.Surface), len(r.Gaps))
+		}
+		if len(r.Pool) == 0 || r.Pool[0] != "" {
+			return nil, fmt.Errorf("corpus: FromRaw: string pool must start with the empty string")
+		}
+		P := uint32(len(r.Pool))
+		for i := range r.Surface {
+			if r.Surface[i] >= P || r.Gaps[i] >= P {
+				return nil, fmt.Errorf("corpus: FromRaw: token %d references string pool entry %d/%d, pool size is %d",
+					i, r.Surface[i], r.Gaps[i], P)
+			}
+		}
+		ar.surface = r.Surface
+		ar.gaps = r.Gaps
+		ar.pool = stringPool{strs: r.Pool}
+	}
+	c := &Corpus{
+		Docs:        make([]*Document, len(r.SegCounts)),
+		Vocab:       r.Vocab,
+		TotalTokens: r.TotalTokens,
+		BuildOpts:   r.BuildOpts,
+	}
+	docBlock := make([]Document, len(r.SegCounts))
+	segBlock := make([]Segment, totalSegs)
+	next := 0
+	for i, n := range r.SegCounts {
+		docBlock[i] = Document{ID: i, Segments: segBlock[next : next+int(n) : next+int(n)]}
+		for j := 0; j < int(n); j++ {
+			segBlock[next+j] = Segment{ar: ar, off: r.SegOffs[next+j], n: r.SegLens[next+j]}
+		}
+		next += int(n)
+		c.Docs[i] = &docBlock[i]
+	}
+	return c, nil
+}

@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func rawTestCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	return FromStrings([]string{
+		"frequent pattern mining finds frequent patterns.",
+		"",
+		"support vector machines; support vector regression.",
+	}, DefaultBuildOptions())
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	c := rawTestCorpus(t)
+	r, err := c.Raw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromRaw(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := c.ComputeStats(), got.ComputeStats(); w != g {
+		t.Fatalf("stats differ: %v vs %v", w, g)
+	}
+	for d := range c.Docs {
+		for si := range c.Docs[d].Segments {
+			ws, gs := &c.Docs[d].Segments[si], &got.Docs[d].Segments[si]
+			if c.DisplayPhrase(ws, 0, ws.Len()) != got.DisplayPhrase(gs, 0, gs.Len()) {
+				t.Fatalf("doc %d seg %d display differs", d, si)
+			}
+		}
+	}
+}
+
+func TestFromRawRejectsCorruptColumns(t *testing.T) {
+	c := rawTestCorpus(t)
+	fresh := func() *Raw {
+		r, err := c.Raw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Copy the mutable columns so each case corrupts its own.
+		r.Words = append([]int32(nil), r.Words...)
+		r.Surface = append([]uint32(nil), r.Surface...)
+		r.Gaps = append([]uint32(nil), r.Gaps...)
+		r.SegOffs = append([]int32(nil), r.SegOffs...)
+		r.SegLens = append([]int32(nil), r.SegLens...)
+		r.SegCounts = append([]int32(nil), r.SegCounts...)
+		return r
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Raw)
+		want   string
+	}{
+		{"word id past vocab", func(r *Raw) { r.Words[0] = int32(r.Vocab.Size()) }, "word id"},
+		{"negative word id", func(r *Raw) { r.Words[1] = -1 }, "word id"},
+		{"segment past arena", func(r *Raw) { r.SegLens[0] = int32(len(r.Words)) + 1 }, "arena"},
+		{"negative offset", func(r *Raw) { r.SegOffs[0] = -1 }, "arena"},
+		{"pool id out of range", func(r *Raw) { r.Surface[0] = uint32(len(r.Pool)) }, "pool"},
+		{"seg count mismatch", func(r *Raw) { r.SegCounts[0]++ }, "segments"},
+		{"missing vocab", func(r *Raw) { r.Vocab = nil }, "vocabulary"},
+		{"pool without empty head", func(r *Raw) { r.Pool = []string{"x"} }, "empty string"},
+	}
+	for _, tc := range cases {
+		r := fresh()
+		tc.mutate(r)
+		_, err := FromRaw(r)
+		if err == nil {
+			t.Errorf("%s: FromRaw accepted corrupt input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFromRawArenaSealed(t *testing.T) {
+	c := rawTestCorpus(t)
+	r, err := c.Raw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromRaw(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := got.Docs[0].Segments[0].ar
+	defer func() {
+		if recover() == nil {
+			t.Fatal("grow on a sealed arena did not panic")
+		}
+	}()
+	ar.grow(1)
+}

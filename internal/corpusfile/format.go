@@ -1,0 +1,115 @@
+// Package corpusfile defines the .tpc on-disk corpus format: a
+// versioned, CRC-checked, section-based binary container for the
+// preprocessed ToPMine corpus (the columnar token arena, segment
+// offset table, interned surface/gap string pool and vocabulary of
+// internal/corpus), optionally bundled with the downstream phrase
+// mining and segmentation artifacts.
+//
+// The point of the format is that preprocessing runs once: tokenizing,
+// vocab interning, phrase mining and segmentation — the expensive
+// front half of the pipeline — are persisted, and every later training
+// job starts from Open in milliseconds instead of minutes. The token
+// arena sections are laid out 64-byte-aligned and little-endian so
+// Open can hand the pipeline zero-copy views straight into the mmap'd
+// file; corpora therefore also stop being bounded by RAM — the kernel
+// pages token data in and out on demand.
+//
+// # Layout
+//
+//	offset 0   magic "TPCFILE\x00" (8 bytes)
+//	       8   format version, uint16 LE
+//	      10   reserved, uint16 (zero)
+//	      12   byte-order marker, uint32 LE (orderMarker)
+//	      16   section count, uint32 LE
+//	      20   section table: count × (id u32, crc u32, offset u64, length u64)
+//	      ...  section payloads, each starting at a 64-byte-aligned
+//	           offset (zero padding between sections, not CRC-covered)
+//
+// Sections appear in the table in ascending offset order, so Load can
+// consume the file from a plain io.Reader without seeking. Every
+// payload is covered by its table entry's IEEE CRC-32; offsets and
+// lengths are validated against the file size before anything is
+// decoded, so truncation, bit rot and foreign files all fail with a
+// named error — never a panic.
+//
+// All multi-byte values are little-endian, including the raw
+// int32/uint32 array sections, which on little-endian hosts (the only
+// kind this package fast-paths) are exactly the in-memory layout the
+// pipeline reads.
+package corpusfile
+
+import (
+	"errors"
+	"unsafe"
+)
+
+const (
+	// magic identifies a .tpc corpus file.
+	magic = "TPCFILE\x00"
+	// Version is the current format version. Readers reject any other.
+	Version uint16 = 1
+	// orderMarker, decoded little-endian, guards against a
+	// foreign-endian writer ever existing: a byte-swapped file decodes
+	// the marker to a different value and is rejected up front.
+	orderMarker uint32 = 0x1CC0FFEE
+	// sectionAlign is the file-offset alignment of every section
+	// payload. 64 covers the strictest alignment any zero-copy view
+	// needs (int32/uint32 arrays need 4) with cache-line headroom.
+	sectionAlign = 64
+	// headerSize is everything before the section table.
+	headerSize = 8 + 2 + 2 + 4 + 4
+	// tableEntrySize is one section-table entry.
+	tableEntrySize = 4 + 4 + 8 + 8
+)
+
+// Section ids. Presence is signalled by the table: surface/gaps/pool
+// appear only when the corpus retains surfaces, artifacts/spans only
+// when mining+segmentation results were bundled.
+const (
+	secMeta      uint32 = 1 // fixed-size counts and flags
+	secTokens    uint32 = 2 // token arena: numTokens × int32 word ids
+	secSurface   uint32 = 3 // numTokens × uint32 string-pool ids
+	secGaps      uint32 = 4 // numTokens × uint32 string-pool ids
+	secPool      uint32 = 5 // interned string table
+	secVocab     uint32 = 6 // gob-encoded textproc.Vocab
+	secDocs      uint32 = 7 // per-doc segment counts + per-segment (off, len)
+	secArtifacts uint32 = 8 // gob: mining params + mined phrase counts
+	secSpans     uint32 = 9 // flat per-document phrase spans (Algorithm 2 output)
+)
+
+// meta-section flag bits.
+const (
+	flagKeepSurface uint32 = 1 << iota
+	flagStem
+	flagRemoveStopwords
+)
+
+// metaSize is the fixed meta-section payload: four u64 counts plus a
+// u32 flag word.
+const metaSize = 8*4 + 4
+
+// Named error conditions. Every failure returned by Load/Open wraps
+// exactly one of these (plus detail), so callers can classify bad
+// inputs with errors.Is without parsing messages.
+var (
+	// ErrBadMagic marks a file that is not a .tpc corpus file at all.
+	ErrBadMagic = errors.New("corpusfile: not a corpus file (bad magic)")
+	// ErrVersion marks a corpus file written by an incompatible format
+	// version.
+	ErrVersion = errors.New("corpusfile: unsupported corpus file version")
+	// ErrTruncated marks a file shorter than its section table claims.
+	ErrTruncated = errors.New("corpusfile: corpus file truncated")
+	// ErrChecksum marks a section whose payload fails its CRC.
+	ErrChecksum = errors.New("corpusfile: corpus file corrupted (checksum mismatch)")
+	// ErrFormat marks a structurally inconsistent file: impossible
+	// counts, out-of-range offsets, missing required sections.
+	ErrFormat = errors.New("corpusfile: malformed corpus file")
+)
+
+// hostLittle reports whether this machine is little-endian — the only
+// byte order the zero-copy array views are valid for. Big-endian hosts
+// still read and write the format through the conversion path.
+var hostLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

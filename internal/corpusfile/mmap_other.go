@@ -1,0 +1,15 @@
+//go:build !unix
+
+package corpusfile
+
+import "errors"
+
+// errNoMmap makes Open fall back to reading the file into memory on
+// platforms without a usable mmap; the decoded corpus is identical.
+var errNoMmap = errors.New("corpusfile: mmap unsupported on this platform")
+
+func mmapFile(f interface{ Fd() uintptr }, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(b []byte) error { return nil }

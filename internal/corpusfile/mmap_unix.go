@@ -1,0 +1,14 @@
+//go:build unix
+
+package corpusfile
+
+import "syscall"
+
+// mmapFile maps the file read-only. The returned region is valid
+// independently of the file descriptor (the mapping keeps its own
+// reference), so callers may close the file immediately.
+func mmapFile(f interface{ Fd() uintptr }, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,461 @@
+package corpusfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"topmine/internal/corpus"
+	"topmine/internal/counter"
+	"topmine/internal/phrasemine"
+	"topmine/internal/segment"
+	"topmine/internal/textproc"
+)
+
+// File is an opened .tpc corpus: the reconstructed corpus plus any
+// bundled artifacts, and — when Open mmap'd the file — the mapping
+// backing the corpus's token arena.
+//
+// The corpus (and everything derived from its token slices) is valid
+// only until Close. Trained models are safe to keep: the topic-model
+// documents copy their cliques out of the arena.
+type File struct {
+	c      *corpus.Corpus
+	mined  *phrasemine.Result
+	segs   []*segment.SegmentedDoc
+	prm    Params
+	data   []byte // mmap'd region; nil when heap-backed
+	mapped bool
+}
+
+// Corpus returns the reconstructed corpus. Its token arena may alias
+// the mmap'd file; it is valid until Close.
+func (f *File) Corpus() *corpus.Corpus { return f.c }
+
+// Mined returns the bundled frequent-phrase statistics, or nil when
+// the file carries a corpus alone.
+func (f *File) Mined() *phrasemine.Result { return f.mined }
+
+// Segmented returns the bundled per-document phrase partitions, or nil.
+func (f *File) Segmented() []*segment.SegmentedDoc { return f.segs }
+
+// Params returns the mining/segmentation parameters the bundled
+// artifacts were produced with (zero when no artifacts are stored).
+func (f *File) Params() Params { return f.prm }
+
+// Mapped reports whether the token arena is a zero-copy view into an
+// mmap'd file (false on platforms without mmap, for Load, and on
+// big-endian hosts, which take the conversion path).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping, if any. The corpus returned by Corpus
+// must not be used afterwards. Close is idempotent.
+func (f *File) Close() error {
+	if !f.mapped || f.data == nil {
+		return nil
+	}
+	data := f.data
+	f.data = nil
+	f.mapped = false
+	if err := munmapFile(data); err != nil {
+		return fmt.Errorf("corpusfile: unmapping corpus file: %w", err)
+	}
+	return nil
+}
+
+// Open maps the corpus file at path and reconstructs its corpus with
+// zero-copy views into the mapping: the token arena columns and the
+// segment tables are read in place, so opening costs decoding the
+// string pool, vocabulary and artifacts plus one CRC pass — not a
+// rebuild of the corpus. On platforms without mmap (and on big-endian
+// hosts) it falls back to reading the file into memory; the result is
+// identical either way.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpusfile: %w", err)
+	}
+	defer f.Close()
+	if hostLittle {
+		if fi, err := f.Stat(); err == nil && fi.Size() > 0 && int64(int(fi.Size())) == fi.Size() {
+			if data, merr := mmapFile(f, fi.Size()); merr == nil {
+				cf, derr := decode(data)
+				if derr != nil {
+					munmapFile(data)
+					return nil, derr
+				}
+				cf.data = data
+				cf.mapped = true
+				return cf, nil
+			}
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("corpusfile: reading %s: %w", path, err)
+	}
+	return decode(data)
+}
+
+// Load reads a corpus file from a plain reader (no mmap). The whole
+// file is materialised in memory; on little-endian hosts the token
+// arena still aliases that buffer rather than being copied again.
+func Load(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("corpusfile: reading corpus file: %w", err)
+	}
+	return decode(data)
+}
+
+// tableEntry is one parsed section-table row.
+type tableEntry struct {
+	id   uint32
+	crc  uint32
+	off  uint64
+	size uint64
+}
+
+// decode parses and validates a complete .tpc image. On little-endian
+// hosts the returned corpus's array columns alias data; the caller
+// decides whether data is an mmap region or a heap buffer.
+func decode(data []byte) (*File, error) {
+	if len(data) < 8 || !bytes.Equal(data[:8], []byte(magic)) {
+		return nil, fmt.Errorf("%w", ErrBadMagic)
+	}
+	// The full-header length check must precede every fixed-offset read
+	// below — a file cut just past the magic would otherwise index out
+	// of range instead of returning a named error.
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte file ends inside the header", ErrTruncated, len(data))
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	if m := binary.LittleEndian.Uint32(data[12:]); m != orderMarker {
+		return nil, fmt.Errorf("%w: byte-order marker %08x, want %08x", ErrFormat, m, orderMarker)
+	}
+	nsec := int(binary.LittleEndian.Uint32(data[16:]))
+	if nsec < 1 || nsec > 64 {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrFormat, nsec)
+	}
+	tableEnd := headerSize + nsec*tableEntrySize
+	if len(data) < tableEnd {
+		return nil, fmt.Errorf("%w: file ends inside the section table", ErrTruncated)
+	}
+	secs := make(map[uint32]tableEntry, nsec)
+	for i := 0; i < nsec; i++ {
+		e := tableEntry{
+			id:   binary.LittleEndian.Uint32(data[headerSize+i*tableEntrySize:]),
+			crc:  binary.LittleEndian.Uint32(data[headerSize+i*tableEntrySize+4:]),
+			off:  binary.LittleEndian.Uint64(data[headerSize+i*tableEntrySize+8:]),
+			size: binary.LittleEndian.Uint64(data[headerSize+i*tableEntrySize+16:]),
+		}
+		if e.off%sectionAlign != 0 {
+			return nil, fmt.Errorf("%w: section %d at unaligned offset %d", ErrFormat, e.id, e.off)
+		}
+		if e.off > uint64(len(data)) || e.size > uint64(len(data))-e.off {
+			return nil, fmt.Errorf("%w: section %d spans [%d,%d) of a %d-byte file",
+				ErrTruncated, e.id, e.off, e.off+e.size, len(data))
+		}
+		if _, dup := secs[e.id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrFormat, e.id)
+		}
+		secs[e.id] = e
+	}
+	body := func(id uint32) ([]byte, bool) {
+		e, ok := secs[id]
+		if !ok {
+			return nil, false
+		}
+		return data[e.off : e.off+e.size : e.off+e.size], true
+	}
+	for _, e := range secs {
+		if got := crc32.ChecksumIEEE(data[e.off : e.off+e.size]); got != e.crc {
+			return nil, fmt.Errorf("%w: section %d payload CRC %08x, table says %08x",
+				ErrChecksum, e.id, got, e.crc)
+		}
+	}
+
+	metaB, ok := body(secMeta)
+	if !ok || len(metaB) != metaSize {
+		return nil, fmt.Errorf("%w: missing or misshapen meta section", ErrFormat)
+	}
+	totalTokens := binary.LittleEndian.Uint64(metaB[0:])
+	numDocs := binary.LittleEndian.Uint64(metaB[8:])
+	numSegs := binary.LittleEndian.Uint64(metaB[16:])
+	numTokens := binary.LittleEndian.Uint64(metaB[24:])
+	flags := binary.LittleEndian.Uint32(metaB[32:])
+	const maxCount = 1 << 31 // every count fits int32 by construction
+	if totalTokens > maxCount || numDocs > maxCount || numSegs > maxCount || numTokens > maxCount {
+		return nil, fmt.Errorf("%w: implausible counts (tokens=%d docs=%d segs=%d arena=%d)",
+			ErrFormat, totalTokens, numDocs, numSegs, numTokens)
+	}
+	keepSurface := flags&flagKeepSurface != 0
+
+	raw := &corpus.Raw{
+		KeepSurface: keepSurface,
+		TotalTokens: int(totalTokens),
+		BuildOpts: corpus.BuildOptions{
+			Stem:            flags&flagStem != 0,
+			RemoveStopwords: flags&flagRemoveStopwords != 0,
+			KeepSurface:     keepSurface,
+		},
+	}
+
+	tokB, ok := body(secTokens)
+	if !ok || uint64(len(tokB)) != numTokens*4 {
+		return nil, fmt.Errorf("%w: token arena section is %d bytes, meta claims %d tokens",
+			ErrFormat, len(tokB), numTokens)
+	}
+	raw.Words = int32sFromBytes(tokB)
+
+	if keepSurface {
+		surB, ok1 := body(secSurface)
+		gapB, ok2 := body(secGaps)
+		poolB, ok3 := body(secPool)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("%w: surface flag set but surface/gap/pool sections missing", ErrFormat)
+		}
+		if uint64(len(surB)) != numTokens*4 || uint64(len(gapB)) != numTokens*4 {
+			return nil, fmt.Errorf("%w: surface/gap sections are %d/%d bytes, meta claims %d tokens",
+				ErrFormat, len(surB), len(gapB), numTokens)
+		}
+		raw.Surface = uint32sFromBytes(surB)
+		raw.Gaps = uint32sFromBytes(gapB)
+		pool, err := decodePool(poolB)
+		if err != nil {
+			return nil, err
+		}
+		raw.Pool = pool
+	}
+
+	vocB, ok := body(secVocab)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing vocabulary section", ErrFormat)
+	}
+	vocab := textproc.NewVocab()
+	if err := gob.NewDecoder(bytes.NewReader(vocB)).Decode(vocab); err != nil {
+		return nil, fmt.Errorf("%w: decoding vocabulary: %v", ErrFormat, err)
+	}
+	raw.Vocab = vocab
+
+	docB, ok := body(secDocs)
+	if !ok || uint64(len(docB)) != numDocs*4+numSegs*8 {
+		return nil, fmt.Errorf("%w: docs section is %d bytes for %d docs / %d segments",
+			ErrFormat, len(docB), numDocs, numSegs)
+	}
+	raw.SegCounts = int32sFromBytes(docB[:numDocs*4])
+	raw.SegOffs = int32sFromBytes(docB[numDocs*4 : numDocs*4+numSegs*4])
+	raw.SegLens = int32sFromBytes(docB[numDocs*4+numSegs*4:])
+
+	c, err := corpus.FromRaw(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+
+	cf := &File{c: c}
+	if artB, ok := body(secArtifacts); ok {
+		var payload artifactsPayload
+		if err := gob.NewDecoder(bytes.NewReader(artB)).Decode(&payload); err != nil {
+			return nil, fmt.Errorf("%w: decoding artifacts: %v", ErrFormat, err)
+		}
+		if payload.Mined == nil || payload.Mined.Counts == nil {
+			return nil, fmt.Errorf("%w: artifacts section carries no mined phrases", ErrFormat)
+		}
+		if payload.Mined.TotalTokens != c.TotalTokens {
+			return nil, fmt.Errorf("%w: mined phrases counted %d tokens, corpus has %d",
+				ErrFormat, payload.Mined.TotalTokens, c.TotalTokens)
+		}
+		if err := validateMined(payload.Mined, c.Vocab.Size()); err != nil {
+			return nil, err
+		}
+		cf.mined = payload.Mined
+		cf.prm = payload.Params
+		if spanB, ok := body(secSpans); ok {
+			segs, err := decodeSpans(spanB, c)
+			if err != nil {
+				return nil, err
+			}
+			cf.segs = segs
+		}
+	} else if _, ok := body(secSpans); ok {
+		return nil, fmt.Errorf("%w: spans section without artifacts section", ErrFormat)
+	}
+	return cf, nil
+}
+
+// int32sFromBytes reinterprets a little-endian byte section as int32s.
+// On little-endian hosts this is a zero-copy cast (the write side
+// guarantees 4-byte alignment via the 64-byte section alignment);
+// elsewhere it converts into a fresh slice.
+func int32sFromBytes(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func uint32sFromBytes(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// decodePool decodes the interned string table. Strings are copied to
+// the heap — they are small next to the arena, and heap copies keep
+// them valid past Close.
+func decodePool(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: string pool section too short", ErrFormat)
+	}
+	count := binary.LittleEndian.Uint32(b)
+	// Bound and slice in 64-bit arithmetic: 4+4*count wraps in uint32
+	// for counts near 2^30, which would let a hostile header pass the
+	// check and panic on the first out-of-range read.
+	lensEnd := 4 + 4*uint64(count)
+	if uint64(len(b)) < lensEnd {
+		return nil, fmt.Errorf("%w: string pool claims %d entries in %d bytes", ErrFormat, count, len(b))
+	}
+	lens := b[4:lensEnd]
+	blob := b[lensEnd:]
+	pool := make([]string, count)
+	pos := uint64(0)
+	for i := range pool {
+		n := uint64(binary.LittleEndian.Uint32(lens[i*4:]))
+		if pos+n > uint64(len(blob)) {
+			return nil, fmt.Errorf("%w: string pool entry %d overruns the section", ErrFormat, i)
+		}
+		pool[i] = string(blob[pos : pos+n])
+		pos += n
+	}
+	if pos != uint64(len(blob)) {
+		return nil, fmt.Errorf("%w: string pool has %d trailing bytes", ErrFormat, uint64(len(blob))-pos)
+	}
+	return pool, nil
+}
+
+// validateMined checks every mined phrase against the vocabulary —
+// the keys pack word ids, and a CRC-valid but hostile file could
+// otherwise smuggle out-of-range ids into display paths (Unstem
+// indexes vocabulary tables by id) and panic instead of erroring.
+func validateMined(m *phrasemine.Result, vocabSize int) error {
+	var bad error
+	m.Counts.Each(func(key string, count int64) {
+		if bad != nil {
+			return
+		}
+		if len(key) == 0 || len(key)%4 != 0 {
+			bad = fmt.Errorf("%w: mined phrase key of %d bytes", ErrFormat, len(key))
+			return
+		}
+		if count < 1 {
+			bad = fmt.Errorf("%w: mined phrase with count %d", ErrFormat, count)
+			return
+		}
+		for _, w := range counter.Unkey(key) {
+			if w < 0 || int(w) >= vocabSize {
+				bad = fmt.Errorf("%w: mined phrase holds word id %d, vocabulary size is %d",
+					ErrFormat, w, vocabSize)
+				return
+			}
+		}
+	})
+	return bad
+}
+
+// decodeSpans decodes the flat phrase-partition section and validates
+// it against the corpus: every document's span lists must tile its
+// segments exactly (the partition property of Definition 1), so a
+// corrupt file fails here instead of feeding the trainer out-of-range
+// token ranges.
+func decodeSpans(b []byte, c *corpus.Corpus) ([]*segment.SegmentedDoc, error) {
+	rd := spanReader{b: b}
+	nd, ok := rd.u32()
+	if !ok || int(nd) != len(c.Docs) {
+		return nil, fmt.Errorf("%w: spans section covers %d docs, corpus has %d", ErrFormat, nd, len(c.Docs))
+	}
+	segs := make([]*segment.SegmentedDoc, nd)
+	for d := range segs {
+		nseg, ok := rd.u32()
+		if !ok || int(nseg) != len(c.Docs[d].Segments) {
+			return nil, fmt.Errorf("%w: spans for doc %d cover %d segments, corpus has %d",
+				ErrFormat, d, nseg, len(c.Docs[d].Segments))
+		}
+		sd := &segment.SegmentedDoc{DocID: d, Spans: make([][]segment.Span, nseg)}
+		for si := 0; si < int(nseg); si++ {
+			nspan, ok := rd.u32()
+			if !ok {
+				return nil, fmt.Errorf("%w: spans section ends inside doc %d", ErrFormat, d)
+			}
+			segLen := c.Docs[d].Segments[si].Len()
+			// Every valid span covers at least one token, so nspan is
+			// bounded by the segment length; checking before the
+			// allocation keeps a crafted count from forcing a huge
+			// make and aborting the process instead of erroring.
+			if int64(nspan) > int64(segLen) {
+				return nil, fmt.Errorf("%w: doc %d segment %d claims %d spans over %d tokens",
+					ErrFormat, d, si, nspan, segLen)
+			}
+			spans := make([]segment.Span, nspan)
+			prev := 0
+			for j := range spans {
+				s, ok1 := rd.u32()
+				e, ok2 := rd.u32()
+				if !ok1 || !ok2 {
+					return nil, fmt.Errorf("%w: spans section ends inside doc %d", ErrFormat, d)
+				}
+				if int(s) != prev || e <= s || int(e) > segLen {
+					return nil, fmt.Errorf("%w: doc %d segment %d span [%d,%d) does not tile a %d-token segment",
+						ErrFormat, d, si, s, e, segLen)
+				}
+				spans[j] = segment.Span{Start: int(s), End: int(e)}
+				prev = int(e)
+			}
+			if prev != segLen {
+				return nil, fmt.Errorf("%w: doc %d segment %d spans cover %d of %d tokens",
+					ErrFormat, d, si, prev, segLen)
+			}
+			sd.Spans[si] = spans
+		}
+		segs[d] = sd
+	}
+	if len(rd.b) != rd.pos {
+		return nil, fmt.Errorf("%w: spans section has %d trailing bytes", ErrFormat, len(rd.b)-rd.pos)
+	}
+	return segs, nil
+}
+
+type spanReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *spanReader) u32() (uint32, bool) {
+	if r.pos+4 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v, true
+}

@@ -1,0 +1,407 @@
+package corpusfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+
+	"topmine/internal/atomicfile"
+	"topmine/internal/corpus"
+	"topmine/internal/phrasemine"
+	"topmine/internal/segment"
+)
+
+// Params records the mining/segmentation parameterisation the bundled
+// artifacts were produced with. A reader reuses stored artifacts only
+// when its own parameters match; otherwise it recomputes them from the
+// corpus, so a .tpc file never silently serves phrases mined under a
+// different support threshold.
+type Params struct {
+	MinSupport      int
+	RelativeSupport float64
+	MaxPhraseLen    int
+	SigThreshold    float64
+}
+
+// Artifacts bundles the downstream preprocessing products that can
+// ride along with a corpus: the frequent-phrase statistics of
+// Algorithm 1 and the per-document phrase partitions of Algorithm 2.
+// Mined is required; Segs may be nil to persist mining results alone.
+type Artifacts struct {
+	Params Params
+	Mined  *phrasemine.Result
+	Segs   []*segment.SegmentedDoc
+}
+
+// artifactsPayload is the gob wire form of the artifacts section
+// (spans are stored separately in flat binary — gob on millions of
+// tiny Span structs is both bigger and slower).
+type artifactsPayload struct {
+	Params Params
+	Mined  *phrasemine.Result
+}
+
+// section is one planned payload: its table entry plus a writer that
+// must produce exactly size bytes. The writer runs twice — once into a
+// CRC hasher, once into the output — so payloads never need to be
+// buffered whole (the big array sections stream straight out of the
+// corpus columns).
+type section struct {
+	id    uint32
+	size  uint64
+	crc   uint32
+	write func(io.Writer) error
+}
+
+// Write persists the corpus alone; see WriteArtifacts.
+func Write(w io.Writer, c *corpus.Corpus) error {
+	return WriteArtifacts(w, c, nil)
+}
+
+// WriteArtifacts persists the corpus as a .tpc file, bundling the
+// given mining/segmentation artifacts when art is non-nil. The token
+// arena columns are written little-endian at 64-byte-aligned offsets,
+// which is what lets Open hand back zero-copy views into an mmap'd
+// file.
+func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
+	if c == nil {
+		return fmt.Errorf("corpusfile: Write: nil corpus")
+	}
+	raw, err := c.Raw()
+	if err != nil {
+		return fmt.Errorf("corpusfile: Write: %w", err)
+	}
+	if art != nil {
+		if art.Mined == nil || art.Mined.Counts == nil {
+			return fmt.Errorf("corpusfile: Write: artifacts carry no mined phrases")
+		}
+		if art.Segs != nil && len(art.Segs) != len(raw.SegCounts) {
+			return fmt.Errorf("corpusfile: Write: %d segmented docs for a %d-doc corpus",
+				len(art.Segs), len(raw.SegCounts))
+		}
+		for i, sd := range art.Segs {
+			if sd == nil || sd.DocID != i {
+				return fmt.Errorf("corpusfile: Write: segmented docs must follow corpus order (doc %d)", i)
+			}
+		}
+	}
+
+	var vocabBuf bytes.Buffer
+	if err := gob.NewEncoder(&vocabBuf).Encode(raw.Vocab); err != nil {
+		return fmt.Errorf("corpusfile: encoding vocabulary: %w", err)
+	}
+
+	var flags uint32
+	if raw.KeepSurface {
+		flags |= flagKeepSurface
+	}
+	if raw.BuildOpts.Stem {
+		flags |= flagStem
+	}
+	if raw.BuildOpts.RemoveStopwords {
+		flags |= flagRemoveStopwords
+	}
+	numTokens := len(raw.Words)
+	sections := []section{
+		{id: secMeta, size: metaSize, write: func(w io.Writer) error {
+			var b [metaSize]byte
+			binary.LittleEndian.PutUint64(b[0:], uint64(raw.TotalTokens))
+			binary.LittleEndian.PutUint64(b[8:], uint64(len(raw.SegCounts)))
+			binary.LittleEndian.PutUint64(b[16:], uint64(len(raw.SegOffs)))
+			binary.LittleEndian.PutUint64(b[24:], uint64(numTokens))
+			binary.LittleEndian.PutUint32(b[32:], flags)
+			_, err := w.Write(b[:])
+			return err
+		}},
+		{id: secTokens, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+			return writeInt32s(w, raw.Words)
+		}},
+	}
+	if raw.KeepSurface {
+		sections = append(sections,
+			section{id: secSurface, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+				return writeUint32s(w, raw.Surface)
+			}},
+			section{id: secGaps, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+				return writeUint32s(w, raw.Gaps)
+			}},
+			section{id: secPool, size: poolSize(raw.Pool), write: func(w io.Writer) error {
+				return writePool(w, raw.Pool)
+			}},
+		)
+	}
+	sections = append(sections,
+		section{id: secVocab, size: uint64(vocabBuf.Len()), write: func(w io.Writer) error {
+			_, err := w.Write(vocabBuf.Bytes())
+			return err
+		}},
+		section{id: secDocs, size: uint64(len(raw.SegCounts))*4 + uint64(len(raw.SegOffs))*8,
+			write: func(w io.Writer) error {
+				if err := writeInt32s(w, raw.SegCounts); err != nil {
+					return err
+				}
+				if err := writeInt32s(w, raw.SegOffs); err != nil {
+					return err
+				}
+				return writeInt32s(w, raw.SegLens)
+			}},
+	)
+	if art != nil {
+		var artBuf bytes.Buffer
+		if err := gob.NewEncoder(&artBuf).Encode(artifactsPayload{Params: art.Params, Mined: art.Mined}); err != nil {
+			return fmt.Errorf("corpusfile: encoding artifacts: %w", err)
+		}
+		sections = append(sections, section{id: secArtifacts, size: uint64(artBuf.Len()),
+			write: func(w io.Writer) error {
+				_, err := w.Write(artBuf.Bytes())
+				return err
+			}})
+		if art.Segs != nil {
+			sections = append(sections, section{id: secSpans, size: spansSize(art.Segs),
+				write: func(w io.Writer) error {
+					return writeSpans(w, art.Segs)
+				}})
+		}
+	}
+
+	// Pass 1: checksum every payload.
+	for i := range sections {
+		h := crc32.NewIEEE()
+		cw := &countWriter{w: h}
+		if err := sections[i].write(cw); err != nil {
+			return fmt.Errorf("corpusfile: hashing section %d: %w", sections[i].id, err)
+		}
+		if cw.n != sections[i].size {
+			return fmt.Errorf("corpusfile: internal error: section %d wrote %d bytes, planned %d",
+				sections[i].id, cw.n, sections[i].size)
+		}
+		sections[i].crc = h.Sum32()
+	}
+
+	// Lay sections out back to back at 64-byte-aligned offsets.
+	offsets := make([]uint64, len(sections))
+	pos := alignUp(uint64(headerSize + len(sections)*tableEntrySize))
+	for i := range sections {
+		offsets[i] = pos
+		pos = alignUp(pos + sections[i].size)
+	}
+
+	// Pass 2: emit header, table, payloads.
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], orderMarker)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(sections)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("corpusfile: writing header: %w", err)
+	}
+	var ent [tableEntrySize]byte
+	for i, s := range sections {
+		binary.LittleEndian.PutUint32(ent[0:], s.id)
+		binary.LittleEndian.PutUint32(ent[4:], s.crc)
+		binary.LittleEndian.PutUint64(ent[8:], offsets[i])
+		binary.LittleEndian.PutUint64(ent[16:], s.size)
+		if _, err := bw.Write(ent[:]); err != nil {
+			return fmt.Errorf("corpusfile: writing section table: %w", err)
+		}
+	}
+	written := uint64(headerSize + len(sections)*tableEntrySize)
+	for i, s := range sections {
+		if err := writeZeros(bw, offsets[i]-written); err != nil {
+			return fmt.Errorf("corpusfile: writing padding: %w", err)
+		}
+		if err := s.write(bw); err != nil {
+			return fmt.Errorf("corpusfile: writing section %d: %w", s.id, err)
+		}
+		written = offsets[i] + s.size
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("corpusfile: writing corpus file: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the corpus (and optional artifacts) to path
+// atomically (see internal/atomicfile: exclusive temp + rename, an
+// existing file's permissions preserved, fresh files 0666 filtered by
+// the umask — the same contract as the snapshot writer).
+func WriteFile(path string, c *corpus.Corpus, art *Artifacts) error {
+	err := atomicfile.Write(path, func(w io.Writer) error {
+		return WriteArtifacts(w, c, art)
+	})
+	// Encoding errors already carry the corpusfile prefix; the
+	// atomic-write machinery's own failures get it added here.
+	var ae *atomicfile.Error
+	if errors.As(err, &ae) {
+		return fmt.Errorf("corpusfile: %w", err)
+	}
+	return err
+}
+
+// alignUp rounds n up to the next sectionAlign boundary.
+func alignUp(n uint64) uint64 {
+	return (n + sectionAlign - 1) &^ uint64(sectionAlign-1)
+}
+
+// countWriter counts bytes so the emit pass can verify planned sizes.
+type countWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+var zeros [sectionAlign]byte
+
+func writeZeros(w io.Writer, n uint64) error {
+	for n > 0 {
+		chunk := n
+		if chunk > sectionAlign {
+			chunk = sectionAlign
+		}
+		if _, err := w.Write(zeros[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+// int32sAsBytes reinterprets an int32 slice as its in-memory bytes —
+// valid as the little-endian wire form only on little-endian hosts.
+func int32sAsBytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func uint32sAsBytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// writeInt32s writes the slice little-endian: one bulk write on LE
+// hosts, a chunked conversion loop elsewhere.
+func writeInt32s(w io.Writer, s []int32) error {
+	if hostLittle {
+		_, err := w.Write(int32sAsBytes(s))
+		return err
+	}
+	return writeConverted(w, len(s), func(b []byte, i int) {
+		binary.LittleEndian.PutUint32(b, uint32(s[i]))
+	})
+}
+
+func writeUint32s(w io.Writer, s []uint32) error {
+	if hostLittle {
+		_, err := w.Write(uint32sAsBytes(s))
+		return err
+	}
+	return writeConverted(w, len(s), func(b []byte, i int) {
+		binary.LittleEndian.PutUint32(b, s[i])
+	})
+}
+
+func writeConverted(w io.Writer, n int, put func(b []byte, i int)) error {
+	var buf [8192]byte
+	for start := 0; start < n; {
+		end := start + len(buf)/4
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			put(buf[(i-start)*4:], i)
+		}
+		if _, err := w.Write(buf[:(end-start)*4]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// Pool section layout: count u32, then count × length u32, then the
+// concatenated string bytes.
+func poolSize(pool []string) uint64 {
+	n := uint64(4 + 4*len(pool))
+	for _, s := range pool {
+		n += uint64(len(s))
+	}
+	return n
+}
+
+func writePool(w io.Writer, pool []string) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(pool)))
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	for _, s := range pool {
+		binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	for _, s := range pool {
+		if _, err := io.WriteString(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Spans section layout: numDocs u32, then per document: nseg u32, per
+// segment: nspan u32, per span: start u32, end u32.
+func spansSize(segs []*segment.SegmentedDoc) uint64 {
+	n := uint64(4)
+	for _, sd := range segs {
+		n += 4
+		for _, spans := range sd.Spans {
+			n += 4 + 8*uint64(len(spans))
+		}
+	}
+	return n
+}
+
+func writeSpans(w io.Writer, segs []*segment.SegmentedDoc) error {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(segs)))
+	if _, err := bw.Write(b[:4]); err != nil {
+		return err
+	}
+	for _, sd := range segs {
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(sd.Spans)))
+		if _, err := bw.Write(b[:4]); err != nil {
+			return err
+		}
+		for _, spans := range sd.Spans {
+			binary.LittleEndian.PutUint32(b[:4], uint32(len(spans)))
+			if _, err := bw.Write(b[:4]); err != nil {
+				return err
+			}
+			for _, sp := range spans {
+				binary.LittleEndian.PutUint32(b[:4], uint32(sp.Start))
+				binary.LittleEndian.PutUint32(b[4:], uint32(sp.End))
+				if _, err := bw.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

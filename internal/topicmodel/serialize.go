@@ -85,16 +85,30 @@ func Load(r io.Reader, seed uint64) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("topicmodel: decoding model: %w", err)
 	}
-	if err := m.validateShapes(); err != nil {
+	if err := m.Validate(); err != nil {
 		return nil, err
-	}
-	if len(m.Docs) > 0 {
-		if err := m.CheckInvariants(); err != nil {
-			return nil, fmt.Errorf("topicmodel: decoded model corrupt: %w", err)
-		}
 	}
 	m.ResetSampler(seed)
 	return &m, nil
+}
+
+// Validate checks a decoded model before its samplers arm: shape
+// consistency of every matrix against K/V/Docs, value ranges, and —
+// for models carrying training state — a full recount of the count
+// matrices against the assignments. Frozen (serving-only) models pass
+// with their training-state fields empty. Callers that embed a Model
+// in their own serialised structures (pipeline snapshots) run this
+// after decode, before ResetSampler.
+func (m *Model) Validate() error {
+	if err := m.validateShapes(); err != nil {
+		return err
+	}
+	if len(m.Docs) > 0 {
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("topicmodel: decoded model corrupt: %w", err)
+		}
+	}
+	return nil
 }
 
 // validateShapes rejects count matrices inconsistent with K/V/Docs.

@@ -1,0 +1,59 @@
+package topmine
+
+import "fmt"
+
+// Resumable reports whether this Result can continue Gibbs training:
+// its model must carry per-document training state, which is the case
+// for freshly trained pipelines and for snapshots written by
+// SaveTrainingSnapshot — but not for frozen (serving-only) snapshots.
+func (r *Result) Resumable() bool {
+	return r != nil && r.Model != nil && len(r.Model.Docs) > 0
+}
+
+// ResumeTraining continues collapsed Gibbs sampling for iters more
+// sweeps on the Result's model, in place, and re-renders Topics from
+// the new state. It is the programmatic form of
+// `topmine -load snap.tpm -iters N -save snap2.tpm`.
+//
+// The sampler state gob never carries (RNG position, sparse indexes)
+// was re-armed by Model.ResetSampler at load time, seeded from the
+// pipeline seed, so resuming a given snapshot is deterministic: two
+// loads resumed for the same iteration count produce byte-identical
+// topics. Hyperparameter optimisation continues on the training
+// schedule (every 25 sweeps) when the pipeline options enabled it.
+// The cached Inferencer, if any, is dropped — it captured the
+// pre-resume counts.
+func (r *Result) ResumeTraining(iters int) error {
+	if iters <= 0 {
+		return fmt.Errorf("topmine: ResumeTraining: iters must be positive, got %d", iters)
+	}
+	if r.Model == nil {
+		return fmt.Errorf("topmine: ResumeTraining: Result has no model")
+	}
+	if !r.Resumable() {
+		return fmt.Errorf("topmine: ResumeTraining: model carries no training state; save with SaveTrainingSnapshot (topmine -save-state) to resume later")
+	}
+	// hyperEvery mirrors topicmodel's training default. The loaded
+	// model is past burn-in by construction (it was already trained),
+	// so the post-burn-in cadence applies from the first resumed sweep.
+	// TopicWorkers is honored like the original training run: >1
+	// resumes with the parallel AD-LDA-style sampler (deterministic
+	// per worker count), otherwise the exact serial sampler.
+	const hyperEvery = 25
+	for it := 1; it <= iters; it++ {
+		if r.Options.TopicWorkers > 1 {
+			r.Model.SweepParallel(r.Options.TopicWorkers)
+		} else {
+			r.Model.Sweep()
+		}
+		if r.Options.OptimizeHyper && it%hyperEvery == 0 {
+			r.Model.OptimizeAlpha(5)
+			r.Model.OptimizeBeta(5)
+		}
+	}
+	r.Topics = r.Model.Visualize(r.Corpus, visualizeOptions(r.Options))
+	r.inferMu.Lock()
+	r.inferer = nil // captured pre-resume counts; rebuild lazily
+	r.inferMu.Unlock()
+	return nil
+}

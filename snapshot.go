@@ -5,12 +5,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"topmine/internal/atomicfile"
 	"topmine/internal/textproc"
 )
 
@@ -49,9 +50,26 @@ type snapshotPayload struct {
 // mined phrase statistics, pipeline options, the model's frozen
 // serving parameters, and rendered topic summaries. The Result must
 // carry a corpus (for its vocabulary), mined phrases, and a model;
-// Segmented may be nil. To persist a model's full training state for
-// later resumption, use Model.Save instead.
+// Segmented may be nil. To persist the model's full training state so
+// Gibbs sweeps can continue later, use SaveTrainingSnapshot instead.
 func SaveSnapshot(w io.Writer, r *Result) error {
+	return saveSnapshot(w, r, false)
+}
+
+// SaveTrainingSnapshot is SaveSnapshot, but the model keeps its
+// per-document training state (documents, assignments, document-topic
+// counts) instead of being frozen to serving parameters. A snapshot
+// saved this way loads into a Result whose Resumable method reports
+// true, and ResumeTraining (or `topmine -load snap.tpm -iters N`)
+// continues collapsed Gibbs sweeps exactly where training stopped.
+// The file format is unchanged — training snapshots load in builds
+// that predate resumption (they simply served from the embedded
+// counts) — but size grows with the corpus, not just the vocabulary.
+func SaveTrainingSnapshot(w io.Writer, r *Result) error {
+	return saveSnapshot(w, r, true)
+}
+
+func saveSnapshot(w io.Writer, r *Result, keepTraining bool) error {
 	switch {
 	case r == nil:
 		return fmt.Errorf("topmine: SaveSnapshot: nil Result")
@@ -65,12 +83,19 @@ func SaveSnapshot(w io.Writer, r *Result) error {
 		return fmt.Errorf("topmine: SaveSnapshot: model vocabulary size %d does not match corpus vocabulary %d",
 			r.Model.V, r.Corpus.Vocab.Size())
 	}
+	model := r.Model.Frozen()
+	if keepTraining {
+		if len(r.Model.Docs) == 0 {
+			return fmt.Errorf("topmine: SaveTrainingSnapshot: model carries no training state (was it loaded from a frozen snapshot?)")
+		}
+		model = r.Model
+	}
 	payload := snapshotPayload{
 		Options:    r.Options,
 		CorpusOpts: r.Corpus.BuildOpts,
 		Vocab:      r.Corpus.Vocab,
 		Mined:      r.Mined,
-		Model:      r.Model.Frozen(),
+		Model:      model,
 		Topics:     r.Topics,
 	}
 	var body bytes.Buffer
@@ -161,19 +186,12 @@ func LoadSnapshot(r io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("topmine: snapshot model vocabulary size %d does not match stored vocabulary %d",
 			payload.Model.V, payload.Vocab.Size())
 	}
-	// Shape-check the frozen parameters so a malformed (but
-	// CRC-valid) file fails here with an error instead of panicking
-	// with an index-out-of-range inside a later inference call.
-	m := payload.Model
-	if len(m.Alpha) != m.K || len(m.Nk) != m.K || len(m.Nwk) != m.V {
-		return nil, fmt.Errorf("topmine: snapshot model shapes inconsistent: K=%d V=%d but len(Alpha)=%d len(Nk)=%d len(Nwk)=%d",
-			m.K, m.V, len(m.Alpha), len(m.Nk), len(m.Nwk))
-	}
-	for w := range m.Nwk {
-		if len(m.Nwk[w]) != m.K {
-			return nil, fmt.Errorf("topmine: snapshot model shapes inconsistent: Nwk[%d] has %d topics, want %d",
-				w, len(m.Nwk[w]), m.K)
-		}
+	// Validate the model — shapes always, plus a full recount against
+	// the assignments when the snapshot carries training state — so a
+	// malformed (but CRC-valid) file fails here with an error instead
+	// of panicking inside a later inference call or resumed sweep.
+	if err := payload.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("topmine: snapshot model invalid: %w", err)
 	}
 	payload.Model.ResetSampler(payload.Options.Seed)
 	return &Result{
@@ -197,59 +215,27 @@ func LoadSnapshot(r io.Reader) (*Result, error) {
 // file's mode is preserved, and a fresh file gets 0644 filtered by the
 // process umask.
 func SaveSnapshotFile(path string, r *Result) error {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		// A bare filename must stage the temp file in the working
-		// directory, not os.TempDir(): a cross-filesystem os.Rename
-		// fails with EXDEV and would break the atomic replace.
-		dir = "."
-	}
-	// The temp file is created with mode 0666 minus the umask — what a
-	// plain os.Create(path) would give a fresh snapshot — so nothing is
-	// ever visible at path until the finished bytes rename into place.
-	f, tmp, err := createExclusiveTemp(dir, base)
-	if err != nil {
-		return fmt.Errorf("topmine: %w", err)
-	}
-	cleanup := func() { f.Close(); os.Remove(tmp) }
-	if fi, err := os.Stat(path); err == nil {
-		// Replacing an existing snapshot: preserve its permissions.
-		if err := f.Chmod(fi.Mode().Perm()); err != nil {
-			cleanup()
-			return fmt.Errorf("topmine: %w", err)
-		}
-	}
-	if err := SaveSnapshot(f, r); err != nil {
-		cleanup()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("topmine: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("topmine: replacing snapshot: %w", err)
-	}
-	return nil
+	return saveSnapshotFile(path, r, SaveSnapshot)
 }
 
-// createExclusiveTemp creates a uniquely named file in dir with mode
-// 0666 filtered by the process umask (os.CreateTemp always uses 0600,
-// which is wrong for a file that will be renamed into a shared
-// artifact path).
-func createExclusiveTemp(dir, base string) (*os.File, string, error) {
-	for i := 0; i < 10000; i++ {
-		name := filepath.Join(dir, fmt.Sprintf("%s.tmp%d-%d", base, os.Getpid(), i))
-		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
-		if err == nil {
-			return f, name, nil
-		}
-		if !os.IsExist(err) {
-			return nil, "", err
-		}
+func saveSnapshotFile(path string, r *Result, save func(io.Writer, *Result) error) error {
+	err := atomicfile.Write(path, func(w io.Writer) error {
+		return save(w, r)
+	})
+	// Encoding errors (from save) already carry the topmine prefix;
+	// the atomic-write machinery's own failures get it added here.
+	var ae *atomicfile.Error
+	if errors.As(err, &ae) {
+		return fmt.Errorf("topmine: %w", err)
 	}
-	return nil, "", fmt.Errorf("could not create a temporary snapshot file in %s", dir)
+	return err
+}
+
+// SaveTrainingSnapshotFile writes a training snapshot (see
+// SaveTrainingSnapshot) to path with the same atomic-replace semantics
+// as SaveSnapshotFile.
+func SaveTrainingSnapshotFile(path string, r *Result) error {
+	return saveSnapshotFile(path, r, SaveTrainingSnapshot)
 }
 
 // LoadSnapshotFile reads a snapshot from path.

@@ -122,6 +122,15 @@ func DefaultOptions() Options {
 	}
 }
 
+// Normalize validates the options and substitutes the documented
+// defaults for zero values (SigThreshold 0 → 5, Iterations 0 → 1000,
+// …) — the same normalisation every Run/Train entry point applies
+// internally. Callers that orchestrate pipeline stages individually
+// (e.g. the CLI) normalise once up front so mining, segmentation and
+// stored-artifact parameter matching all see identical effective
+// values.
+func (o *Options) Normalize() error { return o.fill() }
+
 func (o *Options) fill() error {
 	if o.Topics <= 0 {
 		return fmt.Errorf("topmine: Topics must be positive, got %d", o.Topics)
@@ -180,6 +189,29 @@ type Result struct {
 	// InferTopics/TraceText/Inferencer; see inferencer.go.
 	inferMu sync.Mutex
 	inferer *Inferencer
+
+	// closer releases the resources the Result borrows — the mmap'd
+	// corpus file backing Corpus when the Result came from
+	// RunCorpusFile, nil otherwise.
+	closer io.Closer
+}
+
+// Close releases any resources backing the Result — currently the
+// corpus-file mapping when the Result was trained via RunCorpusFile.
+// After Close, the Result's Corpus (and anything aliasing its token
+// arena) must not be used; the trained Model, Topics and snapshots
+// saved earlier remain valid. Close is a no-op for in-memory Results,
+// idempotent, and safe to call concurrently (the swap under the lock
+// guarantees the underlying reference is released exactly once).
+func (r *Result) Close() error {
+	r.inferMu.Lock()
+	c := r.closer
+	r.closer = nil
+	r.inferMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
 }
 
 // Inferencer returns the concurrency-safe serving view of this result,
@@ -236,6 +268,14 @@ func JSONLSource(r io.Reader, field string) Source { return corpus.JSONLSource(r
 // given zero-based column as the document text.
 func TSVSource(r io.Reader, column int) Source { return corpus.TSVSource(r, column) }
 
+// MaybeDecompress sniffs r's leading magic bytes and transparently
+// decompresses gzip streams (multi-member files included), so
+// compressed corpora feed LineSource/JSONLSource without a manual
+// pipe. Plain input passes through buffered; zstd input returns an
+// error suggesting `zstd -dc` (the standard library has no zstd
+// reader). LoadCorpusFile and LoadCorpusJSONL already apply this.
+func MaybeDecompress(r io.Reader) (io.Reader, error) { return corpus.MaybeDecompress(r) }
+
 // BuildCorpus preprocesses raw documents (one string each) with the
 // paper's pipeline: punctuation segmentation, lower-casing, stop-word
 // removal with gap tracking, Porter stemming.
@@ -290,9 +330,24 @@ func RunCorpus(c *Corpus, opt Options) (*Result, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
-	res := &Result{Corpus: c, Options: opt}
 	a := core.Run(c, toCoreConfig(opt, nil))
-	res.Mined, res.Segmented, res.Model = a.Mined, a.Segs, a.Model
+	res := &Result{Corpus: c, Mined: a.Mined, Segmented: a.Segs, Model: a.Model, Options: opt}
+	res.Topics = res.Model.Visualize(c, visualizeOptions(opt))
+	return res, nil
+}
+
+// trainAndVisualize runs PhraseLDA over already-mined, already-
+// segmented artifacts and renders the topics — the shared tail of
+// RunCorpus and CorpusFile.Run. opt must be filled.
+func trainAndVisualize(c *Corpus, mined *MinedPhrases, segs []*SegmentedDoc, opt Options) *Result {
+	_, model := core.Train(c, segs, toCoreConfig(opt, nil))
+	res := &Result{Corpus: c, Mined: mined, Segmented: segs, Model: model, Options: opt}
+	res.Topics = model.Visualize(c, visualizeOptions(opt))
+	return res
+}
+
+// visualizeOptions translates pipeline options into rendering options.
+func visualizeOptions(opt Options) topicmodel.VisualizeOptions {
 	vis := topicmodel.VisualizeOptions{
 		TopUnigrams:      opt.TopUnigrams,
 		TopPhrases:       opt.TopPhrases,
@@ -303,8 +358,7 @@ func RunCorpus(c *Corpus, opt Options) (*Result, error) {
 		// under the optimised asymmetric prior (see VisualizeOptions).
 		vis.BackgroundMaxDocFrac = 0.25
 	}
-	res.Topics = res.Model.Visualize(c, vis)
-	return res, nil
+	return vis
 }
 
 // toCoreConfig translates public options into the framework config.
