@@ -1,0 +1,570 @@
+// Command topload replays access-log-shaped workloads against a
+// topmined serving fleet and reports the numbers capacity planning
+// needs: latency percentiles, achieved QPS, error rate, and the
+// cache-hit and coalescing ratios scraped from /metrics. It is the
+// measurement half of the serving stack — "millions of users" starts
+// with knowing what one instance does under realistic traffic.
+//
+// Workload shape: texts are drawn from a pool (a file of real texts, or
+// a built-in synthetic domain) under a Zipf distribution — like real
+// traffic, a few texts are hot and most are cold — and each request is
+// a single /v1/infer, a batched /v1/infer, or a /v1/segment according
+// to the configured mix.
+//
+// Pacing: closed-loop by default (-conc workers issue requests
+// back-to-back, measuring the server at saturation), or open-loop with
+// -qps (requests dispatched on a fixed schedule regardless of
+// completions, the shape real independent users produce; latency is
+// measured from the scheduled send time, so queueing delay under
+// overload is charged to the server, not hidden — the standard fix for
+// coordinated omission).
+//
+// Targets: a running daemon (-target http://host:8080), or -snapshot
+// model.tpm to run a hermetic in-process server on a loopback port —
+// same handler stack, no external process, reproducible in CI.
+//
+//	topmine -synth 20conf -docs 400 -k 4 -iters 60 -save demo.tpm
+//	topload -snapshot demo.tpm -synth 20conf -docs 200 -duration 10s -conc 8
+//	topload -target http://localhost:8080 -texts access_texts.txt -qps 500 -duration 30s
+//
+// The human report goes to stderr. stdout carries the same results as
+// `go test -bench`-format lines, so the existing trajectory tooling
+// archives them:
+//
+//	topload ... | go run ./cmd/benchjson -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topmine"
+	"topmine/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topload: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// ops, indexed by the op byte carried in each sample.
+const (
+	opInfer = iota
+	opBatch
+	opSegment
+	numOps
+)
+
+var opNames = [numOps]string{"infer", "batch", "segment"}
+
+// sample is one completed request.
+type sample struct {
+	op  uint8
+	ok  bool
+	lat time.Duration
+}
+
+// config is the parsed flag set run operates on.
+type config struct {
+	target   string
+	snapshot string
+	texts    string
+	synth    string
+	docs     int
+	model    string
+	iters    int
+
+	duration time.Duration
+	warmup   time.Duration
+	conc     int
+	qps      float64
+	zipf     float64
+
+	segmentFrac float64
+	batchFrac   float64
+	batchSize   int
+	seed        uint64
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("topload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.target, "target", "", "base URL of a running topmined (e.g. http://localhost:8080)")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "serve this pipeline snapshot in-process on a loopback port instead of targeting a daemon (hermetic benchmark)")
+	fs.StringVar(&cfg.texts, "texts", "", "text pool file, one text per line; earlier lines are hotter under the Zipf draw")
+	fs.StringVar(&cfg.synth, "synth", "", "generate the text pool from a synthetic domain instead: "+strings.Join(topmine.ExampleDomains(), ", "))
+	fs.IntVar(&cfg.docs, "docs", 500, "texts to generate with -synth")
+	fs.StringVar(&cfg.model, "model", "", "model name to request (empty = server default)")
+	fs.IntVar(&cfg.iters, "iters", 20, "sampling sweeps per inference request")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load duration")
+	fs.DurationVar(&cfg.warmup, "warmup", 0, "run this long before measuring (cache and connection warmup)")
+	fs.IntVar(&cfg.conc, "conc", runtime.GOMAXPROCS(0), "closed loop: concurrent workers; open loop: max in-flight requests")
+	fs.Float64Var(&cfg.qps, "qps", 0, "open-loop target requests/second (0 = closed loop at -conc)")
+	fs.Float64Var(&cfg.zipf, "zipf", 1.1, "Zipf s parameter for text popularity (must be > 1; <= 1 selects uniformly)")
+	fs.Float64Var(&cfg.segmentFrac, "segment", 0.1, "fraction of requests hitting /v1/segment")
+	fs.Float64Var(&cfg.batchFrac, "batch", 0.0, "fraction of requests that are batched /v1/infer calls")
+	fs.IntVar(&cfg.batchSize, "batch-size", 16, "documents per batched infer request")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "workload RNG seed (same seed + pool = same request sequence)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if (cfg.target == "") == (cfg.snapshot == "") {
+		return fmt.Errorf("exactly one of -target or -snapshot is required")
+	}
+	if cfg.segmentFrac < 0 || cfg.batchFrac < 0 || cfg.segmentFrac+cfg.batchFrac > 1 {
+		return fmt.Errorf("-segment and -batch must be non-negative and sum to at most 1")
+	}
+	if cfg.conc < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
+		return fmt.Errorf("-conc, -batch-size and -duration must be positive")
+	}
+
+	pool, err := loadPool(cfg)
+	if err != nil {
+		return err
+	}
+
+	base := cfg.target
+	if cfg.snapshot != "" {
+		srv, addr, err := startInProcess(cfg.snapshot, stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		base = "http://" + addr
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.conc * 2,
+			MaxIdleConnsPerHost: cfg.conc * 2,
+		},
+		Timeout: 2 * time.Minute,
+	}
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	before, scrapeErr := scrapeMetrics(client, base)
+	res := drive(cfg, client, base, pool)
+	var after map[string]float64
+	if scrapeErr == nil {
+		after, scrapeErr = scrapeMetrics(client, base)
+	}
+	if scrapeErr != nil {
+		fmt.Fprintf(stderr, "topload: /metrics scrape failed (%v); cache ratios unavailable\n", scrapeErr)
+	}
+
+	report(stdout, stderr, cfg, res, before, after, scrapeErr == nil)
+	return nil
+}
+
+// loadPool builds the text pool from -texts or -synth.
+func loadPool(cfg config) ([]string, error) {
+	switch {
+	case cfg.texts != "" && cfg.synth != "":
+		return nil, fmt.Errorf("use -texts or -synth, not both")
+	case cfg.texts != "":
+		b, err := os.ReadFile(cfg.texts)
+		if err != nil {
+			return nil, err
+		}
+		var pool []string
+		for _, line := range strings.Split(string(b), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				pool = append(pool, line)
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("%s: no texts", cfg.texts)
+		}
+		return pool, nil
+	case cfg.synth != "":
+		return topmine.GenerateExampleCorpus(cfg.synth, cfg.docs, cfg.seed)
+	default:
+		return nil, fmt.Errorf("a text pool is required: -texts file or -synth domain")
+	}
+}
+
+// startInProcess loads a snapshot and serves it on an ephemeral
+// loopback port, returning the server and its address.
+func startInProcess(path string, stderr io.Writer) (*http.Server, string, error) {
+	res, err := topmine.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	inf, err := res.Inferencer()
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: serve.New(inf, serve.Options{})}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "topload: in-process server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(stderr, "topload: serving %s in-process on %s\n", path, ln.Addr())
+	return srv, ln.Addr().String(), nil
+}
+
+func waitHealthy(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("target %s unreachable: %w", base, err)
+			}
+			return fmt.Errorf("target %s not healthy", base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// result aggregates one load run.
+type result struct {
+	samples  []sample
+	elapsed  time.Duration // measured window
+	missed   int64         // open loop: scheduled sends dropped because all workers were busy
+	openLoop bool
+}
+
+// workload is the per-worker deterministic request generator.
+type workload struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	pool []string
+	cfg  *config
+}
+
+func newWorkload(cfg *config, pool []string, worker int) *workload {
+	rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(worker)*7919))
+	w := &workload{rng: rng, pool: pool, cfg: cfg}
+	if cfg.zipf > 1 && len(pool) > 1 {
+		w.zipf = rand.NewZipf(rng, cfg.zipf, 1, uint64(len(pool)-1))
+	}
+	return w
+}
+
+func (w *workload) pick() string {
+	if w.zipf == nil {
+		return w.pool[w.rng.Intn(len(w.pool))]
+	}
+	return w.pool[w.zipf.Uint64()]
+}
+
+// next builds one request: its op and JSON body.
+func (w *workload) next() (op uint8, path string, body []byte) {
+	r := w.rng.Float64()
+	switch {
+	case r < w.cfg.segmentFrac:
+		b, _ := json.Marshal(struct {
+			Text  string `json:"text"`
+			Model string `json:"model,omitempty"`
+		}{w.pick(), w.cfg.model})
+		return opSegment, "/v1/segment", b
+	case r < w.cfg.segmentFrac+w.cfg.batchFrac:
+		texts := make([]string, w.cfg.batchSize)
+		for i := range texts {
+			texts[i] = w.pick()
+		}
+		b, _ := json.Marshal(struct {
+			Texts []string `json:"texts"`
+			Iters int      `json:"iters"`
+			Model string   `json:"model,omitempty"`
+		}{texts, w.cfg.iters, w.cfg.model})
+		return opBatch, "/v1/infer", b
+	default:
+		b, _ := json.Marshal(struct {
+			Text  string `json:"text"`
+			Iters int    `json:"iters"`
+			Model string `json:"model,omitempty"`
+		}{w.pick(), w.cfg.iters, w.cfg.model})
+		return opInfer, "/v1/infer", b
+	}
+}
+
+// send issues one request and reports success (HTTP 200).
+func send(client *http.Client, base, path string, body []byte) bool {
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// drive runs the configured load and collects samples. Workers record
+// only inside the measurement window (after -warmup); the recorded
+// elapsed time covers exactly that window.
+func drive(cfg config, client *http.Client, base string, pool []string) result {
+	var (
+		recording atomic.Bool
+		missed    atomic.Int64
+		mu        sync.Mutex
+		all       []sample
+	)
+	recording.Store(cfg.warmup <= 0)
+	start := time.Now()
+	measureStart := start.Add(cfg.warmup)
+	end := start.Add(cfg.warmup + cfg.duration)
+	if cfg.warmup > 0 {
+		time.AfterFunc(cfg.warmup, func() { recording.Store(true) })
+	}
+
+	record := func(local *[]sample, s sample) {
+		if recording.Load() {
+			*local = append(*local, s)
+		}
+	}
+	flush := func(local []sample) {
+		mu.Lock()
+		all = append(all, local...)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	if cfg.qps > 0 {
+		// Open loop: a pacer emits scheduled send times; workers pick
+		// them up. Latency runs from the *scheduled* time, so time a
+		// request spends waiting for a free worker counts against the
+		// server — without this, an overloaded server looks artificially
+		// fast (coordinated omission). A tick nobody can take within the
+		// buffer is counted as missed, and missed>0 flags overload.
+		ticks := make(chan time.Time, cfg.conc*4)
+		for g := 0; g < cfg.conc; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				w := newWorkload(&cfg, pool, g)
+				var local []sample
+				for sched := range ticks {
+					op, path, body := w.next()
+					ok := send(client, base, path, body)
+					record(&local, sample{op: op, ok: ok, lat: time.Since(sched)})
+				}
+				flush(local)
+			}(g)
+		}
+		interval := time.Duration(float64(time.Second) / cfg.qps)
+		next := time.Now()
+		for time.Now().Before(end) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case ticks <- next:
+			default:
+				if recording.Load() {
+					missed.Add(1)
+				}
+			}
+			next = next.Add(interval)
+		}
+		close(ticks)
+	} else {
+		// Closed loop: each worker issues requests back-to-back — the
+		// classic saturation benchmark; concurrency is the load knob.
+		for g := 0; g < cfg.conc; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				w := newWorkload(&cfg, pool, g)
+				var local []sample
+				for time.Now().Before(end) {
+					op, path, body := w.next()
+					t0 := time.Now()
+					ok := send(client, base, path, body)
+					record(&local, sample{op: op, ok: ok, lat: time.Since(t0)})
+				}
+				flush(local)
+			}(g)
+		}
+	}
+	wg.Wait()
+	return result{samples: all, elapsed: time.Since(measureStart), missed: missed.Load(), openLoop: cfg.qps > 0}
+}
+
+// scrapeMetrics fetches the un-labelled counters the report needs.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.ContainsRune(fields[0], '{') {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out, nil
+}
+
+// dist is a latency distribution summary.
+type dist struct {
+	n, errs int
+	mean    time.Duration
+	p50     time.Duration
+	p90     time.Duration
+	p95     time.Duration
+	p99     time.Duration
+	max     time.Duration
+}
+
+func summarize(samples []sample, op int) dist {
+	var lats []time.Duration
+	var d dist
+	var sum time.Duration
+	for _, s := range samples {
+		if op >= 0 && int(s.op) != op {
+			continue
+		}
+		d.n++
+		if !s.ok {
+			d.errs++
+			continue
+		}
+		lats = append(lats, s.lat)
+		sum += s.lat
+	}
+	if len(lats) == 0 {
+		return d
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	d.mean = sum / time.Duration(len(lats))
+	d.p50, d.p90, d.p95, d.p99 = pct(0.50), pct(0.90), pct(0.95), pct(0.99)
+	d.max = lats[len(lats)-1]
+	return d
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// report writes the human summary to stderr and bench-format lines to
+// stdout (the BENCH_serve.json input via cmd/benchjson).
+func report(stdout, stderr io.Writer, cfg config, res result, before, after map[string]float64, scraped bool) {
+	overall := summarize(res.samples, -1)
+	secs := res.elapsed.Seconds()
+	qps := 0.0
+	if secs > 0 {
+		qps = float64(overall.n) / secs
+	}
+	errRate := 0.0
+	if overall.n > 0 {
+		errRate = float64(overall.errs) / float64(overall.n)
+	}
+
+	mode := fmt.Sprintf("closed loop, %d workers", cfg.conc)
+	if res.openLoop {
+		mode = fmt.Sprintf("open loop, target %.0f qps, %d max in-flight", cfg.qps, cfg.conc)
+	}
+	fmt.Fprintf(stderr, "topload: %s over %.1fs (warmup %s)\n", mode, secs, cfg.warmup)
+	fmt.Fprintf(stderr, "  requests: %d (%.1f/s achieved), errors: %d (%.2f%%)\n",
+		overall.n, qps, overall.errs, 100*errRate)
+	if res.missed > 0 {
+		fmt.Fprintf(stderr, "  OVERLOAD: %d scheduled sends found no free worker (raise -conc or lower -qps)\n", res.missed)
+	}
+	fmt.Fprintf(stderr, "  latency ms: mean %.2f  p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		msf(overall.mean), msf(overall.p50), msf(overall.p90), msf(overall.p95), msf(overall.p99), msf(overall.max))
+	for op := 0; op < numOps; op++ {
+		d := summarize(res.samples, op)
+		if d.n == 0 {
+			continue
+		}
+		fmt.Fprintf(stderr, "  %-8s n=%-7d p50 %.2f  p95 %.2f  p99 %.2f  errs %d\n",
+			opNames[op], d.n, msf(d.p50), msf(d.p95), msf(d.p99), d.errs)
+	}
+
+	var hitRatio, coalesced, hits, misses float64
+	if scraped {
+		hits = after["topmined_cache_hits_total"] - before["topmined_cache_hits_total"]
+		misses = after["topmined_cache_misses_total"] - before["topmined_cache_misses_total"]
+		coalesced = after["topmined_coalesced_total"] - before["topmined_coalesced_total"]
+		if hits+misses > 0 {
+			hitRatio = hits / (hits + misses)
+		}
+		fmt.Fprintf(stderr, "  cache: +%.0f hits, +%.0f misses (hit ratio %.1f%%), +%.0f coalesced\n",
+			hits, misses, 100*hitRatio, coalesced)
+	}
+
+	// Bench-format lines for benchjson. Field layout is the `go test
+	// -bench` contract: name, iteration count, then value/unit pairs.
+	fmt.Fprintf(stdout, "goos: %s\ngoarch: %s\npkg: topmine/cmd/topload\n", runtime.GOOS, runtime.GOARCH)
+	emit := func(name string, d dist, withCache bool) {
+		if d.n == 0 {
+			return
+		}
+		er := 0.0
+		if d.n > 0 {
+			er = float64(d.errs) / float64(d.n)
+		}
+		fmt.Fprintf(stdout, "BenchmarkServeLoad/%s %d %d ns/op %.1f qps %.3f p50-ms %.3f p95-ms %.3f p99-ms %.4f err-rate",
+			name, d.n, d.mean.Nanoseconds(), float64(d.n)/secs, msf(d.p50), msf(d.p95), msf(d.p99), er)
+		if withCache && scraped {
+			fmt.Fprintf(stdout, " %.4f cache-hit-ratio %.0f coalesced", hitRatio, coalesced)
+		}
+		fmt.Fprintln(stdout)
+	}
+	emit("all", overall, true)
+	for op := 0; op < numOps; op++ {
+		emit(opNames[op], summarize(res.samples, op), false)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topmine"
+)
+
+// TestLoadSmoke trains a tiny pipeline, snapshots it, and drives a
+// short hermetic load run against the in-process server: the whole
+// topload trajectory (Zipf workload, mixed ops, percentile report,
+// metrics scrape, bench-format output) in one pass.
+func TestLoadSmoke(t *testing.T) {
+	docs, err := topmine.GenerateExampleCorpus("20conf", 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := topmine.DefaultOptions()
+	opt.Topics = 3
+	opt.Iterations = 20
+	opt.SigThreshold = 4
+	opt.Seed = 42
+	opt.Workers = 1
+	res, err := topmine.Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "m.tpm")
+	if err := topmine.SaveSnapshotFile(snap, res); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err = run([]string{
+		"-snapshot", snap,
+		"-synth", "20conf", "-docs", "50",
+		"-duration", "300ms", "-conc", "2",
+		"-segment", "0.2", "-batch", "0.1", "-batch-size", "4",
+		"-iters", "5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("topload: %v\nstderr: %s", err, stderr.String())
+	}
+
+	out := stdout.String()
+	for _, want := range []string{
+		"pkg: topmine/cmd/topload",
+		"BenchmarkServeLoad/all",
+		"qps", "p50-ms", "p99-ms", "err-rate", "cache-hit-ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench output missing %q:\n%s\nstderr: %s", want, out, stderr.String())
+		}
+	}
+	report := stderr.String()
+	for _, want := range []string{"requests:", "latency ms:", "cache:", "errors: 0 (0.00%)"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestFlagValidation pins the mutually-exclusive and range checks.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no target
+		{"-target", "x", "-snapshot", "y"}, // both
+		{"-target", "http://h", "-synth", "20conf", "-segment", "0.9", "-batch", "0.5"}, // mix > 1
+		{"-target", "http://h"}, // no text pool
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Fatalf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

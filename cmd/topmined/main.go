@@ -93,6 +93,11 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 32<<20, "exact response cache budget in bytes (0 disables)")
 	adminToken := flag.String("admin-token", "", "bearer token required on admin endpoints (model reload); empty leaves them open")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read one request including its body (0 disables; header read is always bounded)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "max time to serve one response; generous so max-size batches at high iteration counts still finish (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open (0 disables)")
+	warmLog := flag.String("warm-log", "", "newline-delimited access log to replay into the response cache on startup (plain text per line, or JSON {\"text\",\"model\",\"iters\",\"op\"}; -request-log output works directly)")
+	requestLog := flag.String("request-log", "", "write one JSON line per request (latency breakdown: resolve/infer/marshal) to this file ('-' = stderr)")
 	flag.Parse()
 
 	if len(models) == 0 && *modelsDir == "" {
@@ -162,18 +167,67 @@ func main() {
 	if cb == 0 {
 		cb = -1 // Options treats 0 as "use the default"; the flag's 0 means off.
 	}
-	handler := serve.NewWithRegistry(reg, serve.Options{
+	var reqLog *os.File
+	if *requestLog == "-" {
+		reqLog = os.Stderr
+	} else if *requestLog != "" {
+		f, err := os.OpenFile(*requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reqLog = f
+	}
+	opt := serve.Options{
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
 		DefaultIters: *iters,
 		MaxIters:     *maxIters,
 		CacheBytes:   cb,
 		AdminToken:   *adminToken,
-	})
+	}
+	if reqLog != nil {
+		opt.RequestLog = reqLog
+	}
+	handler := serve.NewWithRegistry(reg, opt)
+	// ReadHeaderTimeout alone leaves two ways for a misbehaving client
+	// to pin a connection forever: trickling the request body after the
+	// headers (ReadTimeout bounds that) and parking an idle keep-alive
+	// connection (IdleTimeout bounds that). WriteTimeout stays generous
+	// — a max-size batch at high iteration counts legitimately takes
+	// minutes — but still finite so a dead peer cannot hold a handler's
+	// goroutine for good.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	if *warmLog != "" {
+		// Warm in the background: the port should accept traffic
+		// immediately, with warming racing the first real requests
+		// through the same cache and coalescing paths (never duplicating
+		// their work).
+		go func() {
+			f, err := os.Open(*warmLog)
+			if err != nil {
+				log.Printf("warm-log: %v", err)
+				return
+			}
+			defer f.Close()
+			st, err := handler.WarmFromLog(f)
+			if err != nil {
+				log.Printf("warm-log: %v", err)
+			}
+			log.Printf("warm-log: %d lines: %d warmed, %d already cached, %d skipped, %d ignored",
+				st.Lines, st.Warmed, st.Hits, st.Skipped, st.Ignored)
+			for _, e := range st.Errors {
+				log.Printf("warm-log: skipped: %s", e)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

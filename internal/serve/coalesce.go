@@ -1,0 +1,100 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent identical computations (singleflight
+// semantics, specialised to the serve path's cacheKey): when N requests
+// miss the response cache on the same key at the same time, exactly one
+// of them — the leader — runs the computation, and the other N-1 block
+// until it publishes the result. Without this, a burst of identical
+// requests behind a cold or just-invalidated cache entry (the classic
+// cache stampede: a hot text right after startup or a hot reload) pays
+// N full Gibbs inferences for one answer. Because inference is
+// deterministic per key (the property the exact response cache is built
+// on), sharing the leader's bytes is not an approximation — every
+// waiter receives exactly the bytes it would have computed itself.
+//
+// The key embeds the model generation, so a computation started against
+// one generation can only ever be joined by requests for that same
+// generation: requests racing a hot reload either share the old
+// publication's flight (and cache under the old generation's key) or
+// start a fresh flight for the new one. Old-generation results can
+// never leak into the new generation's cache entries.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flight
+}
+
+// flight is one in-progress computation. done is closed after val (or
+// panicked) is set and the flight has been removed from the map, so a
+// waiter that wakes up reads a fully published result.
+type flight struct {
+	done     chan struct{}
+	val      []byte
+	panicked any
+	waiters  int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[cacheKey]*flight)}
+}
+
+// do returns fn's result for key, running fn at most once across
+// concurrent callers. shared reports whether this caller received
+// another caller's computation rather than running fn itself.
+//
+// A panic in fn propagates to every caller (leader and waiters alike):
+// each request's instrument wrapper recovers it individually, so one
+// poisoned computation turns into N clean 500s, not N hung requests or
+// a crashed process.
+func (g *flightGroup) do(key cacheKey, fn func() []byte) (val []byte, shared bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		<-f.done
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+		return f.val, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			f.panicked = p
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+	}()
+	f.val = fn()
+	return f.val, false
+}
+
+// waiting reports how many callers are currently blocked on key's
+// in-flight computation (0 when no flight is active). Tests use it to
+// deterministically wait for N concurrent requests to converge on one
+// leader before releasing a gated computation.
+func (g *flightGroup) waiting(key cacheKey) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters
+	}
+	return 0
+}
+
+// active reports the number of distinct in-flight computations, for the
+// /metrics in-flight gauge.
+func (g *flightGroup) active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -2,13 +2,18 @@ package serve
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +31,10 @@ type metrics struct {
 	requests map[requestKey]uint64
 	latency  map[string]*histogram
 	start    time.Time
+	// panics counts handler panics recovered by instrument; lock-free
+	// because the increment happens on the recovery path, outside the
+	// map-guarding critical section.
+	panics atomic.Uint64
 }
 
 type requestKey struct {
@@ -71,25 +80,161 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 	h.count++
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code and byte count for
+// instrumentation, and tracks whether anything has been written so the
+// panic-recovery path knows whether a 500 can still be sent.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	// An implicit WriteHeader(200) happens on first Write; record it so
+	// the recovery path never writes headers onto a started response.
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through to the underlying writer's http.Flusher so
+// wrapping a handler for instrumentation does not silently disable
+// streaming (net/http sniffs the writer for the interface; an opaque
+// wrapper would hide it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// reqTimings is the per-request latency breakdown handlers fill in:
+// model resolution, inference/segmentation compute (or coalesced wait),
+// and response marshalling. instrument creates one per request and
+// hands it to the handler via the request context.
+type reqTimings struct {
+	model   string
+	resolve time.Duration
+	infer   time.Duration
+	marshal time.Duration
+	// text and iters are the warm-replay fields: the single document a
+	// /v1/infer or /v1/segment request computed over and the effective
+	// (clamped) iteration count behind its cache key. Handlers set them
+	// only for warmable requests — batch infers, listings, and health
+	// checks leave them empty, and WarmFromLog ignores those lines.
+	text  string
+	iters int
+}
+
+type timingsCtxKey struct{}
+
+// timingsFrom returns the request's breakdown slot; callers outside an
+// instrumented request (tests driving handlers directly) get a discard
+// slot so handlers never nil-check.
+func timingsFrom(ctx context.Context) *reqTimings {
+	if tm, ok := ctx.Value(timingsCtxKey{}).(*reqTimings); ok {
+		return tm
+	}
+	return &reqTimings{}
+}
+
+// accessRecord is one structured request-log line. Text and Iters make
+// the log replayable through WarmFromLog: a cache key is
+// (model, gen, op, iters, text), so a record without the text could
+// never warm anything. Request logging is opt-in precisely because the
+// log therefore contains request payloads.
+type accessRecord struct {
+	Time      string  `json:"time"`
+	Method    string  `json:"method"`
+	Endpoint  string  `json:"endpoint"`
+	Model     string  `json:"model,omitempty"`
+	Text      string  `json:"text,omitempty"`
+	Iters     int     `json:"iters,omitempty"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	Ms        float64 `json:"ms"`
+	ResolveMs float64 `json:"resolve_ms"`
+	InferMs   float64 `json:"infer_ms"`
+	MarshalMs float64 `json:"marshal_ms"`
+	Panic     bool    `json:"panic,omitempty"`
+}
+
+func ms(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+// logRequest emits one JSON line to Options.RequestLog. The marshal
+// happens outside the mutex; only the write is serialised.
+func (s *Server) logRequest(r *http.Request, endpoint string, sw *statusWriter, tm *reqTimings, total time.Duration, panicked bool) {
+	if s.opt.RequestLog == nil {
+		return
+	}
+	rec := accessRecord{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Method:    r.Method,
+		Endpoint:  endpoint,
+		Model:     tm.model,
+		Text:      tm.text,
+		Iters:     tm.iters,
+		Status:    sw.code,
+		Bytes:     sw.bytes,
+		Ms:        ms(total),
+		ResolveMs: ms(tm.resolve),
+		InferMs:   ms(tm.infer),
+		MarshalMs: ms(tm.marshal),
+		Panic:     panicked,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.opt.RequestLog.Write(b)
+	s.logMu.Unlock()
+}
+
 // instrument wraps a handler so every request is counted and timed
-// under the given endpoint label.
+// under the given endpoint label, optionally logged, and — critically —
+// recovered if it panics: without the recover here, a panicking handler
+// (including inferBatch's deliberate worker re-panic) would unwind past
+// the metrics observation and leave the client with a bare connection
+// reset. Recovery responds with the standard JSON 500 shape when
+// nothing has been written yet (if the response already started, the
+// connection is poisoned and all that remains is accounting), records
+// the request in metrics like any other, and logs the stack.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		s.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		tm := &reqTimings{}
+		r = r.WithContext(context.WithValue(r.Context(), timingsCtxKey{}, tm))
+		panicked := false
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				s.met.panics.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal server error")
+				}
+				log.Printf("serve: panic in %s handler: %v\n%s", endpoint, p, debug.Stack())
+			}
+			s.inflight.Add(-1)
+			total := time.Since(start)
+			s.met.observe(endpoint, sw.code, total.Seconds())
+			s.logRequest(r, endpoint, sw, tm, total, panicked)
+		}()
 		h(sw, r)
-		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
 	}
 }
 
@@ -172,6 +317,16 @@ func (s *Server) writePrometheus(out io.Writer) {
 	fmt.Fprintf(w, "# HELP topmined_batch_slots_capacity Total batch fan-out worker slots.\n# TYPE topmined_batch_slots_capacity gauge\n")
 	fmt.Fprintf(w, "topmined_batch_slots_capacity %d\n", cap(s.batchSlots))
 
+	// Coalescing and robustness, read live from their owners.
+	fmt.Fprintf(w, "# HELP topmined_coalesced_total Requests served a shared in-flight computation instead of running their own.\n# TYPE topmined_coalesced_total counter\n")
+	fmt.Fprintf(w, "topmined_coalesced_total %d\n", s.coalesced.Load())
+	fmt.Fprintf(w, "# HELP topmined_inflight_requests Requests currently being handled.\n# TYPE topmined_inflight_requests gauge\n")
+	fmt.Fprintf(w, "topmined_inflight_requests %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP topmined_inflight_computations Distinct coalesced computations currently running.\n# TYPE topmined_inflight_computations gauge\n")
+	fmt.Fprintf(w, "topmined_inflight_computations %d\n", s.flights.active())
+	fmt.Fprintf(w, "# HELP topmined_panics_total Handler panics recovered into 500 responses.\n# TYPE topmined_panics_total counter\n")
+	fmt.Fprintf(w, "topmined_panics_total %d\n", s.met.panics.Load())
+
 	// Per-model load/reload state, read live from the registry.
 	names := s.reg.Names()
 	fmt.Fprintf(w, "# HELP topmined_model_ready Whether the model currently holds a servable snapshot.\n# TYPE topmined_model_ready gauge\n")
@@ -199,13 +354,18 @@ func (s *Server) writePrometheus(out io.Writer) {
 		fmt.Fprintf(w, "topmined_model_loaded_timestamp_seconds{model=%q} %s\n",
 			n, fmtFloat(float64(e.LoadedAt().UnixNano())/1e9))
 	}
-	fmt.Fprintf(w, "# HELP topmined_model_topics Topic count per model (0 = mining-only, segment endpoint works but infer does not).\n# TYPE topmined_model_topics gauge\n")
+	// Every registered model gets a sample even while unready (0
+	// topics): dropping the series during a failed load leaves gaps
+	// that break dashboards and rate() queries exactly when the model
+	// needs watching most.
+	fmt.Fprintf(w, "# HELP topmined_model_topics Topic count per model (0 = mining-only or unready; segment may work but infer does not).\n# TYPE topmined_model_topics gauge\n")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
+		topics := 0
 		if inf := e.Inferencer(); inf != nil {
-			st := inf.Stats()
-			fmt.Fprintf(w, "topmined_model_topics{model=%q} %d\n", n, st.Topics)
+			topics = inf.Stats().Topics
 		}
+		fmt.Fprintf(w, "topmined_model_topics{model=%q} %d\n", n, topics)
 	}
 
 	fmt.Fprintf(w, "# HELP topmined_uptime_seconds Seconds since the server was constructed.\n# TYPE topmined_uptime_seconds gauge\n")

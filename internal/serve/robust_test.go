@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPanicRecoverySingle: a panicking handler must produce a JSON 500
+// and a metrics observation, not an uncounted connection reset.
+func TestPanicRecoverySingle(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.infer = func(st *modelState, text string, iters int) ([]float64, int) {
+		panic("gibbs sampler exploded")
+	}
+	var resp errorResponse
+	w := do(t, s, http.MethodPost, "/v1/infer", `{"text": "x", "iters": 5}`, &resp)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", w.Code)
+	}
+	if resp.Error == "" {
+		t.Fatalf("500 body is not the standard JSON error shape: %s", w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("500 content type = %q", ct)
+	}
+
+	metrics := do(t, s, http.MethodGet, "/metrics", "", nil).Body.String()
+	for _, want := range []string{
+		`topmined_requests_total{endpoint="/v1/infer",code="500"} 1`,
+		"topmined_panics_total 1",
+		`topmined_request_duration_seconds_count{endpoint="/v1/infer"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q after panic:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestPanicRecoveryBatch: the deliberate worker re-panic in inferBatch
+// must surface as the same clean 500 on the request goroutine.
+func TestPanicRecoveryBatch(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.infer = func(st *modelState, text string, iters int) ([]float64, int) {
+		panic("worker exploded")
+	}
+	var resp errorResponse
+	w := do(t, s, http.MethodPost, "/v1/infer", `{"texts": ["a", "b", "c", "d"], "iters": 5}`, &resp)
+	if w.Code != http.StatusInternalServerError || resp.Error == "" {
+		t.Fatalf("panicking batch = %d %q, want JSON 500", w.Code, w.Body.String())
+	}
+	// The server must remain fully serviceable afterwards (slots
+	// returned, flights cleaned up).
+	s.infer = func(st *modelState, text string, iters int) ([]float64, int) {
+		return []float64{0.25, 0.25, 0.25, 0.25}, 1
+	}
+	if w := do(t, s, http.MethodPost, "/v1/infer", `{"texts": ["a", "b"], "iters": 5}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("server unhealthy after recovered batch panic: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestStatusWriterPassesThroughFlusher: instrumentation must not hide
+// the underlying writer's streaming capability.
+func TestStatusWriterPassesThroughFlusher(t *testing.T) {
+	s := newTestServer(t, Options{})
+	sawFlusher := false
+	h := s.instrument("/stream", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		sawFlusher = ok
+		w.Write([]byte("chunk"))
+		if ok {
+			f.Flush()
+		}
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !sawFlusher {
+		t.Fatal("instrumented writer does not expose http.Flusher")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+// TestModelTopicsSeriesCoversUnreadyModels: every registered model gets
+// a topmined_model_topics sample even while unready — a gap would break
+// dashboards and rate() queries exactly during an incident.
+func TestModelTopicsSeriesCoversUnreadyModels(t *testing.T) {
+	testFixtures(t)
+	reg := NewRegistry()
+	if err := reg.AddInferencer("ok", testInf); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a registered-but-unready model (load failed / pending):
+	// an entry with no published state.
+	reg.mu.Lock()
+	reg.entries["cold"] = &ModelEntry{name: "cold"}
+	reg.mu.Unlock()
+
+	s := NewWithRegistry(reg, Options{})
+	metrics := do(t, s, http.MethodGet, "/metrics", "", nil).Body.String()
+	for _, want := range []string{
+		`topmined_model_topics{model="ok"} 4`,
+		`topmined_model_topics{model="cold"} 0`,
+		`topmined_model_ready{model="cold"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestWarmFromLog replays a mixed plain/JSON access log and verifies
+// the warmed entries answer later requests from the cache.
+func TestWarmFromLog(t *testing.T) {
+	s := newTestServer(t, Options{})
+	logData := strings.Join([]string{
+		"support vector machines for text classification",
+		`{"text": "query processing in database systems", "op": "segment"}`,
+		"support vector machines for text classification", // duplicate → hit
+		`{"text": "x", "model": "nope"}`,                  // unknown model → skipped
+		"",
+		`{"text": "machine learning models", "iters": 25}`,
+		`{"method": "GET", "endpoint": "/readyz", "status": 200}`, // no text → ignored
+	}, "\n")
+	st, err := s.WarmFromLog(strings.NewReader(logData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lines != 6 || st.Warmed != 3 || st.Hits != 1 || st.Skipped != 1 || st.Ignored != 1 {
+		t.Fatalf("warm stats = %+v, want 6 lines / 3 warmed / 1 hit / 1 skipped / 1 ignored", st)
+	}
+	if len(st.Errors) != 1 || !strings.Contains(st.Errors[0], "nope") {
+		t.Fatalf("warm errors = %v", st.Errors)
+	}
+
+	// A live request for a warmed text must be a pure cache hit: the
+	// warm pass used the default iteration count, like a request that
+	// omits "iters".
+	hits := s.cache.stats().Hits
+	w := do(t, s, http.MethodPost, "/v1/infer", `{"text": "support vector machines for text classification"}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("warmed request = %d", w.Code)
+	}
+	if got := s.cache.stats().Hits; got != hits+1 {
+		t.Fatalf("warmed text was not served from cache (hits %d -> %d)", hits, got)
+	}
+	w = do(t, s, http.MethodPost, "/v1/segment", `{"text": "query processing in database systems"}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("warmed segment = %d", w.Code)
+	}
+	if got := s.cache.stats().Hits; got != hits+2 {
+		t.Fatal("warmed segment was not served from cache")
+	}
+}
+
+// TestRequestLogBreakdown: the structured request log carries the
+// resolve/infer/marshal breakdown and the warm-log-compatible shape.
+func TestRequestLogBreakdown(t *testing.T) {
+	testFixtures(t)
+	reg := NewRegistry()
+	if err := reg.AddInferencer("default", testInf); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s := NewWithRegistry(reg, Options{RequestLog: &buf})
+	if w := do(t, s, http.MethodPost, "/v1/infer", `{"text": "database systems", "iters": 10}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("infer = %d", w.Code)
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one log line, got %q", buf.String())
+	}
+	var rec struct {
+		Method    string  `json:"method"`
+		Endpoint  string  `json:"endpoint"`
+		Model     string  `json:"model"`
+		Text      string  `json:"text"`
+		Iters     int     `json:"iters"`
+		Status    int     `json:"status"`
+		Bytes     int64   `json:"bytes"`
+		Ms        float64 `json:"ms"`
+		ResolveMs float64 `json:"resolve_ms"`
+		InferMs   float64 `json:"infer_ms"`
+		MarshalMs float64 `json:"marshal_ms"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %q: %v", line, err)
+	}
+	if rec.Method != "POST" || rec.Endpoint != "/v1/infer" || rec.Model != "default" || rec.Status != 200 {
+		t.Fatalf("log record = %+v", rec)
+	}
+	if rec.Text != "database systems" || rec.Iters != 10 {
+		t.Fatalf("log record not warm-replayable (text/iters missing): %+v", rec)
+	}
+	if rec.Bytes == 0 {
+		t.Fatal("log record missing response bytes")
+	}
+	if rec.InferMs <= 0 {
+		t.Fatalf("log record missing infer time: %+v", rec)
+	}
+	if rec.Ms < rec.InferMs {
+		t.Fatalf("total %v ms < infer %v ms", rec.Ms, rec.InferMs)
+	}
+}
+
+// TestRequestLogWarmRoundTrip pins the contract the -warm-log flag
+// help promises: a -request-log capture replays directly through
+// WarmFromLog, and the warmed server answers the same traffic from
+// cache. The log deliberately interleaves non-warmable records
+// (health checks, batch infers) with the warmable ones.
+func TestRequestLogWarmRoundTrip(t *testing.T) {
+	var captured bytes.Buffer
+	s1 := newTestServer(t, Options{RequestLog: &captured})
+	for _, req := range []struct{ path, body string }{
+		{"/healthz", ""},
+		{"/v1/infer", `{"text": "support vector machines", "iters": 15}`},
+		{"/v1/infer", `{"texts": ["a", "b"]}`}, // batch: logged without text
+		{"/v1/segment", `{"text": "query processing in database systems"}`},
+		{"/v1/infer", `{"text": "machine learning models"}`}, // default iters
+	} {
+		method := http.MethodPost
+		if req.body == "" {
+			method = http.MethodGet
+		}
+		if w := do(t, s1, method, req.path, req.body, nil); w.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", req.path, w.Code, w.Body.String())
+		}
+	}
+
+	s2 := newTestServer(t, Options{})
+	st, err := s2.WarmFromLog(bytes.NewReader(captured.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Warmed != 3 || st.Skipped != 0 || st.Ignored != 2 {
+		t.Fatalf("replaying a request log = %+v, want 3 warmed / 0 skipped / 2 ignored", st)
+	}
+	misses := s2.cache.stats().Misses
+	for _, req := range []struct{ path, body string }{
+		{"/v1/infer", `{"text": "support vector machines", "iters": 15}`},
+		{"/v1/segment", `{"text": "query processing in database systems"}`},
+		{"/v1/infer", `{"text": "machine learning models"}`},
+	} {
+		if w := do(t, s2, http.MethodPost, req.path, req.body, nil); w.Code != http.StatusOK {
+			t.Fatalf("%s after warm = %d", req.path, w.Code)
+		}
+	}
+	if got := s2.cache.stats().Misses; got != misses {
+		t.Fatalf("warmed traffic still missed the cache (%d -> %d misses)", misses, got)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -73,6 +74,14 @@ type Options struct {
 	// free to call. Empty leaves the endpoint open (suitable only
 	// behind a trusted network boundary).
 	AdminToken string
+	// RequestLog, when non-nil, receives one JSON line per finished
+	// request: timestamp, method, endpoint, model, status, response
+	// bytes, total latency, and the per-phase breakdown (resolve vs.
+	// infer vs. marshal) that tells an operator whether a slow request
+	// spent its time looking up the model, running Gibbs sweeps, or
+	// serialising the answer. Writes are serialised by the Server, so
+	// any io.Writer works; /metrics requests are not logged.
+	RequestLog io.Writer
 }
 
 func (o *Options) fill() {
@@ -130,6 +139,24 @@ type Server struct {
 	// overlapping batches cannot oversubscribe the CPUs and starve
 	// single-document or health requests.
 	batchSlots chan struct{}
+	// flights coalesces concurrent identical cache misses: N requests
+	// for the same (model, gen, kind, iters, text) key run one
+	// computation and share its bytes (see coalesce.go).
+	flights *flightGroup
+	// coalesced counts requests that received a shared in-flight
+	// result instead of computing their own (topmined_coalesced_total).
+	coalesced atomic.Uint64
+	// inflight tracks requests currently inside an instrumented
+	// handler (topmined_inflight_requests).
+	inflight atomic.Int64
+	// logMu serialises RequestLog writes so concurrent requests never
+	// interleave bytes within one JSON line.
+	logMu sync.Mutex
+	// infer performs one document inference against a model
+	// publication. It defaults to the snapshot's Inferencer and exists
+	// as a seam so tests can count, gate, or fail computations without
+	// training instrumented pipelines.
+	infer func(st *modelState, text string, iters int) ([]float64, int)
 }
 
 // New builds a single-model Server around a ready Inferencer,
@@ -152,11 +179,15 @@ func New(inf *topmine.Inferencer, opt Options) *Server {
 func NewWithRegistry(reg *Registry, opt Options) *Server {
 	opt.fill()
 	s := &Server{
-		reg:   reg,
-		opt:   opt,
-		mux:   http.NewServeMux(),
-		cache: newRespCache(opt.CacheBytes),
-		met:   newMetrics(),
+		reg:     reg,
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		cache:   newRespCache(opt.CacheBytes),
+		met:     newMetrics(),
+		flights: newFlightGroup(),
+	}
+	s.infer = func(st *modelState, text string, iters int) ([]float64, int) {
+		return st.inf.InferTopicsTokens(text, iters)
 	}
 	s.batchSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < cap(s.batchSlots); i++ {
@@ -333,10 +364,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	tm := timingsFrom(r.Context())
+	t := time.Now()
 	entry, st, ok := s.resolveModel(w, req.Model)
+	tm.resolve = time.Since(t)
 	if !ok {
 		return
 	}
+	tm.model = entry.Name()
 	if st.inf.NumTopics() == 0 {
 		// A mining-only model (no trained topic model) supports
 		// /v1/segment but not inference.
@@ -349,7 +384,13 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	case req.Text != nil && req.Texts != nil:
 		writeError(w, http.StatusBadRequest, `provide "text" or "texts", not both`)
 	case req.Text != nil:
-		writeJSON(w, http.StatusOK, inferResponse{Result: s.inferDoc(entry, st, *req.Text, iters)})
+		tm.text, tm.iters = *req.Text, iters
+		t = time.Now()
+		raw := s.inferDoc(entry, st, *req.Text, iters)
+		tm.infer = time.Since(t)
+		t = time.Now()
+		writeJSON(w, http.StatusOK, inferResponse{Result: raw})
+		tm.marshal = time.Since(t)
 	case req.Texts != nil:
 		if len(req.Texts) == 0 {
 			writeError(w, http.StatusBadRequest, `"texts" must not be empty`)
@@ -360,7 +401,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 				"batch of %d exceeds limit %d", len(req.Texts), s.opt.MaxBatch)
 			return
 		}
-		writeJSON(w, http.StatusOK, inferResponse{Results: s.inferBatch(entry, st, req.Texts, iters)})
+		t = time.Now()
+		raws := s.inferBatch(entry, st, req.Texts, iters)
+		tm.infer = time.Since(t)
+		t = time.Now()
+		writeJSON(w, http.StatusOK, inferResponse{Results: raws})
+		tm.marshal = time.Since(t)
 	default:
 		writeError(w, http.StatusBadRequest, `provide "text" or "texts"`)
 	}
@@ -372,18 +418,29 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 // with st.gen can never mix two loads — and the cached value is the
 // marshalled result JSON, so a hit is byte-for-byte the response a
 // fresh computation would produce.
+//
+// Misses run through the flight group: concurrent identical misses —
+// across requests or between items of one batch — share a single
+// computation, so a stampede of N requests for one cold key costs one
+// Gibbs inference, not N. Determinism makes the shared bytes exact.
 func (s *Server) inferDoc(entry *ModelEntry, st *modelState, text string, iters int) json.RawMessage {
 	key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindInfer, iters: iters, text: text}
 	if b, ok := s.cache.get(key); ok {
 		return b
 	}
-	theta, tokens := st.inf.InferTopicsTokens(text, iters)
-	b, err := json.Marshal(inferResult{Topics: theta, Best: topmine.BestTopic(theta), Tokens: tokens})
-	if err != nil {
-		// Marshalling a plain struct of floats/ints cannot fail.
-		panic(err)
+	b, shared := s.flights.do(key, func() []byte {
+		theta, tokens := s.infer(st, text, iters)
+		b, err := json.Marshal(inferResult{Topics: theta, Best: topmine.BestTopic(theta), Tokens: tokens})
+		if err != nil {
+			// Marshalling a plain struct of floats/ints cannot fail.
+			panic(err)
+		}
+		s.cache.put(key, b)
+		return b
+	})
+	if shared {
+		s.coalesced.Add(1)
 	}
-	s.cache.put(key, b)
 	return b
 }
 
@@ -453,25 +510,46 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	tm := timingsFrom(r.Context())
+	t := time.Now()
 	entry, st, ok := s.resolveModel(w, req.Model)
+	tm.resolve = time.Since(t)
 	if !ok {
 		return
 	}
-	key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindSegment, text: req.Text}
-	if b, ok := s.cache.get(key); ok {
-		writeRawJSON(w, http.StatusOK, b)
-		return
-	}
-	segs := st.inf.Segment(req.Text)
-	if segs == nil {
-		segs = [][]string{}
-	}
-	b, err := json.Marshal(segmentResponse{Segments: segs})
-	if err != nil {
-		panic(err)
-	}
-	s.cache.put(key, b)
+	tm.model = entry.Name()
+	tm.text = req.Text
+	t = time.Now()
+	b := s.segmentDoc(entry, st, req.Text)
+	tm.infer = time.Since(t)
+	t = time.Now()
 	writeRawJSON(w, http.StatusOK, b)
+	tm.marshal = time.Since(t)
+}
+
+// segmentDoc answers one segmentation through the cache and flight
+// group, mirroring inferDoc (shared with WarmFromLog).
+func (s *Server) segmentDoc(entry *ModelEntry, st *modelState, text string) json.RawMessage {
+	key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindSegment, text: text}
+	if b, ok := s.cache.get(key); ok {
+		return b
+	}
+	b, shared := s.flights.do(key, func() []byte {
+		segs := st.inf.Segment(text)
+		if segs == nil {
+			segs = [][]string{}
+		}
+		b, err := json.Marshal(segmentResponse{Segments: segs})
+		if err != nil {
+			panic(err)
+		}
+		s.cache.put(key, b)
+		return b
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	return b
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {

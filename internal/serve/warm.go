@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// warmEntry is one access-log line in its structured form. The plain
+// form — a bare line of text — is shorthand for {"text": line}.
+type warmEntry struct {
+	Text  string `json:"text"`
+	Model string `json:"model,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+	// Op selects the operation: "infer" (default) or "segment".
+	Op string `json:"op,omitempty"`
+}
+
+// WarmStats summarises one WarmFromLog pass.
+type WarmStats struct {
+	// Lines is how many non-empty log lines were read.
+	Lines int
+	// Warmed counts computations performed (a fresh inference or
+	// segmentation whose response is now cached).
+	Warmed int
+	// Hits counts lines whose response was already cached — duplicate
+	// log lines after the first, or entries warm across overlapping
+	// logs.
+	Hits int
+	// Skipped counts lines that could not be warmed (unknown model,
+	// unready model, unknown op, inference against a mining-only
+	// model); each is reported in Errors up to a small cap.
+	Skipped int
+	// Ignored counts valid JSON records that are not warmable requests
+	// and carry no text to warm — health checks, metrics scrapes,
+	// listings, and batch-infer records in a -request-log stream. They
+	// are expected in any real access log and are not errors.
+	Ignored int
+	// Errors carries the first few skip reasons for operator logs.
+	Errors []string
+}
+
+// maxWarmErrors caps how many skip reasons WarmStats retains: warming
+// is best-effort, and a mis-rotated log must not balloon memory.
+const maxWarmErrors = 10
+
+// WarmFromLog replays a newline-delimited access log through the
+// inference and segmentation paths so their responses are cached before
+// real traffic arrives — a cold cache otherwise pays one full Gibbs
+// inference per distinct hot text exactly when the fleet is least
+// warmed up (startup, post-deploy). Each line is either a bare text
+// (inferred on the default model at the default iteration count) or a
+// JSON object {"text": ..., "model": ..., "iters": ..., "op":
+// "infer"|"segment"}. cmd/topmined's -request-log output is accepted
+// directly: lines carrying an "endpoint" field are mapped onto the
+// matching op.
+//
+// Warming is strictly best-effort: malformed or unservable lines are
+// counted and skipped, never fatal. The replay shares the response
+// cache and flight group with live traffic, so warming concurrently
+// with serving is safe and never duplicates in-flight work.
+func (s *Server) WarmFromLog(r io.Reader) (WarmStats, error) {
+	var st WarmStats
+	sc := bufio.NewScanner(r)
+	// A request-log line wraps the text in JSON (escaping can double
+	// it) plus the record's other fields: allow twice the body cap.
+	sc.Buffer(make([]byte, 64<<10), 2*int(s.opt.MaxBodyBytes)+(64<<10))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		st.Lines++
+		entry := parseWarmLine(line)
+		if entry == nil {
+			st.Ignored++
+			continue
+		}
+		if err := s.warmOne(entry); err != nil {
+			st.Skipped++
+			if len(st.Errors) < maxWarmErrors {
+				st.Errors = append(st.Errors, err.Error())
+			}
+			continue
+		}
+		if entry.hit {
+			st.Hits++
+		} else {
+			st.Warmed++
+		}
+	}
+	return st, sc.Err()
+}
+
+// parsedWarm is a warmEntry plus the outcome flag warmOne fills in.
+type parsedWarm struct {
+	warmEntry
+	hit bool
+}
+
+// parseWarmLine decodes one log line. A line that fails to decode as
+// JSON is treated as plain text — a warming pass must make the most of
+// whatever log it is given. A line that IS valid JSON but carries no
+// text returns nil (ignored): request logs interleave health checks,
+// scrapes, and batch records with warmable requests, and replaying
+// those as literal document text would fill the cache with garbage.
+func parseWarmLine(line string) *parsedWarm {
+	e := &parsedWarm{}
+	if strings.HasPrefix(line, "{") {
+		var raw struct {
+			warmEntry
+			Endpoint string `json:"endpoint"`
+		}
+		if err := json.Unmarshal([]byte(line), &raw); err == nil {
+			if raw.Text == "" {
+				return nil
+			}
+			e.warmEntry = raw.warmEntry
+			if e.Op == "" && strings.HasSuffix(raw.Endpoint, "/segment") {
+				e.Op = "segment"
+			}
+			return e
+		}
+	}
+	e.Text = line
+	return e
+}
+
+// warmOne performs one entry's computation through the same cached,
+// coalesced paths live requests use. It records in e.hit whether the
+// response was already cached.
+func (s *Server) warmOne(e *parsedWarm) error {
+	entry, ok := s.reg.Lookup(e.Model)
+	if !ok {
+		return fmt.Errorf("unknown model %q", e.Model)
+	}
+	st := entry.snapshot()
+	if st == nil || st.inf == nil {
+		return fmt.Errorf("model %q is not loaded", entry.Name())
+	}
+	switch e.Op {
+	case "", "infer":
+		if st.inf.NumTopics() == 0 {
+			return fmt.Errorf("model %q has no trained topic model", entry.Name())
+		}
+		iters := s.opt.clampIters(e.Iters)
+		key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindInfer, iters: iters, text: e.Text}
+		if _, ok := s.cache.get(key); ok {
+			e.hit = true
+			return nil
+		}
+		s.inferDoc(entry, st, e.Text, iters)
+	case "segment":
+		key := cacheKey{model: entry.Name(), gen: st.gen, kind: kindSegment, text: e.Text}
+		if _, ok := s.cache.get(key); ok {
+			e.hit = true
+			return nil
+		}
+		s.segmentDoc(entry, st, e.Text)
+	default:
+		return fmt.Errorf("unknown op %q", e.Op)
+	}
+	return nil
+}
