@@ -18,6 +18,14 @@
 //	topmine -corpus reviews.tpc -k 10 -iters 1000
 //	topmine -corpus reviews.tpc -k 40 -seed 7 -save k40.tpm
 //
+// A stored corpus is a living index: it can grow in place, merge with
+// independently preprocessed shards, and feed incremental training of
+// an existing snapshot:
+//
+//	topmine -append reviews.tpc -input fresh.jsonl -jsonl text -dedup
+//	topmine -merge all.tpc shard1.tpc shard2.tpc shard3.tpc
+//	topmine -load model.tpm -update reviews.tpc -iters 200 -save model2.tpm -save-state
+//
 // A trained run can be persisted as a pipeline snapshot and reused
 // without retraining (by this command or by the topmined server); with
 // -save-state the snapshot keeps the full Gibbs state so training can
@@ -76,6 +84,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	docs := fs.Int("docs", 2000, "documents to generate with -synth")
 	corpusFile := fs.String("corpus", "", "train from this preprocessed .tpc corpus file (mmap; skips ingest/mining/segmentation)")
 	preprocess := fs.String("preprocess", "", "preprocess only: write the corpus, mined phrases and segmentation to this .tpc file and exit")
+	appendPath := fs.String("append", "", "grow this .tpc corpus file in place with the documents from -input/-synth and exit")
+	dedup := fs.Bool("dedup", false, "with -append: skip incoming documents that near-duplicate a stored (or earlier-in-batch) one")
+	dedupThreshold := fs.Float64("dedup-threshold", 0.9, "with -append -dedup: estimated Jaccard similarity at or above which a document is skipped")
+	sketch := fs.Bool("sketch", false, "with -preprocess/-append: store per-document min-hash sketches so later -append -dedup runs compare against the stored corpus without retokenizing it")
+	mergePath := fs.String("merge", "", "merge the positional .tpc source files (2 or more) into this new .tpc file and exit")
+	updatePath := fs.String("update", "", "with -load: continue training the snapshot incrementally over this grown .tpc corpus file")
 	k := fs.Int("k", 10, "number of topics")
 	iters := fs.Int("iters", 1000, "Gibbs iterations (with -load: continue training this many sweeps)")
 	minSupport := fs.Int("minsup", 5, "minimum phrase support (epsilon)")
@@ -109,12 +123,53 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *saveState && *saveModel == "" {
 		return fmt.Errorf("-save-state needs -save")
 	}
+	if *mergePath != "" {
+		var extra []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "merge" {
+				extra = append(extra, "-"+f.Name)
+			}
+		})
+		if len(extra) > 0 {
+			return fmt.Errorf("-merge reads its sources from the positional arguments; %s would be ignored", strings.Join(extra, ", "))
+		}
+		return runMerge(*mergePath, fs.Args(), stderr)
+	}
+	if *dedup && *appendPath == "" {
+		return fmt.Errorf("-dedup needs -append")
+	}
+	if flagWasSet(fs, "dedup-threshold") && !*dedup {
+		return fmt.Errorf("-dedup-threshold needs -append -dedup")
+	}
+	if *sketch && *appendPath == "" && *preprocess == "" {
+		return fmt.Errorf("-sketch needs -preprocess or -append")
+	}
+	if *appendPath != "" {
+		allowed := map[string]bool{"append": true, "input": true, "jsonl": true,
+			"synth": true, "docs": true, "seed": true, "dedup": true,
+			"dedup-threshold": true, "sketch": true}
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("-append only grows the corpus file; %s would be ignored", strings.Join(ignored, ", "))
+		}
+		return runAppend(*appendPath, *input, *jsonlField, *synthDomain, *docs, *seed,
+			topmine.AppendOptions{Dedup: *dedup, DedupThreshold: *dedupThreshold, Sketch: *sketch},
+			stdin, stderr)
+	}
+	if *updatePath != "" && *loadModel == "" {
+		return fmt.Errorf("-update continues training a snapshot; it needs -load")
+	}
 	if *loadModel != "" {
 		// -load replaces training: reject explicitly-set flags it would
 		// silently ignore. -iters is meaningful again — it continues
 		// Gibbs training on a snapshot saved with -save-state.
 		allowed := map[string]bool{"load": true, "save": true, "save-state": true,
-			"infer": true, "infer-iters": true, "iters": true}
+			"infer": true, "infer-iters": true, "iters": true, "update": true}
 		var ignored []string
 		itersSet := false
 		fs.Visit(func(f *flag.Flag) {
@@ -132,7 +187,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if itersSet {
 			resumeIters = *iters
 		}
-		return runLoaded(*loadModel, *saveModel, *saveState, *inferText, *inferIters, resumeIters, stdout, stderr)
+		return runLoaded(*loadModel, *saveModel, *updatePath, *saveState, *inferText, *inferIters, resumeIters, stdout, stderr)
 	}
 	if (*phrasesOnly || *segmentOnly) && (*saveModel != "" || *inferText != "") {
 		return fmt.Errorf("-save and -infer need a trained model; do not combine them with -phrases-only or -segment")
@@ -225,7 +280,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "phrase mining + segmentation: %v (%d frequent phrases)\n",
 			time.Since(t0).Round(time.Millisecond), pre.Mined.Counts.Len())
-		if err := topmine.SaveCorpusFile(*preprocess, pre); err != nil {
+		save := topmine.SaveCorpusFile
+		if *sketch {
+			save = topmine.SaveCorpusFileSketched
+		}
+		if err := save(*preprocess, pre); err != nil {
 			return err
 		}
 		fi, err := os.Stat(*preprocess)
@@ -248,6 +307,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr)
 	} else if cf != nil && cf.Mined() != nil {
 		fmt.Fprintln(stderr, "stored artifacts use different mining parameters; recomputing")
+	} else if cf != nil && cf.StaleArtifacts() != "" {
+		fmt.Fprintf(stderr, "stored artifacts dropped: %s\n", cf.StaleArtifacts())
 	}
 	if mined == nil {
 		t0 := time.Now()
@@ -308,6 +369,94 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// runMerge is the -merge mode: k-way-merge preprocessed shards into a
+// fresh corpus file.
+func runMerge(dst string, srcs []string, stderr io.Writer) error {
+	if len(srcs) < 2 {
+		return fmt.Errorf("-merge needs at least 2 source .tpc files as positional arguments, have %d", len(srcs))
+	}
+	t0 := time.Now()
+	stats, err := topmine.MergeCorpusFiles(dst, srcs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "merged %d corpus files into %s: %d documents, %d tokens in %v\n",
+		stats.Sources, dst, stats.Docs, stats.Tokens, time.Since(t0).Round(time.Millisecond))
+	switch {
+	case stats.ArtifactsMerged:
+		fmt.Fprintln(stderr, "mined phrase statistics re-aggregated exactly")
+	case stats.ArtifactsDropped != "":
+		fmt.Fprintf(stderr, "mined phrase statistics dropped: %s\n", stats.ArtifactsDropped)
+	}
+	return nil
+}
+
+// runAppend is the -append mode: grow a stored corpus in place with a
+// fresh document stream, optionally suppressing near-duplicates.
+func runAppend(path, input, jsonlField, synthDomain string, docs int, seed uint64,
+	opt topmine.AppendOptions, stdin io.Reader, stderr io.Writer) error {
+	src, cleanup, err := openSource(input, jsonlField, synthDomain, docs, seed, stdin)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	t0 := time.Now()
+	stats, err := topmine.AppendCorpusFile(path, src, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "appended %d documents (%d tokens) to %s in %v",
+		stats.DocsAdded, stats.TokensAdded, path, time.Since(t0).Round(time.Millisecond))
+	if stats.DocsAdded > 0 {
+		fmt.Fprintf(stderr, " (%d appended segments; stored artifacts are now stale — retraining re-mines)", stats.Segments)
+	}
+	fmt.Fprintln(stderr)
+	if opt.Dedup {
+		fmt.Fprintf(stderr, "skipped %d near-duplicate documents (Jaccard >= %g)\n",
+			stats.DocsSkipped, opt.DedupThreshold)
+	}
+	return nil
+}
+
+// openSource opens the raw document stream named by the input flags,
+// for modes that consume documents without building an in-memory
+// corpus first. The returned cleanup closes any underlying file.
+func openSource(input, jsonlField, synthDomain string, docs int, seed uint64, stdin io.Reader) (topmine.Source, func(), error) {
+	switch {
+	case input != "" && synthDomain != "":
+		return nil, nil, fmt.Errorf("use either -input or -synth, not both")
+	case jsonlField != "" && input == "":
+		return nil, nil, fmt.Errorf("-jsonl needs -input")
+	case synthDomain != "":
+		raw, err := topmine.GenerateExampleCorpus(synthDomain, docs, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return topmine.SliceSource(raw), func() {}, nil
+	case input == "":
+		return nil, nil, fmt.Errorf("-append needs an input (-input or -synth)")
+	}
+	r := stdin
+	cleanup := func() {}
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = f
+		cleanup = func() { f.Close() }
+	}
+	rr, err := topmine.MaybeDecompress(r)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if jsonlField != "" {
+		return topmine.JSONLSource(rr, jsonlField), cleanup, nil
+	}
+	return topmine.LineSource(rr), cleanup, nil
+}
+
 // flagWasSet reports whether the user set the named flag explicitly.
 func flagWasSet(fs *flag.FlagSet, name string) bool {
 	set := false
@@ -365,21 +514,38 @@ func saveSnapshot(path string, res *topmine.Result, withState bool, stderr io.Wr
 
 // runLoaded consumes a snapshot: prints its topics, optionally
 // continues Gibbs training for resumeIters sweeps (snapshots saved
-// with -save-state carry the training state this needs), re-saves when
-// savePath is given, and when text is given, folds it into the model
-// and reports the inferred mixture.
-func runLoaded(path, savePath string, saveState bool, text string, iters, resumeIters int, stdout, stderr io.Writer) error {
+// with -save-state carry the training state this needs) — over the
+// grown corpus at updatePath when given — re-saves when savePath is
+// given, and when text is given, folds it into the model and reports
+// the inferred mixture.
+func runLoaded(path, savePath, updatePath string, saveState bool, text string, iters, resumeIters int, stdout, stderr io.Writer) error {
 	res, err := topmine.LoadSnapshotFile(path)
 	if err != nil {
 		return err
 	}
+	defer res.Close()
 	fmt.Fprintf(stderr, "snapshot %s: %d topics, %d stems, %d frequent phrases",
 		path, res.Options.Topics, res.Corpus.Vocab.Size(), res.Mined.Counts.Len())
 	if res.Resumable() {
 		fmt.Fprintf(stderr, ", resumable")
 	}
 	fmt.Fprintln(stderr)
-	if resumeIters > 0 {
+	switch {
+	case updatePath != "":
+		cf, err := topmine.OpenCorpusFile(updatePath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		oldDocs := len(res.Model.Docs)
+		t0 := time.Now()
+		if err := res.UpdateTraining(cf, resumeIters); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "updated training over %s: %d documents (%d new), %d sweeps in %v\n",
+			updatePath, len(res.Model.Docs), len(res.Model.Docs)-oldDocs,
+			resumeIters, time.Since(t0).Round(time.Millisecond))
+	case resumeIters > 0:
 		t0 := time.Now()
 		if err := res.ResumeTraining(resumeIters); err != nil {
 			return err

@@ -40,6 +40,17 @@ func testStdinDocs() string {
 	return b.String()
 }
 
+// testStdinDocs2 is a second, topically distinct shard for the
+// living-corpus workflows.
+func testStdinDocs2() string {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		b.WriteString("fast shipping and careful packaging, fast shipping always.\n")
+		b.WriteString("damaged box and missing parts; fast shipping cannot save this.\n")
+	}
+	return b.String()
+}
+
 // fastArgs keeps in-process pipeline runs quick.
 func fastArgs(extra ...string) []string {
 	return append([]string{"-k", "2", "-iters", "3", "-minsup", "2", "-top", "3"}, extra...)
@@ -140,6 +151,96 @@ func TestResumeWorkflow(t *testing.T) {
 	}
 }
 
+// TestLivingCorpusWorkflow drives the living-corpus modes end to end
+// through the CLI: -preprocess -sketch, -append (with and without
+// -dedup), training from the grown file, -merge, and -load -update.
+func TestLivingCorpusWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "c.tpc")
+
+	// Preprocess shard 1, storing sketches for later dedup.
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-preprocess", tpc, "-sketch"), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess: %v\nstderr:\n%s", err, errb.String())
+	}
+
+	// Re-appending shard 1 with dedup must skip every document and log
+	// the counted total.
+	errb.Reset()
+	stdin = &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	if err := run([]string{"-append", tpc, "-input", "-", "-dedup"}, stdin, &out, &errb); err != nil {
+		t.Fatalf("dedup append: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "skipped 80 near-duplicate documents") {
+		t.Fatalf("skip total not logged:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "appended 0 documents") {
+		t.Fatalf("append count not logged:\n%s", errb.String())
+	}
+
+	// Appending a fresh shard grows the file.
+	errb.Reset()
+	stdin = &oneShotReader{r: strings.NewReader(testStdinDocs2())}
+	if err := run([]string{"-append", tpc, "-input", "-", "-dedup"}, stdin, &out, &errb); err != nil {
+		t.Fatalf("append: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "appended 2 documents") {
+		t.Fatalf("fresh shard not appended (the 78 repeats dedup within the batch):\n%s", errb.String())
+	}
+
+	// Training from the grown file surfaces the stale artifacts.
+	var out2, errb2 bytes.Buffer
+	if err := run(fastArgs("-corpus", tpc), strings.NewReader(""), &out2, &errb2); err != nil {
+		t.Fatalf("train from grown file: %v\nstderr:\n%s", err, errb2.String())
+	}
+	if !strings.Contains(errb2.String(), "stored artifacts dropped") {
+		t.Fatalf("stale artifacts not surfaced:\n%s", errb2.String())
+	}
+	if !strings.Contains(out2.String(), "Topic 0") {
+		t.Fatalf("no topics printed:\n%s", out2.String())
+	}
+
+	// Merge two preprocessed shards.
+	shard2 := filepath.Join(dir, "shard2.tpc")
+	stdin = &oneShotReader{r: strings.NewReader(testStdinDocs2())}
+	errb.Reset()
+	if err := run(fastArgs("-input", "-", "-preprocess", shard2), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess shard 2: %v\nstderr:\n%s", err, errb.String())
+	}
+	shard1 := filepath.Join(dir, "shard1.tpc")
+	stdin = &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	if err := run(fastArgs("-input", "-", "-preprocess", shard1), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess shard 1: %v\nstderr:\n%s", err, errb.String())
+	}
+	merged := filepath.Join(dir, "merged.tpc")
+	errb.Reset()
+	if err := run([]string{"-merge", merged, shard1, shard2}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatalf("merge: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "merged 2 corpus files") {
+		t.Fatalf("merge not reported:\n%s", errb.String())
+	}
+
+	// Incremental update: train shard 1 with state, update over the
+	// grown file.
+	snap := filepath.Join(dir, "m.tpm")
+	var errb3 bytes.Buffer
+	if err := run(fastArgs("-corpus", shard1, "-save", snap, "-save-state"), strings.NewReader(""), &out, &errb3); err != nil {
+		t.Fatalf("train shard 1: %v\nstderr:\n%s", err, errb3.String())
+	}
+	var out4, errb4 bytes.Buffer
+	if err := run([]string{"-load", snap, "-update", tpc, "-iters", "3"}, strings.NewReader(""), &out4, &errb4); err != nil {
+		t.Fatalf("update: %v\nstderr:\n%s", err, errb4.String())
+	}
+	if !strings.Contains(errb4.String(), "updated training over") || !strings.Contains(errb4.String(), "(2 new)") {
+		t.Fatalf("update not reported:\n%s", errb4.String())
+	}
+	if !strings.Contains(out4.String(), "Topic 0") {
+		t.Fatalf("no topics printed after update:\n%s", out4.String())
+	}
+}
+
 func TestBadFlagCombos(t *testing.T) {
 	cases := [][]string{
 		{"-input", "x", "-synth", "yelp-reviews"},
@@ -149,6 +250,13 @@ func TestBadFlagCombos(t *testing.T) {
 		{"-save-state", "-input", "-"},
 		{"-load", "m.tpm", "-k", "5"},
 		{"-corpus", "x.tpc", "-docs", "100"},
+		{"-merge", "out.tpc", "-input", "x"},
+		{"-merge", "out.tpc", "only-one.tpc"},
+		{"-append", "c.tpc", "-k", "5", "-input", "x"},
+		{"-append", "c.tpc"},
+		{"-dedup", "-input", "x"},
+		{"-sketch", "-input", "-"},
+		{"-update", "c.tpc", "-input", "x"},
 	}
 	for _, args := range cases {
 		if err := run(args, strings.NewReader(""), io.Discard, io.Discard); err == nil {

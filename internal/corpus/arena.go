@@ -56,6 +56,15 @@ type tokenArena struct {
 	// either fault (read-only mapping) or silently detach the borrowed
 	// view, so it panics instead.
 	sealed bool
+	// prev chains this arena to the one holding the corpus's earlier
+	// tokens. A freshly built corpus has a single arena (prev nil);
+	// every Append — in memory via Appender, or on disk via a corpus
+	// file's appended segment groups — adds one arena to the chain
+	// instead of copying the existing (possibly mmap'd, read-only)
+	// token columns. Chained arenas keep cumulative string pools: an
+	// arena's pool always extends its prev's, so pool ids from earlier
+	// arenas stay valid everywhere down the chain.
+	prev *tokenArena
 }
 
 func newArena(keepSurface bool) *tokenArena {

@@ -49,24 +49,8 @@ func NewBuilder(opt BuildOptions) *Builder {
 // Documents that tokenize to nothing still occupy a slot (so external
 // ids stay aligned) but contain zero segments.
 func (b *Builder) Add(text string) *Document {
-	doc := &Document{ID: len(b.docs)}
-	for _, rawSeg := range textproc.Tokenize(text) {
-		kept := textproc.Filter(rawSeg, b.opt.RemoveStopwords)
-		if len(kept) == 0 {
-			continue
-		}
-		b.ar.grow(len(kept))
-		off := b.ar.mark()
-		for _, tok := range kept {
-			stem := tok.Surface
-			if b.opt.Stem {
-				stem = textproc.Stem(stem)
-			}
-			b.ar.push(b.vocab.Intern(stem, tok.Surface), tok.Surface, tok.Gap)
-		}
-		doc.Segments = append(doc.Segments, b.ar.seg(off))
-		b.total += len(kept)
-	}
+	doc := addDocument(b.ar, b.vocab, b.opt, text, len(b.docs))
+	b.total += doc.Len()
 	b.docs = append(b.docs, doc)
 	return doc
 }

@@ -32,11 +32,16 @@ type Raw struct {
 	BuildOpts   BuildOptions
 }
 
-// Raw flattens the corpus into its columnar view. The returned slices
-// alias the corpus storage — they are a view, not a copy — so the
-// caller must treat them as read-only. It errors on corpora whose
-// segments do not all share one token arena (impossible for corpora
-// built by this package, but representable by hand-assembled literals).
+// Raw flattens the corpus into its columnar view. For a single-arena
+// corpus (anything built in one pass) the returned slices alias the
+// corpus storage — a view, not a copy. A corpus whose documents span a
+// chain of arenas (it was grown by Appender or assembled from a
+// multi-segment corpus file) is materialised: the chained token
+// columns are concatenated into fresh slices with absolute offsets, so
+// the result is indistinguishable from a from-scratch single-arena
+// build over the same documents. It errors on corpora whose segments
+// reference arenas outside one chain (impossible for corpora built by
+// this package, but representable by hand-assembled literals).
 func (c *Corpus) Raw() (*Raw, error) {
 	if c.Vocab == nil {
 		return nil, fmt.Errorf("corpus: Raw: corpus has no vocabulary")
@@ -47,13 +52,38 @@ func (c *Corpus) Raw() (*Raw, error) {
 		TotalTokens: c.TotalTokens,
 		BuildOpts:   c.BuildOpts,
 	}
-	var ar *tokenArena
 	total := 0
 	for _, d := range c.Docs {
 		total += len(d.Segments)
 	}
 	r.SegOffs = make([]int32, 0, total)
 	r.SegLens = make([]int32, 0, total)
+	// Walk documents in order, collecting the distinct arenas they
+	// reference. Documents are appended in chain order, so each newly
+	// seen arena must chain (via prev) to the one seen before it;
+	// anything else is a foreign arena and is rejected.
+	var arenas []*tokenArena
+	baseOf := map[*tokenArena]int32{}
+	arenaBase := func(ar *tokenArena) (int32, error) {
+		if b, ok := baseOf[ar]; ok {
+			return b, nil
+		}
+		var last *tokenArena
+		base := 0
+		if n := len(arenas); n > 0 {
+			last = arenas[n-1]
+			base = int(baseOf[last]) + len(last.words)
+		}
+		if ar.prev != last {
+			return 0, fmt.Errorf("corpus: Raw: segment uses a token arena outside the corpus's arena chain")
+		}
+		if base+len(ar.words) > maxArenaTokens {
+			return 0, fmt.Errorf("corpus: Raw: chained arenas hold over %d tokens; shard the corpus", maxArenaTokens)
+		}
+		arenas = append(arenas, ar)
+		baseOf[ar] = int32(base)
+		return int32(base), nil
+	}
 	for i, d := range c.Docs {
 		r.SegCounts[i] = int32(len(d.Segments))
 		for si := range d.Segments {
@@ -61,16 +91,19 @@ func (c *Corpus) Raw() (*Raw, error) {
 			if sg.ar == nil {
 				return nil, fmt.Errorf("corpus: Raw: doc %d segment %d has no token arena", i, si)
 			}
-			if ar == nil {
-				ar = sg.ar
-			} else if sg.ar != ar {
-				return nil, fmt.Errorf("corpus: Raw: doc %d segment %d uses a different token arena; corpora must share one arena to be persisted", i, si)
+			base, err := arenaBase(sg.ar)
+			if err != nil {
+				return nil, fmt.Errorf("%w (doc %d segment %d)", err, i, si)
 			}
-			r.SegOffs = append(r.SegOffs, sg.off)
+			r.SegOffs = append(r.SegOffs, base+sg.off)
 			r.SegLens = append(r.SegLens, sg.n)
 		}
 	}
-	if ar != nil {
+	switch len(arenas) {
+	case 0:
+		return r, nil
+	case 1:
+		ar := arenas[0]
 		r.Words = ar.words
 		r.KeepSurface = ar.keep
 		if ar.keep {
@@ -78,6 +111,33 @@ func (c *Corpus) Raw() (*Raw, error) {
 			r.Gaps = ar.gaps
 			r.Pool = ar.pool.strs
 		}
+		return r, nil
+	}
+	nTok := 0
+	keep := arenas[0].keep
+	for _, ar := range arenas {
+		if ar.keep != keep {
+			return nil, fmt.Errorf("corpus: Raw: arenas disagree on surface retention")
+		}
+		nTok += len(ar.words)
+	}
+	r.Words = make([]int32, 0, nTok)
+	if keep {
+		r.Surface = make([]uint32, 0, nTok)
+		r.Gaps = make([]uint32, 0, nTok)
+	}
+	for _, ar := range arenas {
+		r.Words = append(r.Words, ar.words...)
+		if keep {
+			r.Surface = append(r.Surface, ar.surface...)
+			r.Gaps = append(r.Gaps, ar.gaps...)
+		}
+	}
+	r.KeepSurface = keep
+	if keep {
+		// Chained pools are cumulative: the last arena's pool extends
+		// every earlier one, so its ids cover all columns.
+		r.Pool = arenas[len(arenas)-1].pool.strs
 	}
 	return r, nil
 }
@@ -89,50 +149,57 @@ func (c *Corpus) Raw() (*Raw, error) {
 // so a corrupt but well-framed file fails here with an error instead
 // of panicking inside a later pipeline stage.
 func FromRaw(r *Raw) (*Corpus, error) {
+	c, _, err := fromRawArena(r)
+	return c, err
+}
+
+// fromRawArena is FromRaw exposing the built arena, so FromRawGroups
+// can chain appended groups onto it.
+func fromRawArena(r *Raw) (*Corpus, *tokenArena, error) {
 	if r.Vocab == nil {
-		return nil, fmt.Errorf("corpus: FromRaw: missing vocabulary")
+		return nil, nil, fmt.Errorf("corpus: FromRaw: missing vocabulary")
 	}
 	if len(r.SegOffs) != len(r.SegLens) {
-		return nil, fmt.Errorf("corpus: FromRaw: %d segment offsets but %d lengths", len(r.SegOffs), len(r.SegLens))
+		return nil, nil, fmt.Errorf("corpus: FromRaw: %d segment offsets but %d lengths", len(r.SegOffs), len(r.SegLens))
 	}
 	totalSegs := 0
 	for i, n := range r.SegCounts {
 		if n < 0 {
-			return nil, fmt.Errorf("corpus: FromRaw: doc %d has negative segment count %d", i, n)
+			return nil, nil, fmt.Errorf("corpus: FromRaw: doc %d has negative segment count %d", i, n)
 		}
 		totalSegs += int(n)
 	}
 	if totalSegs != len(r.SegOffs) {
-		return nil, fmt.Errorf("corpus: FromRaw: documents claim %d segments, table has %d", totalSegs, len(r.SegOffs))
+		return nil, nil, fmt.Errorf("corpus: FromRaw: documents claim %d segments, table has %d", totalSegs, len(r.SegOffs))
 	}
 	nTok := len(r.Words)
 	if nTok > maxArenaTokens {
-		return nil, fmt.Errorf("corpus: FromRaw: arena holds %d tokens, limit is %d", nTok, maxArenaTokens)
+		return nil, nil, fmt.Errorf("corpus: FromRaw: arena holds %d tokens, limit is %d", nTok, maxArenaTokens)
 	}
 	for i := range r.SegOffs {
 		off, n := r.SegOffs[i], r.SegLens[i]
 		if off < 0 || n < 0 || int(off)+int(n) > nTok {
-			return nil, fmt.Errorf("corpus: FromRaw: segment %d spans [%d,%d) of a %d-token arena", i, off, int(off)+int(n), nTok)
+			return nil, nil, fmt.Errorf("corpus: FromRaw: segment %d spans [%d,%d) of a %d-token arena", i, off, int(off)+int(n), nTok)
 		}
 	}
 	V := int32(r.Vocab.Size())
 	for i, w := range r.Words {
 		if w < 0 || w >= V {
-			return nil, fmt.Errorf("corpus: FromRaw: token %d has word id %d, vocabulary size is %d", i, w, V)
+			return nil, nil, fmt.Errorf("corpus: FromRaw: token %d has word id %d, vocabulary size is %d", i, w, V)
 		}
 	}
 	ar := &tokenArena{words: r.Words, keep: r.KeepSurface, sealed: true}
 	if r.KeepSurface {
 		if len(r.Surface) != nTok || len(r.Gaps) != nTok {
-			return nil, fmt.Errorf("corpus: FromRaw: %d tokens but %d surfaces and %d gaps", nTok, len(r.Surface), len(r.Gaps))
+			return nil, nil, fmt.Errorf("corpus: FromRaw: %d tokens but %d surfaces and %d gaps", nTok, len(r.Surface), len(r.Gaps))
 		}
 		if len(r.Pool) == 0 || r.Pool[0] != "" {
-			return nil, fmt.Errorf("corpus: FromRaw: string pool must start with the empty string")
+			return nil, nil, fmt.Errorf("corpus: FromRaw: string pool must start with the empty string")
 		}
 		P := uint32(len(r.Pool))
 		for i := range r.Surface {
 			if r.Surface[i] >= P || r.Gaps[i] >= P {
-				return nil, fmt.Errorf("corpus: FromRaw: token %d references string pool entry %d/%d, pool size is %d",
+				return nil, nil, fmt.Errorf("corpus: FromRaw: token %d references string pool entry %d/%d, pool size is %d",
 					i, r.Surface[i], r.Gaps[i], P)
 			}
 		}
@@ -156,6 +223,120 @@ func FromRaw(r *Raw) (*Corpus, error) {
 		}
 		next += int(n)
 		c.Docs[i] = &docBlock[i]
+	}
+	return c, ar, nil
+}
+
+// RawGroup is the columnar delta one corpus-file append adds: the new
+// documents' token columns, the string-pool entries they introduced
+// beyond the previous group's pool, and their segment table with
+// offsets relative to this group's own arena. FromRawGroups chains
+// groups onto a base Raw without copying either side.
+type RawGroup struct {
+	Words   []int32
+	Surface []uint32 // nil unless the corpus keeps surfaces
+	Gaps    []uint32
+	// PoolDelta holds only the strings first interned by this group;
+	// the group's effective pool is the previous pool plus this delta.
+	PoolDelta []string
+
+	SegCounts []int32 // segments per appended document
+	SegOffs   []int32 // arena offsets relative to this group's columns
+	SegLens   []int32
+
+	// TotalTokens is the kept-token count this group's documents add.
+	TotalTokens int
+}
+
+// FromRawGroups assembles a corpus from a base columnar view plus a
+// chain of appended groups — the in-memory shape of a multi-segment
+// corpus file. base.Vocab must be the final (union) vocabulary; base
+// token columns are validated against it, which is safe because ids
+// only ever grow. Like FromRaw, nothing is copied: every group gets
+// its own sealed arena chained onto the previous one, with a
+// cumulative string pool built by appending each delta (string headers
+// are copied once per group; the bytes are shared).
+func FromRawGroups(base *Raw, groups []RawGroup) (*Corpus, error) {
+	c, prev, err := fromRawArena(base)
+	if err != nil {
+		return nil, err
+	}
+	// A segmentless base builds an arena no Segment references, which
+	// Raw's chain walk would never discover; the first group's arena
+	// starts the chain instead (the cumulative pool still begins with
+	// base.Pool below).
+	if len(base.SegOffs) == 0 {
+		prev = nil
+	}
+	V := int32(base.Vocab.Size())
+	pool := base.Pool
+	for gi := range groups {
+		g := &groups[gi]
+		nTok := len(g.Words)
+		if nTok > maxArenaTokens {
+			return nil, fmt.Errorf("corpus: FromRawGroups: group %d holds %d tokens, limit is %d", gi, nTok, maxArenaTokens)
+		}
+		for i, w := range g.Words {
+			if w < 0 || w >= V {
+				return nil, fmt.Errorf("corpus: FromRawGroups: group %d token %d has word id %d, vocabulary size is %d", gi, i, w, V)
+			}
+		}
+		if len(g.SegOffs) != len(g.SegLens) {
+			return nil, fmt.Errorf("corpus: FromRawGroups: group %d has %d segment offsets but %d lengths", gi, len(g.SegOffs), len(g.SegLens))
+		}
+		totalSegs := 0
+		for i, n := range g.SegCounts {
+			if n < 0 {
+				return nil, fmt.Errorf("corpus: FromRawGroups: group %d doc %d has negative segment count %d", gi, i, n)
+			}
+			totalSegs += int(n)
+		}
+		if totalSegs != len(g.SegOffs) {
+			return nil, fmt.Errorf("corpus: FromRawGroups: group %d documents claim %d segments, table has %d", gi, totalSegs, len(g.SegOffs))
+		}
+		for i := range g.SegOffs {
+			off, n := g.SegOffs[i], g.SegLens[i]
+			if off < 0 || n < 0 || int(off)+int(n) > nTok {
+				return nil, fmt.Errorf("corpus: FromRawGroups: group %d segment %d spans [%d,%d) of a %d-token group", gi, i, off, int(off)+int(n), nTok)
+			}
+		}
+		ar := &tokenArena{words: g.Words, keep: base.KeepSurface, sealed: true, prev: prev}
+		if base.KeepSurface {
+			if len(g.Surface) != nTok || len(g.Gaps) != nTok {
+				return nil, fmt.Errorf("corpus: FromRawGroups: group %d has %d tokens but %d surfaces and %d gaps", gi, nTok, len(g.Surface), len(g.Gaps))
+			}
+			if len(g.PoolDelta) > 0 {
+				grown := make([]string, 0, len(pool)+len(g.PoolDelta))
+				grown = append(append(grown, pool...), g.PoolDelta...)
+				pool = grown
+			}
+			P := uint32(len(pool))
+			for i := range g.Surface {
+				if g.Surface[i] >= P || g.Gaps[i] >= P {
+					return nil, fmt.Errorf("corpus: FromRawGroups: group %d token %d references string pool entry %d/%d, pool size is %d",
+						gi, i, g.Surface[i], g.Gaps[i], P)
+				}
+			}
+			ar.surface = g.Surface
+			ar.gaps = g.Gaps
+			ar.pool = stringPool{strs: pool}
+		} else if len(g.Surface) != 0 || len(g.Gaps) != 0 || len(g.PoolDelta) != 0 {
+			return nil, fmt.Errorf("corpus: FromRawGroups: group %d carries surface columns but the corpus keeps none", gi)
+		}
+		docBase := len(c.Docs)
+		docBlock := make([]Document, len(g.SegCounts))
+		segBlock := make([]Segment, totalSegs)
+		next := 0
+		for i, n := range g.SegCounts {
+			docBlock[i] = Document{ID: docBase + i, Segments: segBlock[next : next+int(n) : next+int(n)]}
+			for j := 0; j < int(n); j++ {
+				segBlock[next+j] = Segment{ar: ar, off: g.SegOffs[next+j], n: g.SegLens[next+j]}
+			}
+			next += int(n)
+			c.Docs = append(c.Docs, &docBlock[i])
+		}
+		c.TotalTokens += g.TotalTokens
+		prev = ar
 	}
 	return c, nil
 }

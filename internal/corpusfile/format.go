@@ -36,6 +36,39 @@
 // int32/uint32 array sections, which on little-endian hosts (the only
 // kind this package fast-paths) are exactly the in-memory layout the
 // pipeline reads.
+//
+// # Multi-segment files (version 2)
+//
+// Appending to a corpus file never rewrites what is already on disk.
+// Append copies the existing image byte-for-byte (bumping only the
+// header's version field to 2), pads to the next 64-byte boundary, and
+// emits one appended segment:
+//
+//	offset A   segment magic "TPCSEG\x00\x00" (8 bytes)
+//	     A+8   section count, uint32 LE
+//	    A+12   section table CRC-32, uint32 LE (over the table bytes)
+//	    A+16   section table, same entry layout as the base table,
+//	           offsets absolute within the file
+//	     ...   section payloads, 64-byte-aligned as in the base image
+//
+// A segment reuses the base section ids with delta semantics: secMeta
+// carries the counts this segment adds, secTokens/secSurface/secGaps
+// are the appended token columns, secPool holds only the strings first
+// interned by this segment (the effective pool is the previous pool
+// plus the delta), secDocs is the appended documents' segment table
+// with group-relative offsets, and secSketch (when present) covers the
+// appended documents alone. secVocab is the exception: each segment
+// stores the full updated vocabulary — vocabularies only grow by
+// appending ids, so the last segment's vocabulary serves the whole
+// file and every earlier one must be a prefix of it (validated on
+// open). Because every payload keeps its own CRC and old bytes are
+// never touched, the base image's checksums remain valid forever, and
+// a version-1 reader build simply rejects the file by version instead
+// of misreading it.
+//
+// Artifacts bundled in the base image describe only the base corpus,
+// so a multi-segment file drops them on open with a recorded notice
+// (StaleArtifacts) — phrases must be re-mined over the grown corpus.
 package corpusfile
 
 import (
@@ -46,8 +79,21 @@ import (
 const (
 	// magic identifies a .tpc corpus file.
 	magic = "TPCFILE\x00"
-	// Version is the current format version. Readers reject any other.
+	// Version marks a single-segment file — what Write always emits, so
+	// freshly preprocessed corpora stay readable by older builds.
 	Version uint16 = 1
+	// VersionMulti marks a file grown in place by Append: the original
+	// image followed by one appended segment per append. Readers accept
+	// both versions; only Append produces version 2.
+	VersionMulti uint16 = 2
+	// segMagic introduces each appended segment in a version-2 file
+	// (padded to the same 8 bytes as the file magic).
+	segMagic = "TPCSEG\x00\x00"
+	// segHeaderSize is an appended segment's fixed header: magic,
+	// section count u32, and a CRC-32 over the segment's section table
+	// (the base table is implicitly covered by opening the file; an
+	// appended table needs its own guard).
+	segHeaderSize = 8 + 4 + 4
 	// orderMarker, decoded little-endian, guards against a
 	// foreign-endian writer ever existing: a byte-swapped file decodes
 	// the marker to a different value and is rejected up front.
@@ -75,6 +121,7 @@ const (
 	secDocs      uint32 = 7 // per-doc segment counts + per-segment (off, len)
 	secArtifacts uint32 = 8 // gob: mining params + mined phrase counts
 	secSpans     uint32 = 9 // flat per-document phrase spans (Algorithm 2 output)
+	secSketch    uint32 = 10 // per-doc min-hash sketches: k u32, ndocs u32, ndocs×k u64
 )
 
 // meta-section flag bits.

@@ -1,0 +1,504 @@
+package corpusfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"topmine/internal/corpus"
+	"topmine/internal/minhash"
+	"topmine/internal/phrasemine"
+)
+
+var appendDocs = []string{
+	"incremental corpus growth appends new documents without rewriting old ones.",
+	"",
+	"streaming data arrives in shards; shards merge into one corpus.",
+	"frequent pattern mining finds frequent patterns in streaming data too.",
+}
+
+func writeShard(t *testing.T, dir, name string, docs []string, keep bool) string {
+	t.Helper()
+	opt := corpus.DefaultBuildOptions()
+	opt.KeepSurface = keep
+	path := filepath.Join(dir, name)
+	if err := WriteFile(path, corpus.FromStrings(docs, opt), nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func appendDocsTo(t *testing.T, path string, docs []string, opt AppendOptions) *AppendStats {
+	t.Helper()
+	stats, err := AppendFile(path, corpus.SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestAppendFileEquivalence pins the core growth contract at the file
+// layer: a corpus grown by AppendFile is observationally identical to
+// one preprocessed from the concatenated input, and re-persisting it
+// reproduces the from-scratch .tpc image byte for byte.
+func TestAppendFileEquivalence(t *testing.T) {
+	for _, keep := range []bool{true, false} {
+		dir := t.TempDir()
+		path := writeShard(t, dir, "grow.tpc", testDocs, keep)
+		stats := appendDocsTo(t, path, appendDocs, AppendOptions{})
+		if stats.DocsAdded != len(appendDocs) || stats.DocsSkipped != 0 || stats.Segments != 1 {
+			t.Fatalf("stats = %+v", stats)
+		}
+
+		f, err := Open(path)
+		if err != nil {
+			t.Fatalf("keep=%v: open grown file: %v", keep, err)
+		}
+		defer f.Close()
+		if f.Version() != VersionMulti || f.AppendedSegments() != 1 {
+			t.Fatalf("version=%d segments=%d", f.Version(), f.AppendedSegments())
+		}
+
+		opt := corpus.DefaultBuildOptions()
+		opt.KeepSurface = keep
+		want := corpus.FromStrings(append(append([]string{}, testDocs...), appendDocs...), opt)
+		sameCorpus(t, want, f.Corpus())
+
+		var wantBuf, gotBuf bytes.Buffer
+		if err := Write(&wantBuf, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&gotBuf, f.Corpus()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+			t.Fatalf("keep=%v: re-persisted grown corpus differs from from-scratch image", keep)
+		}
+	}
+}
+
+// TestAppendFileTwice grows a grown file again: two appended segments,
+// still equivalent to the triple concatenation.
+func TestAppendFileTwice(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "grow.tpc", testDocs, true)
+	appendDocsTo(t, path, appendDocs, AppendOptions{})
+	more := []string{"a third shard arrives later still."}
+	stats := appendDocsTo(t, path, more, AppendOptions{})
+	if stats.Segments != 2 {
+		t.Fatalf("Segments = %d, want 2", stats.Segments)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.AppendedSegments() != 2 {
+		t.Fatalf("AppendedSegments = %d", f.AppendedSegments())
+	}
+	all := append(append(append([]string{}, testDocs...), appendDocs...), more...)
+	sameCorpus(t, corpus.FromStrings(all, corpus.DefaultBuildOptions()), f.Corpus())
+}
+
+// TestAppendFileNoOp: appending nothing must leave the file untouched.
+func TestAppendFileNoOp(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "grow.tpc", testDocs, true)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := appendDocsTo(t, path, nil, AppendOptions{Sketch: true})
+	if stats.DocsAdded != 0 || stats.Segments != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("zero-document append rewrote the file")
+	}
+}
+
+// TestAppendStaleArtifacts: artifacts bundled before an append must be
+// dropped loudly, never served against the grown corpus.
+func TestAppendStaleArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	c := buildTestCorpus(t, true)
+	path := filepath.Join(dir, "art.tpc")
+	if err := WriteFile(path, c, mineAndSegment(t, c)); err != nil {
+		t.Fatal(err)
+	}
+	appendDocsTo(t, path, appendDocs, AppendOptions{})
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mined() != nil || f.Segmented() != nil {
+		t.Fatal("stale artifacts served after append")
+	}
+	if f.StaleArtifacts() == "" {
+		t.Fatal("StaleArtifacts is silent about the drop")
+	}
+}
+
+// TestAppendDedup exercises both dedup paths: sketches recomputed from
+// the stored corpus, and sketches read back from the file.
+func TestAppendDedup(t *testing.T) {
+	for _, stored := range []bool{false, true} {
+		dir := t.TempDir()
+		opt := corpus.DefaultBuildOptions()
+		c := corpus.FromStrings(testDocs, opt)
+		path := filepath.Join(dir, "dedup.tpc")
+		var sketches []minhash.Sketch
+		if stored {
+			h := minhash.NewHasher(minhash.DefaultK, minhash.CanonicalSeed)
+			for _, d := range testDocs {
+				sketches = append(sketches, h.Sketch(stemsOf(d, opt)))
+			}
+		}
+		if err := WriteFileSketched(path, c, nil, sketches); err != nil {
+			t.Fatal(err)
+		}
+		incoming := []string{
+			testDocs[0], // exact duplicate of a stored doc
+			"a genuinely new document about completely different things.",
+			testDocs[5], // another stored duplicate
+			"a genuinely new document about completely different things.", // dup within the batch
+			"", // empty docs are never duplicates
+		}
+		stats := appendDocsTo(t, path, incoming, AppendOptions{Dedup: true})
+		if stats.DocsSkipped != 3 {
+			t.Fatalf("stored=%v: DocsSkipped = %d, want 3 (stats %+v)", stored, stats.DocsSkipped, stats)
+		}
+		if stats.DocsAdded != 2 {
+			t.Fatalf("stored=%v: DocsAdded = %d, want 2", stored, stats.DocsAdded)
+		}
+		f, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(f.Corpus().Docs); got != len(testDocs)+2 {
+			t.Fatalf("grown corpus has %d docs, want %d", got, len(testDocs)+2)
+		}
+		f.Close()
+	}
+}
+
+// TestSketchRoundTrip pins sketch persistence and the all-or-nothing
+// coverage rule.
+func TestSketchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := corpus.DefaultBuildOptions()
+	c := corpus.FromStrings(testDocs, opt)
+	h := minhash.NewHasher(minhash.DefaultK, minhash.CanonicalSeed)
+	var sketches []minhash.Sketch
+	for _, d := range testDocs {
+		sketches = append(sketches, h.Sketch(stemsOf(d, opt)))
+	}
+	path := filepath.Join(dir, "sk.tpc")
+	if err := WriteFileSketched(path, c, nil, sketches); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SketchK() != minhash.DefaultK || len(f.Sketches()) != len(testDocs) {
+		t.Fatalf("k=%d n=%d", f.SketchK(), len(f.Sketches()))
+	}
+	for i, sk := range f.Sketches() {
+		if !reflect.DeepEqual([]uint64(sk), []uint64(sketches[i])) {
+			t.Fatalf("sketch %d round-trip mismatch", i)
+		}
+	}
+	f.Close()
+
+	// Sketched append keeps coverage; a later sketchless append breaks
+	// it for the whole file.
+	appendDocsTo(t, path, appendDocs, AppendOptions{Sketch: true})
+	f, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sketches()) != len(testDocs)+len(appendDocs) {
+		t.Fatalf("coverage after sketched append: %d sketches", len(f.Sketches()))
+	}
+	f.Close()
+	appendDocsTo(t, path, []string{"no sketch for this one"}, AppendOptions{})
+	f, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sketches() != nil {
+		t.Fatal("partial sketch coverage should read back as none")
+	}
+	f.Close()
+}
+
+// TestMergeFilesEquivalence: a k-way merge of artifact-free shards is
+// byte-identical to preprocessing the concatenated input.
+func TestMergeFilesEquivalence(t *testing.T) {
+	for _, keep := range []bool{true, false} {
+		dir := t.TempDir()
+		shards := [][]string{testDocs[:3], testDocs[3:], appendDocs}
+		var paths []string
+		var all []string
+		for i, docs := range shards {
+			paths = append(paths, writeShard(t, dir, filepath.Base(dir)+string(rune('a'+i))+".tpc", docs, keep))
+			all = append(all, docs...)
+		}
+		dst := filepath.Join(dir, "merged.tpc")
+		stats, err := MergeFiles(dst, paths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Sources != 3 || stats.Docs != len(all) {
+			t.Fatalf("stats = %+v", stats)
+		}
+		opt := corpus.DefaultBuildOptions()
+		opt.KeepSurface = keep
+		var wantBuf bytes.Buffer
+		if err := Write(&wantBuf, corpus.FromStrings(all, opt)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBuf.Bytes(), got) {
+			t.Fatalf("keep=%v: merged file differs from from-scratch image", keep)
+		}
+	}
+}
+
+// TestMergeFilesArtifacts: with unpruned mining (min_support 1), the
+// merged phrase statistics equal a from-scratch mine over the union —
+// and the whole merged file matches the from-scratch image byte for
+// byte. With pruning, artifacts are dropped with a recorded reason.
+func TestMergeFilesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	shards := [][]string{testDocs, appendDocs}
+	mineOpt := phrasemine.Options{MinSupport: 1, MaxLen: 8, Workers: 1}
+	prm := Params{MinSupport: 1, MaxPhraseLen: 8, SigThreshold: 1}
+	var paths []string
+	var all []string
+	for i, docs := range shards {
+		c := corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+		path := filepath.Join(dir, string(rune('a'+i))+".tpc")
+		art := &Artifacts{Params: prm, Mined: phrasemine.Mine(c, mineOpt)}
+		if err := WriteFile(path, c, art); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		all = append(all, docs...)
+	}
+	dst := filepath.Join(dir, "merged.tpc")
+	stats, err := MergeFiles(dst, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.ArtifactsMerged || stats.ArtifactsDropped != "" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	union := corpus.FromStrings(all, corpus.DefaultBuildOptions())
+	wantMined := phrasemine.Mine(union, mineOpt)
+	var wantBuf bytes.Buffer
+	if err := WriteArtifacts(&wantBuf, union, &Artifacts{Params: prm, Mined: wantMined}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), got) {
+		t.Fatal("merged file with artifacts differs from from-scratch image")
+	}
+
+	// Pruned sources: merge succeeds, artifacts dropped loudly.
+	prunedPrm := Params{MinSupport: 2, MaxPhraseLen: 8, SigThreshold: 1}
+	var prunedPaths []string
+	for i, docs := range shards {
+		c := corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+		path := filepath.Join(dir, "p"+string(rune('a'+i))+".tpc")
+		art := &Artifacts{Params: prunedPrm, Mined: phrasemine.Mine(c, phrasemine.Options{MinSupport: 2, MaxLen: 8, Workers: 1})}
+		if err := WriteFile(path, c, art); err != nil {
+			t.Fatal(err)
+		}
+		prunedPaths = append(prunedPaths, path)
+	}
+	dst2 := filepath.Join(dir, "merged2.tpc")
+	stats, err = MergeFiles(dst2, prunedPaths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ArtifactsMerged || stats.ArtifactsDropped == "" {
+		t.Fatalf("pruned merge stats = %+v", stats)
+	}
+	f, err := Open(dst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mined() != nil {
+		t.Fatal("pruned artifacts leaked into the merged file")
+	}
+	f.Close()
+}
+
+// TestMergeFilesRejects pins the validation errors.
+func TestMergeFilesRejects(t *testing.T) {
+	dir := t.TempDir()
+	a := writeShard(t, dir, "a.tpc", testDocs, true)
+	b := writeShard(t, dir, "b.tpc", appendDocs, false) // different build options
+	if _, err := MergeFiles(filepath.Join(dir, "out.tpc"), a); err == nil {
+		t.Fatal("merge of one source accepted")
+	}
+	if _, err := MergeFiles(filepath.Join(dir, "out.tpc"), a, b); err == nil {
+		t.Fatal("merge of incompatible build options accepted")
+	}
+}
+
+// grownImage builds a version-2 image (base with artifacts and
+// sketches, one sketched appended segment) for the corrupt-tail
+// sweeps, returning the image and the base image's length.
+func grownImage(t *testing.T) ([]byte, int) {
+	t.Helper()
+	dir := t.TempDir()
+	opt := corpus.DefaultBuildOptions()
+	c := corpus.FromStrings(testDocs, opt)
+	h := minhash.NewHasher(minhash.DefaultK, minhash.CanonicalSeed)
+	var sketches []minhash.Sketch
+	for _, d := range testDocs {
+		sketches = append(sketches, h.Sketch(stemsOf(d, opt)))
+	}
+	path := filepath.Join(dir, "grown.tpc")
+	if err := WriteFileSketched(path, c, mineAndSegment(t, c), sketches); err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendDocsTo(t, path, appendDocs, AppendOptions{Sketch: true})
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, len(base)
+}
+
+// TestCorruptAppendedTailTruncation cuts a version-2 file at every
+// position from the base boundary to EOF: each cut must fail with a
+// named error — in particular, a file cut exactly at the base image
+// must NOT silently open as the pre-append corpus.
+func TestCorruptAppendedTailTruncation(t *testing.T) {
+	img, baseLen := grownImage(t)
+	for cut := baseLen; cut < len(img); cut++ {
+		err := loadCorrupt(t, img[:cut], nil)
+		if !(errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) || errors.Is(err, ErrFormat)) {
+			t.Fatalf("cut at %d/%d (base %d): unclassified error %v", cut, len(img), baseLen, err)
+		}
+	}
+}
+
+// TestCorruptAppendedTailByteFlip flips every byte of the appended
+// region: the reader must reject the flip with a named error or (for
+// padding bytes) still decode — never panic, never misread.
+func TestCorruptAppendedTailByteFlip(t *testing.T) {
+	img, baseLen := grownImage(t)
+	for pos := baseLen; pos < len(img); pos++ {
+		b := append([]byte(nil), img...)
+		b[pos] ^= 0xA5
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at %d: Load panicked: %v", pos, r)
+				}
+			}()
+			f, err := Load(bytes.NewReader(b))
+			if err == nil {
+				// Only padding flips may decode; the corpus must still
+				// be the full grown one.
+				if len(f.Corpus().Docs) != len(testDocs)+len(appendDocs) {
+					t.Fatalf("flip at %d: decoded %d docs", pos, len(f.Corpus().Docs))
+				}
+				return
+			}
+			if !(errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) ||
+				errors.Is(err, ErrFormat) || errors.Is(err, ErrVersion) || errors.Is(err, ErrBadMagic)) {
+				t.Fatalf("flip at %d: unclassified error %v", pos, err)
+			}
+		}()
+	}
+}
+
+// TestOpenNamedErrors pins the misleading-input classifications.
+func TestOpenNamedErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); !errors.Is(err, ErrFormat) {
+		t.Fatalf("Open(directory): want ErrFormat, got %v", err)
+	}
+	empty := filepath.Join(dir, "empty.tpc")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(empty); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Open(empty): want ErrTruncated, got %v", err)
+	}
+}
+
+// TestCloseIdempotent: Close must be callable any number of times.
+func TestCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "c.tpc", testDocs, true)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestV1GoldenFixture opens the committed version-1 fixture and checks
+// both directions of format stability: the reader reconstructs the
+// expected corpus, and the writer still produces those exact bytes.
+// If this test fails after a format change, the change broke
+// compatibility with every .tpc file already on disk.
+func TestV1GoldenFixture(t *testing.T) {
+	img, err := os.ReadFile(filepath.Join("testdata", "v1_golden.tpc"))
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with go run ./testdata/gen_golden.go): %v", err)
+	}
+	f, err := Load(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("golden v1 fixture no longer opens: %v", err)
+	}
+	if f.Version() != Version {
+		t.Fatalf("fixture version = %d", f.Version())
+	}
+	want := corpus.FromStrings(goldenDocs, corpus.DefaultBuildOptions())
+	sameCorpus(t, want, f.Corpus())
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), img) {
+		t.Fatal("writer no longer reproduces the golden v1 image")
+	}
+}
+
+// goldenDocs is the fixed input behind testdata/v1_golden.tpc. Do not
+// change it: the fixture pins the on-disk format, not this corpus.
+var goldenDocs = []string{
+	"topical phrase mining extracts topical phrases from text corpora.",
+	"latent dirichlet allocation is a generative topic model.",
+	"phrase mining and topic modeling combine in topmine.",
+}

@@ -8,10 +8,12 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"unsafe"
 
 	"topmine/internal/corpus"
 	"topmine/internal/counter"
+	"topmine/internal/minhash"
 	"topmine/internal/phrasemine"
 	"topmine/internal/segment"
 	"topmine/internal/textproc"
@@ -21,14 +23,22 @@ import (
 // bundled artifacts, and — when Open mmap'd the file — the mapping
 // backing the corpus's token arena.
 //
-// The corpus (and everything derived from its token slices) is valid
-// only until Close. Trained models are safe to keep: the topic-model
-// documents copy their cliques out of the arena.
+// The corpus (and everything derived from its token slices, including
+// Sketches) is valid only until Close. Trained models are safe to
+// keep: the topic-model documents copy their cliques out of the arena.
 type File struct {
-	c      *corpus.Corpus
-	mined  *phrasemine.Result
-	segs   []*segment.SegmentedDoc
-	prm    Params
+	c         *corpus.Corpus
+	mined     *phrasemine.Result
+	segs      []*segment.SegmentedDoc
+	prm       Params
+	version   uint16
+	nAppended int
+	stale     string
+	sketchK   int
+	sketches  []minhash.Sketch
+	image     []byte // complete file image (aliases data when mapped)
+
+	mu     sync.Mutex
 	data   []byte // mmap'd region; nil when heap-backed
 	mapped bool
 }
@@ -38,7 +48,8 @@ type File struct {
 func (f *File) Corpus() *corpus.Corpus { return f.c }
 
 // Mined returns the bundled frequent-phrase statistics, or nil when
-// the file carries a corpus alone.
+// the file carries a corpus alone (or its artifacts went stale; see
+// StaleArtifacts).
 func (f *File) Mined() *phrasemine.Result { return f.mined }
 
 // Segmented returns the bundled per-document phrase partitions, or nil.
@@ -53,15 +64,43 @@ func (f *File) Params() Params { return f.prm }
 // big-endian hosts, which take the conversion path).
 func (f *File) Mapped() bool { return f.mapped }
 
+// Version returns the file's format version: 1 for a single-segment
+// file, 2 for a corpus grown in place by Append.
+func (f *File) Version() uint16 { return f.version }
+
+// AppendedSegments returns how many appended segments the file
+// carries (zero for a version-1 file).
+func (f *File) AppendedSegments() int { return f.nAppended }
+
+// StaleArtifacts explains why bundled artifacts were dropped on open
+// ("" when nothing was dropped). A multi-segment file's base artifacts
+// describe only the pre-append corpus, so the reader refuses to serve
+// them and callers re-mine instead of training on stale phrases.
+func (f *File) StaleArtifacts() string { return f.stale }
+
+// Sketches returns the per-document min-hash sketches when the file
+// carries complete coverage (the base image and every appended segment
+// store sketches of the same size), or nil. The slices alias the
+// file's data and are valid until Close.
+func (f *File) Sketches() []minhash.Sketch { return f.sketches }
+
+// SketchK returns the stored sketches' position count (0 when
+// Sketches is nil).
+func (f *File) SketchK() int { return f.sketchK }
+
 // Close releases the mapping, if any. The corpus returned by Corpus
-// must not be used afterwards. Close is idempotent.
+// must not be used afterwards. Close is idempotent and safe for
+// concurrent use.
 func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if !f.mapped || f.data == nil {
 		return nil
 	}
 	data := f.data
 	f.data = nil
 	f.mapped = false
+	f.image = nil
 	if err := munmapFile(data); err != nil {
 		return fmt.Errorf("corpusfile: unmapping corpus file: %w", err)
 	}
@@ -81,8 +120,22 @@ func Open(path string) (*File, error) {
 		return nil, fmt.Errorf("corpusfile: %w", err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("corpusfile: %w", err)
+	}
+	// Classify the two non-files a caller most plausibly points at by
+	// mistake before any read: a directory would fail with a bare
+	// EISDIR, an empty file with ErrBadMagic — both technically true
+	// and both misleading.
+	if fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s is a directory", ErrFormat, path)
+	}
+	if fi.Size() == 0 {
+		return nil, fmt.Errorf("%w: %s is empty", ErrTruncated, path)
+	}
 	if hostLittle {
-		if fi, err := f.Stat(); err == nil && fi.Size() > 0 && int64(int(fi.Size())) == fi.Size() {
+		if int64(int(fi.Size())) == fi.Size() {
 			if data, merr := mmapFile(f, fi.Size()); merr == nil {
 				cf, derr := decode(data)
 				if derr != nil {
@@ -121,6 +174,172 @@ type tableEntry struct {
 	size uint64
 }
 
+// parseTable parses and bounds-checks nsec table entries starting at
+// tableStart, returning the section map and the end offset of the
+// group (the table end or the furthest payload byte, whichever is
+// greater — the point an appended segment may start after).
+func parseTable(data []byte, tableStart, nsec int) (map[uint32]tableEntry, uint64, error) {
+	tableEnd := tableStart + nsec*tableEntrySize
+	if len(data) < tableEnd {
+		return nil, 0, fmt.Errorf("%w: file ends inside a section table", ErrTruncated)
+	}
+	secs := make(map[uint32]tableEntry, nsec)
+	end := uint64(tableEnd)
+	for i := 0; i < nsec; i++ {
+		e := tableEntry{
+			id:   binary.LittleEndian.Uint32(data[tableStart+i*tableEntrySize:]),
+			crc:  binary.LittleEndian.Uint32(data[tableStart+i*tableEntrySize+4:]),
+			off:  binary.LittleEndian.Uint64(data[tableStart+i*tableEntrySize+8:]),
+			size: binary.LittleEndian.Uint64(data[tableStart+i*tableEntrySize+16:]),
+		}
+		if e.off%sectionAlign != 0 {
+			return nil, 0, fmt.Errorf("%w: section %d at unaligned offset %d", ErrFormat, e.id, e.off)
+		}
+		if e.off > uint64(len(data)) || e.size > uint64(len(data))-e.off {
+			return nil, 0, fmt.Errorf("%w: section %d spans [%d,%d) of a %d-byte file",
+				ErrTruncated, e.id, e.off, e.off+e.size, len(data))
+		}
+		if _, dup := secs[e.id]; dup {
+			return nil, 0, fmt.Errorf("%w: duplicate section %d", ErrFormat, e.id)
+		}
+		if e.off+e.size > end {
+			end = e.off + e.size
+		}
+		secs[e.id] = e
+	}
+	return secs, end, nil
+}
+
+// verifyCRCs checks every section payload against its table CRC.
+func verifyCRCs(data []byte, secs map[uint32]tableEntry) error {
+	for _, e := range secs {
+		if got := crc32.ChecksumIEEE(data[e.off : e.off+e.size]); got != e.crc {
+			return fmt.Errorf("%w: section %d payload CRC %08x, table says %08x",
+				ErrChecksum, e.id, got, e.crc)
+		}
+	}
+	return nil
+}
+
+// group is one decoded section group: the whole corpus for the base
+// image, one appended delta for a version-2 segment.
+type group struct {
+	totalTokens uint64
+	numDocs     uint64
+	numSegs     uint64
+	numTokens   uint64
+	flags       uint32
+	keepSurface bool
+
+	words     []int32
+	surface   []uint32
+	gaps      []uint32
+	pool      []string // full pool (base) or delta strings (segment)
+	vocab     *textproc.Vocab
+	segCounts []int32
+	segOffs   []int32
+	segLens   []int32
+
+	sketchK  int
+	sketches []minhash.Sketch // nil when the group stores none
+
+	hasArtifacts bool
+	hasSpans     bool
+}
+
+// decodeGroup decodes one section group. base is nil for the base
+// image; for an appended segment it supplies the flags the segment
+// must agree with.
+func decodeGroup(data []byte, secs map[uint32]tableEntry, base *group) (*group, error) {
+	body := func(id uint32) ([]byte, bool) {
+		e, ok := secs[id]
+		if !ok {
+			return nil, false
+		}
+		return data[e.off : e.off+e.size : e.off+e.size], true
+	}
+
+	metaB, ok := body(secMeta)
+	if !ok || len(metaB) != metaSize {
+		return nil, fmt.Errorf("%w: missing or misshapen meta section", ErrFormat)
+	}
+	g := &group{
+		totalTokens: binary.LittleEndian.Uint64(metaB[0:]),
+		numDocs:     binary.LittleEndian.Uint64(metaB[8:]),
+		numSegs:     binary.LittleEndian.Uint64(metaB[16:]),
+		numTokens:   binary.LittleEndian.Uint64(metaB[24:]),
+		flags:       binary.LittleEndian.Uint32(metaB[32:]),
+	}
+	const maxCount = 1 << 31 // every count fits int32 by construction
+	if g.totalTokens > maxCount || g.numDocs > maxCount || g.numSegs > maxCount || g.numTokens > maxCount {
+		return nil, fmt.Errorf("%w: implausible counts (tokens=%d docs=%d segs=%d arena=%d)",
+			ErrFormat, g.totalTokens, g.numDocs, g.numSegs, g.numTokens)
+	}
+	if base != nil && g.flags != base.flags {
+		return nil, fmt.Errorf("%w: appended segment flags %#x disagree with the base image's %#x",
+			ErrFormat, g.flags, base.flags)
+	}
+	g.keepSurface = g.flags&flagKeepSurface != 0
+
+	tokB, ok := body(secTokens)
+	if !ok || uint64(len(tokB)) != g.numTokens*4 {
+		return nil, fmt.Errorf("%w: token arena section is %d bytes, meta claims %d tokens",
+			ErrFormat, len(tokB), g.numTokens)
+	}
+	g.words = int32sFromBytes(tokB)
+
+	if g.keepSurface {
+		surB, ok1 := body(secSurface)
+		gapB, ok2 := body(secGaps)
+		poolB, ok3 := body(secPool)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("%w: surface flag set but surface/gap/pool sections missing", ErrFormat)
+		}
+		if uint64(len(surB)) != g.numTokens*4 || uint64(len(gapB)) != g.numTokens*4 {
+			return nil, fmt.Errorf("%w: surface/gap sections are %d/%d bytes, meta claims %d tokens",
+				ErrFormat, len(surB), len(gapB), g.numTokens)
+		}
+		g.surface = uint32sFromBytes(surB)
+		g.gaps = uint32sFromBytes(gapB)
+		pool, err := decodePool(poolB)
+		if err != nil {
+			return nil, err
+		}
+		g.pool = pool
+	}
+
+	vocB, ok := body(secVocab)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing vocabulary section", ErrFormat)
+	}
+	vocab := textproc.NewVocab()
+	if err := gob.NewDecoder(bytes.NewReader(vocB)).Decode(vocab); err != nil {
+		return nil, fmt.Errorf("%w: decoding vocabulary: %v", ErrFormat, err)
+	}
+	g.vocab = vocab
+
+	docB, ok := body(secDocs)
+	if !ok || uint64(len(docB)) != g.numDocs*4+g.numSegs*8 {
+		return nil, fmt.Errorf("%w: docs section is %d bytes for %d docs / %d segments",
+			ErrFormat, len(docB), g.numDocs, g.numSegs)
+	}
+	g.segCounts = int32sFromBytes(docB[:g.numDocs*4])
+	g.segOffs = int32sFromBytes(docB[g.numDocs*4 : g.numDocs*4+g.numSegs*4])
+	g.segLens = int32sFromBytes(docB[g.numDocs*4+g.numSegs*4:])
+
+	if skB, ok := body(secSketch); ok {
+		k, sketches, err := decodeSketchSection(skB, g.numDocs)
+		if err != nil {
+			return nil, err
+		}
+		g.sketchK, g.sketches = k, sketches
+	}
+
+	_, g.hasArtifacts = secs[secArtifacts]
+	_, g.hasSpans = secs[secSpans]
+	return g, nil
+}
+
 // decode parses and validates a complete .tpc image. On little-endian
 // hosts the returned corpus's array columns alias data; the caller
 // decides whether data is an mmap region or a heap buffer.
@@ -134,8 +353,10 @@ func decode(data []byte) (*File, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("%w: %d-byte file ends inside the header", ErrTruncated, len(data))
 	}
-	if v := binary.LittleEndian.Uint16(data[8:]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint16(data[8:])
+	if version != Version && version != VersionMulti {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d and %d",
+			ErrVersion, version, Version, VersionMulti)
 	}
 	if m := binary.LittleEndian.Uint32(data[12:]); m != orderMarker {
 		return nil, fmt.Errorf("%w: byte-order marker %08x, want %08x", ErrFormat, m, orderMarker)
@@ -144,30 +365,45 @@ func decode(data []byte) (*File, error) {
 	if nsec < 1 || nsec > 64 {
 		return nil, fmt.Errorf("%w: implausible section count %d", ErrFormat, nsec)
 	}
-	tableEnd := headerSize + nsec*tableEntrySize
-	if len(data) < tableEnd {
-		return nil, fmt.Errorf("%w: file ends inside the section table", ErrTruncated)
+	secs, baseEnd, err := parseTable(data, headerSize, nsec)
+	if err != nil {
+		return nil, err
 	}
-	secs := make(map[uint32]tableEntry, nsec)
-	for i := 0; i < nsec; i++ {
-		e := tableEntry{
-			id:   binary.LittleEndian.Uint32(data[headerSize+i*tableEntrySize:]),
-			crc:  binary.LittleEndian.Uint32(data[headerSize+i*tableEntrySize+4:]),
-			off:  binary.LittleEndian.Uint64(data[headerSize+i*tableEntrySize+8:]),
-			size: binary.LittleEndian.Uint64(data[headerSize+i*tableEntrySize+16:]),
-		}
-		if e.off%sectionAlign != 0 {
-			return nil, fmt.Errorf("%w: section %d at unaligned offset %d", ErrFormat, e.id, e.off)
-		}
-		if e.off > uint64(len(data)) || e.size > uint64(len(data))-e.off {
-			return nil, fmt.Errorf("%w: section %d spans [%d,%d) of a %d-byte file",
-				ErrTruncated, e.id, e.off, e.off+e.size, len(data))
-		}
-		if _, dup := secs[e.id]; dup {
-			return nil, fmt.Errorf("%w: duplicate section %d", ErrFormat, e.id)
-		}
-		secs[e.id] = e
+	if err := verifyCRCs(data, secs); err != nil {
+		return nil, err
 	}
+	g, err := decodeGroup(data, secs, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	raw := &corpus.Raw{
+		Words:       g.words,
+		Surface:     g.surface,
+		Gaps:        g.gaps,
+		Pool:        g.pool,
+		KeepSurface: g.keepSurface,
+		SegCounts:   g.segCounts,
+		SegOffs:     g.segOffs,
+		SegLens:     g.segLens,
+		Vocab:       g.vocab,
+		TotalTokens: int(g.totalTokens),
+		BuildOpts: corpus.BuildOptions{
+			Stem:            g.flags&flagStem != 0,
+			RemoveStopwords: g.flags&flagRemoveStopwords != 0,
+			KeepSurface:     g.keepSurface,
+		},
+	}
+
+	if version == VersionMulti {
+		return decodeMulti(data, raw, g, baseEnd)
+	}
+
+	c, err := corpus.FromRaw(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	cf := &File{c: c, version: version, image: data, sketchK: g.sketchK, sketches: g.sketches}
 	body := func(id uint32) ([]byte, bool) {
 		e, ok := secs[id]
 		if !ok {
@@ -175,91 +411,6 @@ func decode(data []byte) (*File, error) {
 		}
 		return data[e.off : e.off+e.size : e.off+e.size], true
 	}
-	for _, e := range secs {
-		if got := crc32.ChecksumIEEE(data[e.off : e.off+e.size]); got != e.crc {
-			return nil, fmt.Errorf("%w: section %d payload CRC %08x, table says %08x",
-				ErrChecksum, e.id, got, e.crc)
-		}
-	}
-
-	metaB, ok := body(secMeta)
-	if !ok || len(metaB) != metaSize {
-		return nil, fmt.Errorf("%w: missing or misshapen meta section", ErrFormat)
-	}
-	totalTokens := binary.LittleEndian.Uint64(metaB[0:])
-	numDocs := binary.LittleEndian.Uint64(metaB[8:])
-	numSegs := binary.LittleEndian.Uint64(metaB[16:])
-	numTokens := binary.LittleEndian.Uint64(metaB[24:])
-	flags := binary.LittleEndian.Uint32(metaB[32:])
-	const maxCount = 1 << 31 // every count fits int32 by construction
-	if totalTokens > maxCount || numDocs > maxCount || numSegs > maxCount || numTokens > maxCount {
-		return nil, fmt.Errorf("%w: implausible counts (tokens=%d docs=%d segs=%d arena=%d)",
-			ErrFormat, totalTokens, numDocs, numSegs, numTokens)
-	}
-	keepSurface := flags&flagKeepSurface != 0
-
-	raw := &corpus.Raw{
-		KeepSurface: keepSurface,
-		TotalTokens: int(totalTokens),
-		BuildOpts: corpus.BuildOptions{
-			Stem:            flags&flagStem != 0,
-			RemoveStopwords: flags&flagRemoveStopwords != 0,
-			KeepSurface:     keepSurface,
-		},
-	}
-
-	tokB, ok := body(secTokens)
-	if !ok || uint64(len(tokB)) != numTokens*4 {
-		return nil, fmt.Errorf("%w: token arena section is %d bytes, meta claims %d tokens",
-			ErrFormat, len(tokB), numTokens)
-	}
-	raw.Words = int32sFromBytes(tokB)
-
-	if keepSurface {
-		surB, ok1 := body(secSurface)
-		gapB, ok2 := body(secGaps)
-		poolB, ok3 := body(secPool)
-		if !ok1 || !ok2 || !ok3 {
-			return nil, fmt.Errorf("%w: surface flag set but surface/gap/pool sections missing", ErrFormat)
-		}
-		if uint64(len(surB)) != numTokens*4 || uint64(len(gapB)) != numTokens*4 {
-			return nil, fmt.Errorf("%w: surface/gap sections are %d/%d bytes, meta claims %d tokens",
-				ErrFormat, len(surB), len(gapB), numTokens)
-		}
-		raw.Surface = uint32sFromBytes(surB)
-		raw.Gaps = uint32sFromBytes(gapB)
-		pool, err := decodePool(poolB)
-		if err != nil {
-			return nil, err
-		}
-		raw.Pool = pool
-	}
-
-	vocB, ok := body(secVocab)
-	if !ok {
-		return nil, fmt.Errorf("%w: missing vocabulary section", ErrFormat)
-	}
-	vocab := textproc.NewVocab()
-	if err := gob.NewDecoder(bytes.NewReader(vocB)).Decode(vocab); err != nil {
-		return nil, fmt.Errorf("%w: decoding vocabulary: %v", ErrFormat, err)
-	}
-	raw.Vocab = vocab
-
-	docB, ok := body(secDocs)
-	if !ok || uint64(len(docB)) != numDocs*4+numSegs*8 {
-		return nil, fmt.Errorf("%w: docs section is %d bytes for %d docs / %d segments",
-			ErrFormat, len(docB), numDocs, numSegs)
-	}
-	raw.SegCounts = int32sFromBytes(docB[:numDocs*4])
-	raw.SegOffs = int32sFromBytes(docB[numDocs*4 : numDocs*4+numSegs*4])
-	raw.SegLens = int32sFromBytes(docB[numDocs*4+numSegs*4:])
-
-	c, err := corpus.FromRaw(raw)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-
-	cf := &File{c: c}
 	if artB, ok := body(secArtifacts); ok {
 		var payload artifactsPayload
 		if err := gob.NewDecoder(bytes.NewReader(artB)).Decode(&payload); err != nil {
@@ -288,6 +439,106 @@ func decode(data []byte) (*File, error) {
 		return nil, fmt.Errorf("%w: spans section without artifacts section", ErrFormat)
 	}
 	return cf, nil
+}
+
+// decodeMulti finishes decoding a version-2 file: it walks the
+// appended segments after the base image, validates the vocabulary
+// prefix chain, and assembles the grown corpus from the base columns
+// plus per-segment deltas without copying either.
+func decodeMulti(data []byte, base *corpus.Raw, bg *group, baseEnd uint64) (*File, error) {
+	var groups []corpus.RawGroup
+	vocabs := []*textproc.Vocab{bg.vocab}
+	sketchOK := bg.sketches != nil
+	allSketches := bg.sketches
+	sketchK := bg.sketchK
+	nseg := 0
+	pos := alignUp(baseEnd)
+	for pos < uint64(len(data)) {
+		sg, segEnd, err := decodeSegment(data, pos, bg)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, corpus.RawGroup{
+			Words:       sg.words,
+			Surface:     sg.surface,
+			Gaps:        sg.gaps,
+			PoolDelta:   sg.pool,
+			SegCounts:   sg.segCounts,
+			SegOffs:     sg.segOffs,
+			SegLens:     sg.segLens,
+			TotalTokens: int(sg.totalTokens),
+		})
+		vocabs = append(vocabs, sg.vocab)
+		if sketchOK && sg.sketches != nil && sg.sketchK == sketchK {
+			allSketches = append(allSketches, sg.sketches...)
+		} else {
+			sketchOK = false
+		}
+		nseg++
+		// segEnd covers at least the segment's own table, which starts
+		// past pos, so the walk always advances.
+		pos = alignUp(segEnd)
+	}
+	if nseg == 0 {
+		return nil, fmt.Errorf("%w: multi-segment file ends before its first appended segment", ErrTruncated)
+	}
+	// Each vocabulary snapshot must extend the previous one: ids only
+	// ever grow, and the last segment's vocabulary serves the whole
+	// file. A file violating this would silently re-label tokens.
+	for i := 0; i+1 < len(vocabs); i++ {
+		if !vocabs[i].IsPrefixOf(vocabs[i+1]) {
+			return nil, fmt.Errorf("%w: segment %d vocabulary is not an extension of its predecessor", ErrFormat, i+1)
+		}
+	}
+	base.Vocab = vocabs[len(vocabs)-1]
+	c, err := corpus.FromRawGroups(base, groups)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	cf := &File{c: c, version: VersionMulti, nAppended: nseg, image: data}
+	if bg.hasArtifacts {
+		cf.stale = fmt.Sprintf("bundled artifacts predate %d appended segment(s) and were dropped; re-mine the grown corpus to refresh them", nseg)
+	}
+	if sketchOK {
+		cf.sketchK, cf.sketches = sketchK, allSketches
+	}
+	return cf, nil
+}
+
+// decodeSegment parses one appended segment starting at pos.
+func decodeSegment(data []byte, pos uint64, base *group) (*group, uint64, error) {
+	if uint64(len(data)) < pos+segHeaderSize {
+		return nil, 0, fmt.Errorf("%w: file ends inside an appended segment header", ErrTruncated)
+	}
+	hdr := data[pos:]
+	if !bytes.Equal(hdr[:8], []byte(segMagic)) {
+		return nil, 0, fmt.Errorf("%w: appended segment at offset %d has bad magic", ErrFormat, pos)
+	}
+	nsec := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if nsec < 1 || nsec > 64 {
+		return nil, 0, fmt.Errorf("%w: appended segment claims %d sections", ErrFormat, nsec)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:])
+	tableStart := int(pos) + segHeaderSize
+	secs, end, err := parseTable(data, tableStart, nsec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if got := crc32.ChecksumIEEE(data[tableStart : tableStart+nsec*tableEntrySize]); got != wantCRC {
+		return nil, 0, fmt.Errorf("%w: appended segment table CRC %08x, header says %08x",
+			ErrChecksum, got, wantCRC)
+	}
+	if err := verifyCRCs(data, secs); err != nil {
+		return nil, 0, err
+	}
+	g, err := decodeGroup(data, secs, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	if g.hasArtifacts || g.hasSpans {
+		return nil, 0, fmt.Errorf("%w: appended segment carries artifact sections", ErrFormat)
+	}
+	return g, end, nil
 }
 
 // int32sFromBytes reinterprets a little-endian byte section as int32s.
@@ -320,6 +571,45 @@ func uint32sFromBytes(b []byte) []uint32 {
 		out[i] = binary.LittleEndian.Uint32(b[i*4:])
 	}
 	return out
+}
+
+func uint64sFromBytes(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// decodeSketchSection decodes one group's sketch section and checks
+// it covers exactly the group's documents.
+func decodeSketchSection(b []byte, numDocs uint64) (int, []minhash.Sketch, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: sketch section too short", ErrFormat)
+	}
+	k := binary.LittleEndian.Uint32(b)
+	n := binary.LittleEndian.Uint32(b[4:])
+	if k == 0 || k > 1<<16 {
+		return 0, nil, fmt.Errorf("%w: implausible sketch size %d", ErrFormat, k)
+	}
+	if uint64(n) != numDocs {
+		return 0, nil, fmt.Errorf("%w: sketch section covers %d docs, group has %d", ErrFormat, n, numDocs)
+	}
+	if uint64(len(b)) != 8+8*uint64(k)*uint64(n) {
+		return 0, nil, fmt.Errorf("%w: sketch section is %d bytes for %d×%d positions", ErrFormat, len(b), n, k)
+	}
+	all := uint64sFromBytes(b[8:])
+	sketches := make([]minhash.Sketch, n)
+	for i := range sketches {
+		sketches[i] = all[i*int(k) : (i+1)*int(k) : (i+1)*int(k)]
+	}
+	return int(k), sketches, nil
 }
 
 // decodePool decodes the interned string table. Strings are copied to

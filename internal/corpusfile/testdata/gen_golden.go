@@ -1,0 +1,26 @@
+//go:build ignore
+
+// Generates v1_golden.tpc, the committed fixture TestV1GoldenFixture
+// pins the version-1 format against. Run from internal/corpusfile:
+//
+//	go run ./testdata/gen_golden.go
+//
+// The input documents must match goldenDocs in living_test.go.
+package main
+
+import (
+	"topmine/internal/corpus"
+	"topmine/internal/corpusfile"
+)
+
+func main() {
+	docs := []string{
+		"topical phrase mining extracts topical phrases from text corpora.",
+		"latent dirichlet allocation is a generative topic model.",
+		"phrase mining and topic modeling combine in topmine.",
+	}
+	c := corpus.FromStrings(docs, corpus.DefaultBuildOptions())
+	if err := corpusfile.WriteFile("testdata/v1_golden.tpc", c, nil); err != nil {
+		panic(err)
+	}
+}

@@ -13,8 +13,10 @@ import (
 
 	"topmine/internal/atomicfile"
 	"topmine/internal/corpus"
+	"topmine/internal/minhash"
 	"topmine/internal/phrasemine"
 	"topmine/internal/segment"
+	"topmine/internal/textproc"
 )
 
 // Params records the mining/segmentation parameterisation the bundled
@@ -70,6 +72,15 @@ func Write(w io.Writer, c *corpus.Corpus) error {
 // which is what lets Open hand back zero-copy views into an mmap'd
 // file.
 func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
+	return WriteSketched(w, c, art, nil)
+}
+
+// WriteSketched is WriteArtifacts plus an optional per-document
+// min-hash sketch section (one sketch per document, all the same
+// size, built with minhash.CanonicalSeed). Sketches let a later
+// Append deduplicate against the stored corpus without re-reading any
+// document text.
+func WriteSketched(w io.Writer, c *corpus.Corpus, art *Artifacts, sketches []minhash.Sketch) error {
 	if c == nil {
 		return fmt.Errorf("corpusfile: Write: nil corpus")
 	}
@@ -77,6 +88,11 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 	if err != nil {
 		return fmt.Errorf("corpusfile: Write: %w", err)
 	}
+	return writeRaw(w, raw, art, sketches)
+}
+
+// writeRaw emits a complete single-segment (version 1) image.
+func writeRaw(w io.Writer, raw *corpus.Raw, art *Artifacts, sketches []minhash.Sketch) error {
 	if art != nil {
 		if art.Mined == nil || art.Mined.Counts == nil {
 			return fmt.Errorf("corpusfile: Write: artifacts carry no mined phrases")
@@ -92,66 +108,27 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 		}
 	}
 
-	var vocabBuf bytes.Buffer
-	if err := gob.NewEncoder(&vocabBuf).Encode(raw.Vocab); err != nil {
-		return fmt.Errorf("corpusfile: encoding vocabulary: %w", err)
+	vocabBuf, err := encodeVocab(raw.Vocab)
+	if err != nil {
+		return err
 	}
-
-	var flags uint32
-	if raw.KeepSurface {
-		flags |= flagKeepSurface
+	sections, err := groupSections(groupPayload{
+		totalTokens: raw.TotalTokens,
+		flags:       buildFlags(raw.BuildOpts, raw.KeepSurface),
+		words:       raw.Words,
+		keepSurface: raw.KeepSurface,
+		surface:     raw.Surface,
+		gaps:        raw.Gaps,
+		pool:        raw.Pool,
+		vocabGob:    vocabBuf,
+		segCounts:   raw.SegCounts,
+		segOffs:     raw.SegOffs,
+		segLens:     raw.SegLens,
+		sketches:    sketches,
+	})
+	if err != nil {
+		return err
 	}
-	if raw.BuildOpts.Stem {
-		flags |= flagStem
-	}
-	if raw.BuildOpts.RemoveStopwords {
-		flags |= flagRemoveStopwords
-	}
-	numTokens := len(raw.Words)
-	sections := []section{
-		{id: secMeta, size: metaSize, write: func(w io.Writer) error {
-			var b [metaSize]byte
-			binary.LittleEndian.PutUint64(b[0:], uint64(raw.TotalTokens))
-			binary.LittleEndian.PutUint64(b[8:], uint64(len(raw.SegCounts)))
-			binary.LittleEndian.PutUint64(b[16:], uint64(len(raw.SegOffs)))
-			binary.LittleEndian.PutUint64(b[24:], uint64(numTokens))
-			binary.LittleEndian.PutUint32(b[32:], flags)
-			_, err := w.Write(b[:])
-			return err
-		}},
-		{id: secTokens, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
-			return writeInt32s(w, raw.Words)
-		}},
-	}
-	if raw.KeepSurface {
-		sections = append(sections,
-			section{id: secSurface, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
-				return writeUint32s(w, raw.Surface)
-			}},
-			section{id: secGaps, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
-				return writeUint32s(w, raw.Gaps)
-			}},
-			section{id: secPool, size: poolSize(raw.Pool), write: func(w io.Writer) error {
-				return writePool(w, raw.Pool)
-			}},
-		)
-	}
-	sections = append(sections,
-		section{id: secVocab, size: uint64(vocabBuf.Len()), write: func(w io.Writer) error {
-			_, err := w.Write(vocabBuf.Bytes())
-			return err
-		}},
-		section{id: secDocs, size: uint64(len(raw.SegCounts))*4 + uint64(len(raw.SegOffs))*8,
-			write: func(w io.Writer) error {
-				if err := writeInt32s(w, raw.SegCounts); err != nil {
-					return err
-				}
-				if err := writeInt32s(w, raw.SegOffs); err != nil {
-					return err
-				}
-				return writeInt32s(w, raw.SegLens)
-			}},
-	)
 	if art != nil {
 		var artBuf bytes.Buffer
 		if err := gob.NewEncoder(&artBuf).Encode(artifactsPayload{Params: art.Params, Mined: art.Mined}); err != nil {
@@ -170,7 +147,148 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 		}
 	}
 
-	// Pass 1: checksum every payload.
+	if err := checksumSections(sections); err != nil {
+		return err
+	}
+	tableEnd := uint64(headerSize + len(sections)*tableEntrySize)
+	offsets, _ := layoutSections(tableEnd, sections)
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], orderMarker)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(sections)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("corpusfile: writing header: %w", err)
+	}
+	if _, err := bw.Write(tableBytes(sections, offsets)); err != nil {
+		return fmt.Errorf("corpusfile: writing section table: %w", err)
+	}
+	if err := emitPayloads(bw, sections, offsets, tableEnd); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("corpusfile: writing corpus file: %w", err)
+	}
+	return nil
+}
+
+// groupPayload is one section group's worth of corpus columns — the
+// whole corpus for the base image, the appended delta for a segment.
+// The writer does not care which: the section layout is identical.
+type groupPayload struct {
+	totalTokens int
+	flags       uint32
+	words       []int32
+	keepSurface bool
+	surface     []uint32
+	gaps        []uint32
+	pool        []string // full pool (base) or delta strings (segment)
+	vocabGob    []byte
+	segCounts   []int32
+	segOffs     []int32
+	segLens     []int32
+	sketches    []minhash.Sketch // optional; one per document
+}
+
+// groupSections builds the section list shared by the base image and
+// appended segments: meta, token columns, vocabulary, doc table and
+// the optional sketch section.
+func groupSections(gp groupPayload) ([]section, error) {
+	numTokens := len(gp.words)
+	sections := []section{
+		{id: secMeta, size: metaSize, write: func(w io.Writer) error {
+			var b [metaSize]byte
+			binary.LittleEndian.PutUint64(b[0:], uint64(gp.totalTokens))
+			binary.LittleEndian.PutUint64(b[8:], uint64(len(gp.segCounts)))
+			binary.LittleEndian.PutUint64(b[16:], uint64(len(gp.segOffs)))
+			binary.LittleEndian.PutUint64(b[24:], uint64(numTokens))
+			binary.LittleEndian.PutUint32(b[32:], gp.flags)
+			_, err := w.Write(b[:])
+			return err
+		}},
+		{id: secTokens, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+			return writeInt32s(w, gp.words)
+		}},
+	}
+	if gp.keepSurface {
+		sections = append(sections,
+			section{id: secSurface, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+				return writeUint32s(w, gp.surface)
+			}},
+			section{id: secGaps, size: uint64(numTokens) * 4, write: func(w io.Writer) error {
+				return writeUint32s(w, gp.gaps)
+			}},
+			section{id: secPool, size: poolSize(gp.pool), write: func(w io.Writer) error {
+				return writePool(w, gp.pool)
+			}},
+		)
+	}
+	sections = append(sections,
+		section{id: secVocab, size: uint64(len(gp.vocabGob)), write: func(w io.Writer) error {
+			_, err := w.Write(gp.vocabGob)
+			return err
+		}},
+		section{id: secDocs, size: uint64(len(gp.segCounts))*4 + uint64(len(gp.segOffs))*8,
+			write: func(w io.Writer) error {
+				if err := writeInt32s(w, gp.segCounts); err != nil {
+					return err
+				}
+				if err := writeInt32s(w, gp.segOffs); err != nil {
+					return err
+				}
+				return writeInt32s(w, gp.segLens)
+			}},
+	)
+	if gp.sketches != nil {
+		if len(gp.sketches) != len(gp.segCounts) {
+			return nil, fmt.Errorf("corpusfile: Write: %d sketches for %d documents",
+				len(gp.sketches), len(gp.segCounts))
+		}
+		k := len(gp.sketches[0])
+		for i, sk := range gp.sketches {
+			if len(sk) != k {
+				return nil, fmt.Errorf("corpusfile: Write: sketch %d has %d positions, sketch 0 has %d",
+					i, len(sk), k)
+			}
+		}
+		sections = append(sections, section{id: secSketch, size: sketchSize(k, len(gp.sketches)),
+			write: func(w io.Writer) error {
+				return writeSketchSection(w, k, gp.sketches)
+			}})
+	}
+	return sections, nil
+}
+
+// buildFlags packs the build options into the meta section's flag word.
+func buildFlags(opts corpus.BuildOptions, keepSurface bool) uint32 {
+	var flags uint32
+	if keepSurface {
+		flags |= flagKeepSurface
+	}
+	if opts.Stem {
+		flags |= flagStem
+	}
+	if opts.RemoveStopwords {
+		flags |= flagRemoveStopwords
+	}
+	return flags
+}
+
+// encodeVocab gob-encodes a vocabulary for its section.
+func encodeVocab(v *textproc.Vocab) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("corpusfile: encoding vocabulary: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// checksumSections runs the hashing pass: every section's writer is
+// executed once into a CRC hasher and verified against its planned
+// size, so the emit pass can stream payloads without buffering them.
+func checksumSections(sections []section) error {
 	for i := range sections {
 		h := crc32.NewIEEE()
 		cw := &countWriter{w: h}
@@ -183,36 +301,39 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 		}
 		sections[i].crc = h.Sum32()
 	}
+	return nil
+}
 
-	// Lay sections out back to back at 64-byte-aligned offsets.
-	offsets := make([]uint64, len(sections))
-	pos := alignUp(uint64(headerSize + len(sections)*tableEntrySize))
+// layoutSections assigns each section a 64-byte-aligned offset packed
+// after tableEnd and returns the offsets plus the end of the last
+// payload.
+func layoutSections(tableEnd uint64, sections []section) (offsets []uint64, end uint64) {
+	offsets = make([]uint64, len(sections))
+	pos := alignUp(tableEnd)
 	for i := range sections {
 		offsets[i] = pos
 		pos = alignUp(pos + sections[i].size)
+		end = offsets[i] + sections[i].size
 	}
+	return offsets, end
+}
 
-	// Pass 2: emit header, table, payloads.
-	bw := bufio.NewWriterSize(w, 1<<20)
-	var hdr [headerSize]byte
-	copy(hdr[:8], magic)
-	binary.LittleEndian.PutUint16(hdr[8:], Version)
-	binary.LittleEndian.PutUint32(hdr[12:], orderMarker)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(sections)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("corpusfile: writing header: %w", err)
-	}
-	var ent [tableEntrySize]byte
+// tableBytes serialises the section table.
+func tableBytes(sections []section, offsets []uint64) []byte {
+	b := make([]byte, len(sections)*tableEntrySize)
 	for i, s := range sections {
+		ent := b[i*tableEntrySize:]
 		binary.LittleEndian.PutUint32(ent[0:], s.id)
 		binary.LittleEndian.PutUint32(ent[4:], s.crc)
 		binary.LittleEndian.PutUint64(ent[8:], offsets[i])
 		binary.LittleEndian.PutUint64(ent[16:], s.size)
-		if _, err := bw.Write(ent[:]); err != nil {
-			return fmt.Errorf("corpusfile: writing section table: %w", err)
-		}
 	}
-	written := uint64(headerSize + len(sections)*tableEntrySize)
+	return b
+}
+
+// emitPayloads streams padding plus payloads, assuming bw is
+// positioned at file offset written.
+func emitPayloads(bw *bufio.Writer, sections []section, offsets []uint64, written uint64) error {
 	for i, s := range sections {
 		if err := writeZeros(bw, offsets[i]-written); err != nil {
 			return fmt.Errorf("corpusfile: writing padding: %w", err)
@@ -222,9 +343,6 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 		}
 		written = offsets[i] + s.size
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("corpusfile: writing corpus file: %w", err)
-	}
 	return nil
 }
 
@@ -233,8 +351,14 @@ func WriteArtifacts(w io.Writer, c *corpus.Corpus, art *Artifacts) error {
 // existing file's permissions preserved, fresh files 0666 filtered by
 // the umask — the same contract as the snapshot writer).
 func WriteFile(path string, c *corpus.Corpus, art *Artifacts) error {
+	return WriteFileSketched(path, c, art, nil)
+}
+
+// WriteFileSketched is WriteFile with an optional sketch section (see
+// WriteSketched).
+func WriteFileSketched(path string, c *corpus.Corpus, art *Artifacts, sketches []minhash.Sketch) error {
 	err := atomicfile.Write(path, func(w io.Writer) error {
-		return WriteArtifacts(w, c, art)
+		return WriteSketched(w, c, art, sketches)
 	})
 	// Encoding errors already carry the corpusfile prefix; the
 	// atomic-write machinery's own failures get it added here.
@@ -314,6 +438,56 @@ func writeUint32s(w io.Writer, s []uint32) error {
 	return writeConverted(w, len(s), func(b []byte, i int) {
 		binary.LittleEndian.PutUint32(b, s[i])
 	})
+}
+
+func uint64sAsBytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func writeUint64s(w io.Writer, s []uint64) error {
+	if hostLittle {
+		_, err := w.Write(uint64sAsBytes(s))
+		return err
+	}
+	var buf [8192]byte
+	for start := 0; start < len(s); {
+		end := start + len(buf)/8
+		if end > len(s) {
+			end = len(s)
+		}
+		for i := start; i < end; i++ {
+			binary.LittleEndian.PutUint64(buf[(i-start)*8:], s[i])
+		}
+		if _, err := w.Write(buf[:(end-start)*8]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// Sketch section layout: k u32, numDocs u32, then numDocs × k u64
+// sketch positions in document order.
+func sketchSize(k, numDocs int) uint64 {
+	return 8 + 8*uint64(k)*uint64(numDocs)
+}
+
+func writeSketchSection(w io.Writer, k int, sketches []minhash.Sketch) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(k))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(sketches)))
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	for _, sk := range sketches {
+		if err := writeUint64s(w, sk); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeConverted(w io.Writer, n int, put func(b []byte, i int)) error {

@@ -1,0 +1,242 @@
+// Package minhash implements fixed-size min-hash sketches over
+// document shingles for near-duplicate suppression during corpus
+// growth, following the min-hashing construction of "Topic Discovery
+// in Massive Text Corpora Based on Min-Hashing" (Fuentes-Pineda &
+// Meza-Ruiz): a document's sketch is the element-wise minimum of k
+// independent hash functions over its shingle set, and the fraction of
+// agreeing sketch positions is an unbiased estimate of the Jaccard
+// similarity between the shingle sets.
+//
+// Sketches are built over consecutive stem pairs (2-shingles), so they
+// are independent of vocabulary ids — a sketch computed from raw text
+// at append time is comparable to one computed from (or stored
+// alongside) any corpus file, regardless of interning order. All
+// hashing is deterministically seeded: the same document always yields
+// the same sketch, on every host.
+package minhash
+
+// DefaultK is the default sketch size. 128 positions estimate Jaccard
+// similarity with a standard error of 1/sqrt(128) ≈ 0.09 — enough to
+// separate near-duplicates (≥0.9) from merely related documents —
+// at a cost of 1 KiB per document.
+const DefaultK = 128
+
+// CanonicalSeed is the hasher seed every persisted sketch is built
+// with. Pinning one seed is what makes sketches comparable across
+// corpus files, appends and processes; it is part of the .tpc sketch
+// section's contract and must never change.
+const CanonicalSeed uint64 = 0x746f706d696e6531 // "topmine1"
+
+// Sketch is one document's min-hash signature: K 64-bit minima. Two
+// sketches are comparable only when built by Hashers with the same
+// size and seed.
+type Sketch []uint64
+
+// Hasher derives k pseudo-independent hash functions from one strong
+// 64-bit shingle hash via multiply-shift permutations a_i·x + b_i (odd
+// a_i), the standard trick that avoids hashing every shingle k times.
+type Hasher struct {
+	k    int
+	a, b []uint64
+}
+
+// NewHasher returns a Hasher producing k-position sketches (k <= 0
+// selects DefaultK). Two Hashers with equal (k, seed) are
+// interchangeable; corpus files store sketches built with the
+// package-level canonical seed so they stay comparable across files.
+func NewHasher(k int, seed uint64) *Hasher {
+	if k <= 0 {
+		k = DefaultK
+	}
+	h := &Hasher{k: k, a: make([]uint64, k), b: make([]uint64, k)}
+	s := seed
+	for i := 0; i < k; i++ {
+		h.a[i] = splitmix(&s) | 1
+		h.b[i] = splitmix(&s)
+	}
+	return h
+}
+
+// K returns the sketch size this hasher produces.
+func (h *Hasher) K() int { return h.k }
+
+// Sketch builds the min-hash signature of the document whose kept,
+// stemmed tokens are stems (in reading order, segments concatenated).
+// Shingles are consecutive stem pairs; a one-token document falls back
+// to its single unigram shingle, and an empty document yields the
+// all-max sketch, which matches nothing (including other empty
+// documents — emptiness is not similarity).
+func (h *Hasher) Sketch(stems []string) Sketch {
+	sk := make(Sketch, h.k)
+	for i := range sk {
+		sk[i] = ^uint64(0)
+	}
+	switch n := len(stems); {
+	case n == 0:
+	case n == 1:
+		h.fold(sk, hashShingle(stems[0], ""))
+	default:
+		for i := 0; i+1 < n; i++ {
+			h.fold(sk, hashShingle(stems[i], stems[i+1]))
+		}
+	}
+	return sk
+}
+
+func (h *Hasher) fold(sk Sketch, x uint64) {
+	for i := range sk {
+		if v := h.a[i]*x + h.b[i]; v < sk[i] {
+			sk[i] = v
+		}
+	}
+}
+
+// Empty reports whether the sketch saw no shingles (all-max positions
+// never occur for a real shingle after finalisation, up to a 2^-64
+// fluke per position).
+func (s Sketch) Empty() bool {
+	for _, v := range s {
+		if v != ^uint64(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Jaccard estimates the Jaccard similarity of the two sketched
+// shingle sets as the fraction of agreeing positions. Sketches of
+// mismatched sizes, empty sketches, and nil sketches estimate 0.
+func Jaccard(a, b Sketch) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			if a[i] == ^uint64(0) {
+				continue // both empty at this position; not evidence
+			}
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// bandRows is the LSH banding width: sketches are cut into bands of
+// this many positions and a document lands in one bucket per band.
+// Four rows tunes the index for high thresholds — at Jaccard 0.9 a
+// band collides with probability 0.9^4 ≈ 0.66, so with k/4 bands a
+// true near-duplicate is essentially never missed, while documents
+// below ~0.4 similarity rarely surface as candidates at all.
+const bandRows = 4
+
+// Index is a banded locality-sensitive index over sketches: Add files
+// a document under one bucket per band, Candidates returns the
+// documents sharing at least one bucket with a query sketch. It
+// returns candidates, not matches — callers confirm with Jaccard.
+type Index struct {
+	k     int
+	bands []map[uint64][]int32
+}
+
+// NewIndex returns an index for sketches of size k (k <= 0 selects
+// DefaultK).
+func NewIndex(k int) *Index {
+	if k <= 0 {
+		k = DefaultK
+	}
+	nb := k / bandRows
+	if nb == 0 {
+		nb = 1
+	}
+	ix := &Index{k: k, bands: make([]map[uint64][]int32, nb)}
+	for i := range ix.bands {
+		ix.bands[i] = make(map[uint64][]int32)
+	}
+	return ix
+}
+
+// Add files document id under the sketch's band buckets. Empty
+// sketches are not indexed (empty documents never count as
+// duplicates).
+func (ix *Index) Add(id int32, s Sketch) {
+	if len(s) != ix.k || s.Empty() {
+		return
+	}
+	for bi := range ix.bands {
+		ix.bands[bi][bandKey(s, bi)] = append(ix.bands[bi][bandKey(s, bi)], id)
+	}
+}
+
+// Candidates appends to dst the distinct ids sharing at least one band
+// bucket with s, in first-seen order, and returns the extended slice.
+func (ix *Index) Candidates(s Sketch, dst []int32) []int32 {
+	if len(s) != ix.k || s.Empty() {
+		return dst
+	}
+	start := len(dst)
+	for bi := range ix.bands {
+		for _, id := range ix.bands[bi][bandKey(s, bi)] {
+			dup := false
+			for _, seen := range dst[start:] {
+				if seen == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst
+}
+
+// bandKey combines one band's sketch positions into a bucket key.
+func bandKey(s Sketch, band int) uint64 {
+	lo := band * bandRows
+	hi := lo + bandRows
+	if hi > len(s) {
+		hi = len(s)
+	}
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range s[lo:hi] {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// hashShingle hashes a stem pair into a well-mixed 64-bit value
+// (FNV-1a over the pair with a separator, then a finalising mix so
+// multiply-shift permutations see uniform input).
+func hashShingle(a, b string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(a); i++ {
+		h = (h ^ uint64(a[i])) * prime64
+	}
+	h = (h ^ 0x1f) * prime64 // separator: "ab","c" never collides with "a","bc"
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finaliser.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitmix advances a splitmix64 state and returns the next value —
+// the seed expander for the hasher's permutation parameters.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	return mix64(*s)
+}

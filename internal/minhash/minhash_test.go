@@ -1,0 +1,147 @@
+package minhash
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// docStems builds a synthetic stem sequence with a controllable prefix
+// so tests can dial in approximate Jaccard overlap between documents.
+func docStems(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	stems := make([]string, n)
+	for i := range stems {
+		stems[i] = fmt.Sprintf("w%03d", r.Intn(400))
+	}
+	return stems
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	stems := docStems(1, 200)
+	h1 := NewHasher(64, CanonicalSeed)
+	h2 := NewHasher(64, CanonicalSeed)
+	a, b := h1.Sketch(stems), h2.Sketch(stems)
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("sketch sizes %d, %d, want 64", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("position %d differs across identically seeded hashers", i)
+		}
+	}
+	// A different seed must produce a different permutation family.
+	c := NewHasher(64, CanonicalSeed+1).Sketch(stems)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("differently seeded hashers produced identical sketches")
+	}
+}
+
+func TestJaccardIdenticalAndDisjoint(t *testing.T) {
+	h := NewHasher(DefaultK, CanonicalSeed)
+	a := h.Sketch(docStems(1, 300))
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("Jaccard(a, a) = %g, want 1", got)
+	}
+	// Disjoint token universes: shingle sets share nothing, so the
+	// estimate should be (near) zero.
+	b := h.Sketch([]string{"xx1", "xx2", "xx3", "xx4", "xx5", "xx6"})
+	if got := Jaccard(a, b); got > 0.05 {
+		t.Fatalf("Jaccard of disjoint documents = %g, want ~0", got)
+	}
+}
+
+func TestJaccardEstimatesOverlap(t *testing.T) {
+	// Two documents sharing a long common prefix should score high;
+	// unrelated documents of the same shape should score low.
+	h := NewHasher(256, CanonicalSeed)
+	common := docStems(7, 300)
+	near := append(append([]string{}, common...), "tail1", "tail2", "tail3")
+	far := docStems(8, 300)
+	hi := Jaccard(h.Sketch(common), h.Sketch(near))
+	lo := Jaccard(h.Sketch(common), h.Sketch(far))
+	if hi < 0.8 {
+		t.Fatalf("near-duplicate Jaccard = %g, want >= 0.8", hi)
+	}
+	if lo > 0.3 {
+		t.Fatalf("unrelated Jaccard = %g, want <= 0.3", lo)
+	}
+	if hi <= lo {
+		t.Fatalf("near (%g) should exceed far (%g)", hi, lo)
+	}
+}
+
+func TestEmptyAndTinyDocs(t *testing.T) {
+	h := NewHasher(32, CanonicalSeed)
+	empty := h.Sketch(nil)
+	if !empty.Empty() {
+		t.Fatal("sketch of no stems should be Empty")
+	}
+	// Empty documents never match anything, including each other.
+	if got := Jaccard(empty, h.Sketch(nil)); got != 0 {
+		t.Fatalf("Jaccard of two empty sketches = %g, want 0", got)
+	}
+	// One-token documents use the unigram fallback and still match
+	// themselves.
+	one := h.Sketch([]string{"solo"})
+	if one.Empty() {
+		t.Fatal("one-token sketch should not be Empty")
+	}
+	if got := Jaccard(one, h.Sketch([]string{"solo"})); got != 1 {
+		t.Fatalf("Jaccard of identical one-token docs = %g, want 1", got)
+	}
+	if got := Jaccard(one, h.Sketch([]string{"other"})); got > 0.1 {
+		t.Fatalf("Jaccard of distinct one-token docs = %g, want ~0", got)
+	}
+	// Mismatched sizes estimate 0 instead of panicking.
+	if got := Jaccard(one, NewHasher(64, CanonicalSeed).Sketch([]string{"solo"})); got != 0 {
+		t.Fatalf("Jaccard of mismatched sizes = %g, want 0", got)
+	}
+	if got := Jaccard(nil, one); got != 0 {
+		t.Fatalf("Jaccard with nil = %g, want 0", got)
+	}
+}
+
+func TestIndexCandidates(t *testing.T) {
+	h := NewHasher(DefaultK, CanonicalSeed)
+	ix := NewIndex(DefaultK)
+	docs := [][]string{
+		docStems(10, 200),
+		docStems(11, 200),
+		docStems(12, 200),
+	}
+	for i, d := range docs {
+		ix.Add(int32(i), h.Sketch(d))
+	}
+	// A near-duplicate of doc 1 must surface doc 1 as a candidate.
+	q := append(append([]string{}, docs[1]...), "extra")
+	cands := ix.Candidates(h.Sketch(q), nil)
+	found := false
+	for _, id := range cands {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("candidates %v do not include the near-duplicate's id 1", cands)
+	}
+	// Candidates are distinct.
+	seen := map[int32]bool{}
+	for _, id := range cands {
+		if seen[id] {
+			t.Fatalf("duplicate candidate id %d in %v", id, cands)
+		}
+		seen[id] = true
+	}
+	// Empty sketches are neither indexed nor queried.
+	ix.Add(99, h.Sketch(nil))
+	if got := ix.Candidates(h.Sketch(nil), nil); len(got) != 0 {
+		t.Fatalf("empty-sketch query returned %v, want none", got)
+	}
+}

@@ -63,6 +63,12 @@ func (v *Vocab) Intern(stem, surfaceForm string) int32 {
 // corpus order is therefore equivalent to replaying every Intern call
 // against the global vocabulary directly: ids, counts and surface
 // tallies all come out identical.
+//
+// This is the one remap primitive behind every vocabulary-growth path:
+// the parallel builder folds ingest shards with it, k-way corpus-file
+// merge unions source vocabularies through it (deterministic id
+// assignment = source order), and corpus append is its degenerate case
+// (interning straight into the shared vocabulary, remap = identity).
 func (v *Vocab) MergeInto(dst *Vocab) []int32 {
 	remap := make([]int32, len(v.words))
 	for lid, stem := range v.words {
@@ -92,6 +98,24 @@ func (v *Vocab) MergeInto(dst *Vocab) []int32 {
 		remap[lid] = gid
 	}
 	return remap
+}
+
+// IsPrefixOf reports whether w extends v: every stem of v is present
+// in w under the same id. Vocabularies only ever grow by appending
+// ids, so a model trained against v remains valid against any w that
+// v is a prefix of — the check incremental training runs before
+// resuming a snapshot on a grown corpus. Counts and surface tallies
+// are not compared; they legitimately grow with the corpus.
+func (v *Vocab) IsPrefixOf(w *Vocab) bool {
+	if len(v.words) > len(w.words) {
+		return false
+	}
+	for i, stem := range v.words {
+		if w.words[i] != stem {
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the id for stem and whether it is present.

@@ -1,0 +1,128 @@
+package topicmodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// grownDocs builds new-topic documents over ids [10, 10+extraV) plus
+// some overlap with the original 10-word vocabulary.
+func grownDocs(n, tokens, extraV int) []Doc {
+	var docs []Doc
+	for d := 0; d < n; d++ {
+		doc := Doc{ID: 1000 + d}
+		for i := 0; i < tokens; i++ {
+			var w int32
+			if i%3 == 0 {
+				w = int32((i + d) % 10) // overlap with the base vocabulary
+			} else {
+				w = int32(10 + (i+d)%extraV)
+			}
+			doc.Cliques = append(doc.Cliques, []int32{w})
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+func TestExtendInvariants(t *testing.T) {
+	m := Train(twoTopicDocs(5, 15), 10, Options{K: 3, Iterations: 10, Seed: 5})
+	oldD, oldTok := len(m.Docs), m.TotalTokens()
+	newDocs := grownDocs(4, 12, 6)
+	if err := m.Extend(newDocs, 16, 99); err != nil {
+		t.Fatal(err)
+	}
+	if m.V != 16 || m.BetaSum != m.Beta*16 {
+		t.Fatalf("V = %d, BetaSum = %g after Extend", m.V, m.BetaSum)
+	}
+	if len(m.Docs) != oldD+4 {
+		t.Fatalf("len(Docs) = %d, want %d", len(m.Docs), oldD+4)
+	}
+	if m.TotalTokens() != oldTok+4*12 {
+		t.Fatalf("TotalTokens = %d, want %d", m.TotalTokens(), oldTok+4*12)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Training continues over the grown set with both samplers.
+	for i := 0; i < 5; i++ {
+		m.Sweep()
+	}
+	m.SweepDense()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendDeterministic(t *testing.T) {
+	build := func() *Model {
+		m := Train(twoTopicDocs(5, 15), 10, Options{K: 3, Iterations: 10, Seed: 5})
+		if err := m.Extend(grownDocs(4, 12, 6), 16, 42); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			m.Sweep()
+		}
+		return m
+	}
+	a, b := build(), build()
+	for d := range a.Z {
+		for g := range a.Z[d] {
+			if a.Z[d][g] != b.Z[d][g] {
+				t.Fatalf("assignments diverge at doc %d clique %d", d, g)
+			}
+		}
+	}
+}
+
+func TestExtendAfterLoad(t *testing.T) {
+	// Extend must work on a freshly decoded model (arenas unarmed).
+	m := Train(twoTopicDocs(4, 10), 10, Options{K: 2, Iterations: 5, Seed: 3})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Extend(grownDocs(2, 8, 4), 14, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	loaded.Sweep()
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendSameVocab(t *testing.T) {
+	// Growing only the document set (no new words) must work too.
+	m := Train(twoTopicDocs(3, 10), 10, Options{K: 2, Iterations: 5, Seed: 1})
+	if err := m.Extend(twoTopicDocs(2, 10), 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.V != 10 {
+		t.Fatalf("V = %d, want 10", m.V)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendRejects(t *testing.T) {
+	m := Train(twoTopicDocs(3, 10), 10, Options{K: 2, Iterations: 2, Seed: 1})
+	if err := m.Extend(nil, 9, 0); err == nil {
+		t.Fatal("shrinking vocabulary should fail")
+	}
+	bad := []Doc{{ID: 1, Cliques: [][]int32{{12}}}}
+	if err := m.Extend(bad, 12, 0); err == nil {
+		t.Fatal("out-of-range word id should fail")
+	}
+	// A failed Extend leaves the model usable.
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+package topmine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendEquivalence is the tentpole acceptance pin: a corpus grown
+// with AppendCorpusFile is equivalent to a from-scratch build over the
+// concatenated input — re-persisting its preprocessing yields the
+// identical .tpc bytes, and training it yields the identical topics.
+func TestAppendEquivalence(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	half := len(docs) / 2
+	opt := corpusFileTestOptions()
+	dir := t.TempDir()
+
+	// From-scratch build over the concatenated input.
+	scratchPath := filepath.Join(dir, "scratch.tpc")
+	pre, err := Preprocess(SliceSource(docs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpusFile(scratchPath, pre); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(scratchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTopics := FormatTopics(want.Topics)
+
+	// Grown build: preprocess the first half, append the second.
+	grownPath := filepath.Join(dir, "grown.tpc")
+	pre1, err := Preprocess(SliceSource(docs[:half]), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpusFile(grownPath, pre1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AppendCorpusFile(grownPath, SliceSource(docs[half:]), AppendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DocsAdded != len(docs)-half || stats.Segments != 1 {
+		t.Fatalf("append stats = %+v", stats)
+	}
+
+	cf, err := OpenCorpusFile(grownPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if cf.Version() != 2 || cf.AppendedSegments() != 1 {
+		t.Fatalf("grown file: version %d, %d segments", cf.Version(), cf.AppendedSegments())
+	}
+	if cf.StaleArtifacts() == "" {
+		t.Error("appending must mark the bundled artifacts stale")
+	}
+
+	// Trained topics must be byte-identical to the from-scratch run.
+	res, err := cf.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if got := FormatTopics(res.Topics); got != wantTopics {
+		t.Errorf("topics trained from the grown file differ from the from-scratch run:\n--- scratch ---\n%s\n--- grown ---\n%s", wantTopics, got)
+	}
+
+	// Re-persisting the grown corpus's preprocessing must reproduce the
+	// from-scratch file byte for byte.
+	rePre, err := PreprocessCorpus(cf.Corpus(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rePath := filepath.Join(dir, "repersisted.tpc")
+	if err := SaveCorpusFile(rePath, rePre); err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(rePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Errorf("re-persisted grown corpus differs from the from-scratch file (%d vs %d bytes)", len(gotBytes), len(wantBytes))
+	}
+}
+
+// TestIncrementalResume pins incremental training: UpdateTraining on a
+// grown corpus is deterministic for a fixed seed, and its seed-averaged
+// held-out perplexity lands within 2% of batch training on the union.
+func TestIncrementalResume(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	shard := 2 * len(docs) / 3
+	opt := corpusFileTestOptions()
+	opt.Iterations = 100
+	dir := t.TempDir()
+
+	// The union corpus drives one shared held-out split for both sides.
+	unionCorpus := BuildCorpus(docs, DefaultCorpusOptions())
+	ho := SplitHeldOut(unionCorpus, 0.25)
+
+	grow := func(seed uint64) *CorpusFile {
+		o := opt
+		o.Seed = seed
+		path := filepath.Join(dir, "inc.tpc")
+		pre, err := Preprocess(SliceSource(docs[:shard]), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveCorpusFile(path, pre); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AppendCorpusFile(path, SliceSource(docs[shard:]), AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		cf, err := OpenCorpusFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cf
+	}
+
+	// Determinism: two independent updates from the same snapshot and
+	// grown file must produce identical assignments and topics.
+	{
+		cf := grow(opt.Seed)
+		defer cf.Close()
+		pre1Path := filepath.Join(dir, "shard1.tpc")
+		pre, err := Preprocess(SliceSource(docs[:shard]), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveCorpusFile(pre1Path, pre); err != nil {
+			t.Fatal(err)
+		}
+		snapPath := filepath.Join(dir, "snap.tpm")
+		base, err := RunCorpusFile(pre1Path, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveTrainingSnapshotFile(snapPath, base); err != nil {
+			t.Fatal(err)
+		}
+		base.Close()
+
+		update := func() *Result {
+			res, err := LoadSnapshotFile(snapPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.UpdateTraining(cf, 10); err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := update(), update()
+		defer a.Close()
+		defer b.Close()
+		if len(a.Model.Z) != len(b.Model.Z) {
+			t.Fatalf("updated models hold %d and %d documents", len(a.Model.Z), len(b.Model.Z))
+		}
+		for d := range a.Model.Z {
+			for g := range a.Model.Z[d] {
+				if a.Model.Z[d][g] != b.Model.Z[d][g] {
+					t.Fatalf("updated assignments diverge at doc %d clique %d", d, g)
+				}
+			}
+		}
+		if FormatTopics(a.Topics) != FormatTopics(b.Topics) {
+			t.Error("updated topics differ across identical updates")
+		}
+		if len(a.Model.Docs) != len(unionCorpus.Docs) {
+			t.Fatalf("updated model spans %d documents, union has %d", len(a.Model.Docs), len(unionCorpus.Docs))
+		}
+	}
+
+	// Quality: seed-averaged held-out perplexity of incremental vs
+	// batch training on the union, within 2%.
+	seeds := []uint64{3, 17, 91}
+	var batchSum, incSum float64
+	for _, seed := range seeds {
+		o := opt
+		o.Seed = seed
+
+		batch, err := Run(docs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchSum += Perplexity(batch.Model, ho)
+
+		// Incremental: train on shard 1, then UpdateTraining folds the
+		// grown corpus in and continues for the same sweep budget.
+		shardCorpus := BuildCorpus(docs[:shard], DefaultCorpusOptions())
+		resInc, err := RunCorpus(shardCorpus, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf2 := grow(seed)
+		if err := resInc.UpdateTraining(cf2, o.Iterations); err != nil {
+			t.Fatal(err)
+		}
+		incSum += Perplexity(resInc.Model, ho)
+		resInc.Close()
+		cf2.Close()
+	}
+	batchAvg := batchSum / float64(len(seeds))
+	incAvg := incSum / float64(len(seeds))
+	// The tolerance is a quality floor: incremental training must not
+	// degrade held-out perplexity by more than 2% relative to batch
+	// training on the union. It regularly lands *better* — the shard
+	// model's extra sweeps are a head start, not a handicap — and that
+	// is not a failure.
+	if incAvg > batchAvg*1.02 {
+		t.Errorf("incremental perplexity %.2f vs batch %.2f: %.1f%% worse, want <= 2%%",
+			incAvg, batchAvg, 100*(incAvg-batchAvg)/batchAvg)
+	} else {
+		t.Logf("incremental perplexity %.2f vs batch %.2f (%+.2f%%)",
+			incAvg, batchAvg, 100*(incAvg-batchAvg)/batchAvg)
+	}
+}
+
+// TestUpdateTrainingRejects pins the guard rails: non-resumable
+// results, shrunk corpora and foreign vocabularies all fail loudly and
+// leave the Result untouched.
+func TestUpdateTrainingRejects(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "c.tpc")
+	pre, err := Preprocess(SliceSource(docs[:100]), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpusFile(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	// A frozen (non-resumable) snapshot cannot update.
+	res, err := RunCorpusFile(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "frozen.tpm")
+	if err := SaveSnapshotFile(snapPath, res); err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	frozen, err := LoadSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frozen.UpdateTraining(cf, 1); err == nil {
+		t.Error("updating a frozen snapshot should fail")
+	}
+
+	// A corpus file with fewer documents than the model trained on is
+	// not a grown version of the training corpus.
+	big, err := Run(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.UpdateTraining(cf, 1); err == nil {
+		t.Error("updating against a smaller corpus should fail")
+	}
+
+	// A corpus whose vocabulary is not an extension fails the prefix
+	// check even when it has more documents.
+	other, err := Run(docs[100:150], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.UpdateTraining(cf, 1); err == nil {
+		t.Error("updating against a foreign vocabulary should fail")
+	}
+	if err := other.Model.CheckInvariants(); err != nil {
+		t.Errorf("failed update left the model corrupt: %v", err)
+	}
+}
+
+// TestSaveCorpusFileSketched pins the sketch-at-preprocess path: the
+// saved file serves sketches, and a deduplicating append against it
+// skips stored near-duplicates without retokenizing.
+func TestSaveCorpusFileSketched(t *testing.T) {
+	docs := corpusFileTestDocs(t)
+	opt := corpusFileTestOptions()
+	path := filepath.Join(t.TempDir(), "sketched.tpc")
+
+	pre, err := Preprocess(SliceSource(docs[:50]), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpusFileSketched(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	// Append a stored duplicate plus one fresh document with dedup on.
+	stats, err := AppendCorpusFile(path, SliceSource([]string{docs[3], docs[60]}), AppendOptions{Dedup: true, Sketch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DocsSkipped != 1 || stats.DocsAdded != 1 {
+		t.Fatalf("dedup append stats = %+v, want 1 skipped / 1 added", stats)
+	}
+}
