@@ -100,6 +100,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel workers for ingest/mining/segmentation (0 = all cores)")
 	topicWorkers := fs.Int("topic-workers", 0, "parallel Gibbs workers for topic training (approximate AD-LDA sampler, "+
 		"deterministic per worker count, O(touched cells) extra memory per sweep; 0/1 = exact serial sparse sampler)")
+	trainCoordinator := fs.String("train-coordinator", "", "coordinate distributed training: listen on this address (host:port) "+
+		"for -train-workers worker processes, then train over the -corpus file; byte-identical to -topic-workers with the same worker count")
+	trainWorkers := fs.Int("train-workers", 2, "with -train-coordinator: worker processes to wait for")
+	trainWorker := fs.String("train-worker", "", "serve one distributed training job as a worker: connect to the coordinator "+
+		"at this address (-corpus overrides the coordinator-sent corpus path) and exit when training completes")
+	trainTimeout := fs.Duration("train-timeout", 0, "distributed training barrier timeout; with -train-coordinator also bounds "+
+		"the wait for workers to connect (0 = defaults: 120s barriers, 60s accept)")
+	verbose := fs.Bool("v", false, "verbose training logs: per-sweep sample/reconcile timing for parallel (-topic-workers) and distributed training")
 	topN := fs.Int("top", 10, "phrases and unigrams to display per topic")
 	noHyper := fs.Bool("nohyper", false, "disable hyperparameter optimisation")
 	filterBG := fs.Bool("filterbg", false, "filter background phrases from topic lists")
@@ -122,6 +130,69 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	if *saveState && *saveModel == "" {
 		return fmt.Errorf("-save-state needs -save")
+	}
+	if *trainWorker != "" {
+		// A worker has no say over training parameters — it receives
+		// everything from the coordinator — so any pipeline flag here is
+		// a misunderstanding worth failing loudly on.
+		allowed := map[string]bool{"train-worker": true, "train-timeout": true,
+			"corpus": true, "v": true}
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("-train-worker receives all training parameters from the coordinator; %s would be ignored", strings.Join(ignored, ", "))
+		}
+		return runTrainWorker(*trainWorker, *corpusFile, *trainTimeout, stderr)
+	}
+	if flagWasSet(fs, "train-workers") && *trainCoordinator == "" {
+		return fmt.Errorf("-train-workers needs -train-coordinator")
+	}
+	if *trainCoordinator != "" {
+		// The coordinator is a training mode: it takes the full set of
+		// training flags but replaces the in-process samplers, so input
+		// flags and -topic-workers are rejected rather than ignored.
+		allowed := map[string]bool{"train-coordinator": true, "train-workers": true,
+			"train-timeout": true, "corpus": true, "k": true, "iters": true,
+			"minsup": true, "relsup": true, "alpha": true, "maxlen": true,
+			"seed": true, "top": true, "nohyper": true, "filterbg": true,
+			"save": true, "save-state": true, "infer": true, "infer-iters": true,
+			"v": true}
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("-train-coordinator trains over -corpus with external workers; %s would be ignored", strings.Join(ignored, ", "))
+		}
+		if *corpusFile == "" {
+			return fmt.Errorf("-train-coordinator needs -corpus: workers rebuild their shards from the shared .tpc file")
+		}
+		if *trainWorkers < 1 {
+			return fmt.Errorf("-train-workers must be at least 1, got %d", *trainWorkers)
+		}
+		opt := topmine.DefaultOptions()
+		opt.Topics = *k
+		opt.Iterations = *iters
+		opt.MinSupport = *minSupport
+		opt.RelativeSupport = *relSupport
+		opt.SigThreshold = *sig
+		opt.MaxPhraseLen = *maxLen
+		opt.Seed = *seed
+		opt.TopPhrases = *topN
+		opt.TopUnigrams = *topN
+		opt.OptimizeHyper = !*noHyper
+		opt.FilterBackground = *filterBG
+		if err := opt.Normalize(); err != nil {
+			return err
+		}
+		return runCoordinator(*trainCoordinator, *corpusFile, *trainWorkers, *trainTimeout,
+			opt, *verbose, *saveModel, *saveState, *inferText, *inferIters, stdout, stderr)
 	}
 	if *mergePath != "" {
 		var extra []string
@@ -345,7 +416,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	t0 := time.Now()
-	model := topmine.TrainModel(c, segs, opt)
+	var model *topmine.Model
+	if *verbose && opt.TopicWorkers > 1 {
+		model = topmine.TrainModelWithSweepStats(c, segs, opt, sweepStatsLogger(stderr))
+	} else {
+		model = topmine.TrainModel(c, segs, opt)
+	}
 	fmt.Fprintf(stderr, "topic modeling: %v (%d sweeps)\n",
 		time.Since(t0).Round(time.Millisecond), opt.Iterations)
 
@@ -367,6 +443,73 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		printInference(res, *inferText, *inferIters, stdout)
 	}
 	return nil
+}
+
+// sweepStatsLogger returns a SweepStats hook that logs a timing
+// breakdown every 25th sweep (and the first), keeping -v readable over
+// thousand-sweep runs while still showing the sample/reconcile split.
+func sweepStatsLogger(stderr io.Writer) func(topmine.SweepStats) {
+	n := 0
+	return func(st topmine.SweepStats) {
+		n++
+		if n != 1 && n%25 != 0 {
+			return
+		}
+		fmt.Fprintf(stderr, "sweep %4d: sample %v, reconcile %v (%d workers)\n",
+			n, st.Sample.Round(10*time.Microsecond), st.Reconcile.Round(10*time.Microsecond), st.Workers)
+	}
+}
+
+// runCoordinator is the -train-coordinator mode: train over a shared
+// corpus file with external worker processes, then print topics (and
+// optionally snapshot/infer) exactly like an in-process run.
+func runCoordinator(addr, corpusPath string, workers int, timeout time.Duration,
+	opt topmine.Options, verbose bool, saveModel string, saveState bool,
+	inferText string, inferIters int, stdout, stderr io.Writer) error {
+	dopt := topmine.DistributedOptions{
+		Addr:           addr,
+		Workers:        workers,
+		AcceptTimeout:  timeout,
+		BarrierTimeout: timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}
+	if verbose {
+		dopt.SweepStats = sweepStatsLogger(stderr)
+	}
+	t0 := time.Now()
+	res, err := topmine.TrainDistributed(corpusPath, opt, dopt)
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	fmt.Fprintf(stderr, "distributed training: %v (%d workers, %d sweeps)\n",
+		time.Since(t0).Round(time.Millisecond), workers, opt.Iterations)
+	fmt.Fprint(stdout, topmine.FormatTopics(res.Topics))
+	if saveModel != "" {
+		if err := saveSnapshot(saveModel, res, saveState, stderr); err != nil {
+			return err
+		}
+	}
+	if inferText != "" {
+		printInference(res, inferText, inferIters, stdout)
+	}
+	return nil
+}
+
+// runTrainWorker is the -train-worker mode: serve one distributed
+// training job and exit.
+func runTrainWorker(addr, corpusOverride string, timeout time.Duration, stderr io.Writer) error {
+	fmt.Fprintf(stderr, "connecting to coordinator at %s\n", addr)
+	return topmine.ServeTrainingWorker(addr, topmine.TrainingWorkerOptions{
+		CorpusPath:     corpusOverride,
+		DialTimeout:    timeout,
+		BarrierTimeout: timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
 }
 
 // runMerge is the -merge mode: k-way-merge preprocessed shards into a

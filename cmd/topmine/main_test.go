@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -241,6 +243,76 @@ func TestLivingCorpusWorkflow(t *testing.T) {
 	}
 }
 
+// freePort reserves an ephemeral port long enough to learn its number.
+// The tiny race before the coordinator rebinds it is acceptable in
+// tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDistributedCLIWorkflow drives -train-coordinator/-train-worker
+// end to end through the CLI and pins the headline guarantee: the
+// distributed run's stdout (the rendered topics) is byte-identical to
+// an in-process -topic-workers run with the same worker count and
+// seed.
+func TestDistributedCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "corpus.tpc")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-preprocess", tpc), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess: %v\nstderr:\n%s", err, errb.String())
+	}
+
+	addr := freePort(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var wout, werr bytes.Buffer
+			if err := run([]string{"-train-worker", addr, "-train-timeout", "30s"},
+				strings.NewReader(""), &wout, &werr); err != nil {
+				t.Errorf("worker %d: %v\nstderr:\n%s", i, err, werr.String())
+			}
+		}(i)
+	}
+	var dout, derr bytes.Buffer
+	err := run(fastArgs("-corpus", tpc, "-train-coordinator", addr,
+		"-train-workers", "2", "-train-timeout", "30s", "-v"),
+		strings.NewReader(""), &dout, &derr)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v\nstderr:\n%s", err, derr.String())
+	}
+	if !strings.Contains(derr.String(), "distributed training:") {
+		t.Fatalf("no training confirmation:\n%s", derr.String())
+	}
+	if !strings.Contains(derr.String(), "sweep ") {
+		t.Fatalf("-v did not log sweep timings:\n%s", derr.String())
+	}
+	if !strings.Contains(dout.String(), "Topic 0") {
+		t.Fatalf("no topics printed:\n%s", dout.String())
+	}
+
+	var pout, perr bytes.Buffer
+	if err := run(fastArgs("-corpus", tpc, "-topic-workers", "2"),
+		strings.NewReader(""), &pout, &perr); err != nil {
+		t.Fatalf("in-process run: %v\nstderr:\n%s", err, perr.String())
+	}
+	if dout.String() != pout.String() {
+		t.Fatalf("distributed topics differ from in-process -topic-workers 2:\n--- distributed ---\n%s\n--- in-process ---\n%s",
+			dout.String(), pout.String())
+	}
+}
+
 func TestBadFlagCombos(t *testing.T) {
 	cases := [][]string{
 		{"-input", "x", "-synth", "yelp-reviews"},
@@ -257,6 +329,16 @@ func TestBadFlagCombos(t *testing.T) {
 		{"-dedup", "-input", "x"},
 		{"-sketch", "-input", "-"},
 		{"-update", "c.tpc", "-input", "x"},
+		{"-train-worker", ":0", "-append", "c.tpc"},
+		{"-train-worker", ":0", "-k", "5"},
+		{"-train-worker", ":0", "-train-workers", "2"},
+		{"-train-workers", "2"},
+		{"-train-coordinator", ":0"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-topic-workers", "2"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-update", "m.tpc"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-input", "y"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-load", "m.tpm"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "0"},
 	}
 	for _, args := range cases {
 		if err := run(args, strings.NewReader(""), io.Discard, io.Discard); err == nil {

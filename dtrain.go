@@ -1,0 +1,184 @@
+package topmine
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"topmine/internal/core"
+	"topmine/internal/dtrain"
+	"topmine/internal/topicmodel"
+)
+
+// This file is the public face of distributed training
+// (internal/dtrain): one coordinator process owning the model and the
+// sweep schedule, plus worker processes each training one contiguous
+// document range of a shared .tpc corpus file. Every worker draw
+// replicates the corresponding in-process TopicWorkers goroutine bit
+// for bit, so a distributed run's topics are byte-identical to
+// `Options.TopicWorkers = N` with the same topology (worker count,
+// seed) — and, like that sampler, deliberately different from the
+// serial one: the AD-LDA approximation, deterministic per topology.
+//
+//	# coordinator (requires the .tpc path to resolve on all hosts)
+//	res, err := topmine.TrainDistributed("corpus.tpc", opt,
+//	    topmine.DistributedOptions{Addr: "127.0.0.1:7600", Workers: 2})
+//
+//	# each worker process
+//	err := topmine.ServeTrainingWorker("127.0.0.1:7600",
+//	    topmine.TrainingWorkerOptions{})
+
+// SweepStats is one sweep's timing breakdown from parallel or
+// distributed training: Sample is the barrier wait for the slowest
+// worker, Reconcile the delta fold + (for distributed runs) the
+// rebroadcast, WorkerSample the per-worker sample times.
+type SweepStats = topicmodel.SweepStats
+
+// ErrWorkerLost is returned by TrainDistributed when a worker process
+// dies or misses a barrier deadline mid-run. Shard state lives only in
+// workers, so the run aborts loudly instead of hanging or degrading.
+var ErrWorkerLost = dtrain.ErrWorkerLost
+
+// DistributedOptions configures the coordinator side of a distributed
+// training run.
+type DistributedOptions struct {
+	// Addr is the address to listen on for workers, e.g.
+	// "127.0.0.1:7600" for same-host workers or ":7600" to accept
+	// workers from other hosts.
+	Addr string
+	// Workers is the number of worker processes the run waits for. The
+	// trained model depends on it (more workers = more AD-LDA shards),
+	// so it is part of the reproducibility contract alongside the seed.
+	Workers int
+	// AcceptTimeout bounds the wait for all workers to connect
+	// (default 60s).
+	AcceptTimeout time.Duration
+	// BarrierTimeout bounds every per-worker frame exchange; a worker
+	// that dies or stalls past it fails the run with ErrWorkerLost
+	// (default 120s).
+	BarrierTimeout time.Duration
+	// SweepStats, when set, receives one timing breakdown per sweep.
+	SweepStats func(SweepStats)
+	// Logf, when set, receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// TrainingWorkerOptions configures one ServeTrainingWorker call.
+type TrainingWorkerOptions struct {
+	// CorpusPath overrides the coordinator-sent corpus path, for
+	// workers on hosts where the .tpc lives elsewhere. Empty uses the
+	// coordinator's path.
+	CorpusPath string
+	// DialTimeout bounds the connection attempt, retrying while the
+	// coordinator is not yet listening (default 60s).
+	DialTimeout time.Duration
+	// BarrierTimeout bounds every frame exchange with the coordinator
+	// (default 120s).
+	BarrierTimeout time.Duration
+	// Logf, when set, receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// TrainDistributed trains a topic model over the corpus file at path
+// using opt.Workers external worker processes instead of in-process
+// goroutines: it listens on dopt.Addr, waits for the workers, assigns
+// each a disjoint document range, and runs the sweep-barrier protocol
+// to completion. Stored mining and segmentation artifacts are reused
+// exactly as RunCorpusFile would; workers rebuild their shards from
+// their own mapping of the corpus file, so document token data never
+// crosses the wire.
+//
+// The returned Result is bit-identical to RunCorpusFile with
+// opt.TopicWorkers = dopt.Workers (same seed, same worker count) when
+// dopt.Workers >= 2. A single distributed worker has no in-process
+// twin — TopicWorkers 1 selects the exact serial sampler, which no
+// sharded run reproduces — so Workers 1 is supported but only
+// comparable to other distributed runs. Any worker failure fails the
+// whole run (ErrWorkerLost for deaths and stalls); there is no
+// mid-sweep recovery, by design.
+func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Result, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	if opt.TopicWorkers > 1 {
+		return nil, fmt.Errorf("topmine: TrainDistributed: TopicWorkers selects the in-process sampler; set DistributedOptions.Workers instead")
+	}
+	cf, err := OpenCorpusFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// The handle's reference transfers to the Result on success; every
+	// earlier exit must release it.
+	c := cf.Corpus()
+	var mined *MinedPhrases
+	var segs []*SegmentedDoc
+	if cf.CanReuseArtifacts(opt) {
+		mined = cf.Mined()
+		segs = cf.Segmented()
+	}
+	if mined == nil {
+		mined = core.Mine(c, toCoreConfig(opt, nil))
+	}
+	if segs == nil {
+		segs = core.Segment(c, mined, toCoreConfig(opt, nil))
+	}
+	docs := topicmodel.DocsFromSegmentation(c, segs)
+
+	ln, err := net.Listen("tcp", dopt.Addr)
+	if err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("topmine: TrainDistributed: %w", err)
+	}
+	defer ln.Close()
+	model, err := dtrain.Train(ln, dtrain.Job{
+		CorpusPath:   path,
+		Docs:         docs,
+		VocabSize:    c.Vocab.Size(),
+		Mined:        mined,
+		SigAlpha:     opt.SigThreshold,
+		MaxPhraseLen: opt.MaxPhraseLen,
+		Model:        toModelOptions(opt, nil),
+	}, dtrain.Options{
+		Workers:        dopt.Workers,
+		AcceptTimeout:  dopt.AcceptTimeout,
+		BarrierTimeout: dopt.BarrierTimeout,
+		SweepStats:     dopt.SweepStats,
+		Logf:           dopt.Logf,
+	})
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	res := &Result{Corpus: c, Mined: mined, Segmented: segs, Model: model, Options: opt}
+	res.Topics = model.Visualize(c, visualizeOptions(opt))
+	res.closer = &resultCloser{cf: cf} // adopts the open handle's reference
+	return res, nil
+}
+
+// ServeTrainingWorker serves one distributed training job as a worker:
+// it dials the coordinator at addr (retrying until it is listening),
+// rebuilds its assigned document range from the corpus file, and
+// answers sweep barriers until training completes. It returns nil
+// after a successful run and an error describing the cause when the
+// run aborts (local failure, coordinator abort, lost connection).
+func ServeTrainingWorker(addr string, wopt TrainingWorkerOptions) error {
+	conn, err := dtrain.Dial(addr, wopt.DialTimeout)
+	if err != nil {
+		return err
+	}
+	return dtrain.RunWorker(conn, dtrain.WorkerOptions{
+		CorpusPath:     wopt.CorpusPath,
+		BarrierTimeout: wopt.BarrierTimeout,
+		Logf:           wopt.Logf,
+	})
+}
+
+// TrainModelWithSweepStats is TrainModel with a per-sweep timing hook.
+// Only parallel training (opt.TopicWorkers > 1) reports — the serial
+// sampler has no barrier to break down.
+func TrainModelWithSweepStats(c *Corpus, segs []*SegmentedDoc, opt Options, stats func(SweepStats)) *Model {
+	cfg := toCoreConfig(opt, nil)
+	cfg.SweepStats = stats
+	_, m := core.Train(c, segs, cfg)
+	return m
+}

@@ -40,6 +40,9 @@ type Config struct {
 	TopicWorkers int
 	// OnIteration, when set, observes every Gibbs sweep.
 	OnIteration func(int, *topicmodel.Model)
+	// SweepStats, when set, receives per-sweep timing breakdowns from
+	// parallel training (TopicWorkers > 1); serial sweeps do not report.
+	SweepStats func(topicmodel.SweepStats)
 }
 
 // Artifacts carries every intermediate and final product of a run.
@@ -94,6 +97,7 @@ func Train(c *corpus.Corpus, segs []*segment.SegmentedDoc, cfg Config) ([]topicm
 		OptimizeHyper: cfg.OptimizeHyper,
 		Seed:          cfg.Seed,
 		OnIteration:   cfg.OnIteration,
+		SweepStats:    cfg.SweepStats,
 	}
 	if cfg.TopicWorkers > 1 {
 		return docs, topicmodel.TrainParallel(docs, c.Vocab.Size(), opt, cfg.TopicWorkers)

@@ -116,6 +116,31 @@ type Corpus struct {
 // NumDocs returns the number of documents.
 func (c *Corpus) NumDocs() int { return len(c.Docs) }
 
+// DocRange returns a zero-copy view of documents [lo, hi): the
+// returned corpus shares the vocabulary, token arena and surface pool
+// with c — no token data is copied, and for an mmap-backed corpus only
+// the pages the range actually touches ever fault in. Document IDs are
+// rebased to 0..hi-lo-1 so downstream stages that index by ID
+// (segmentation, topic-model doc construction) see a self-consistent
+// corpus. TotalTokens is recomputed over the range, keeping the
+// significance score's null model local to the view.
+func (c *Corpus) DocRange(lo, hi int) (*Corpus, error) {
+	if lo < 0 || hi < lo || hi > len(c.Docs) {
+		return nil, fmt.Errorf("corpus: doc range [%d, %d) outside [0, %d)", lo, hi, len(c.Docs))
+	}
+	sub := &Corpus{
+		Docs:      make([]*Document, hi-lo),
+		Vocab:     c.Vocab,
+		BuildOpts: c.BuildOpts,
+	}
+	for i := range sub.Docs {
+		src := c.Docs[lo+i]
+		sub.Docs[i] = &Document{ID: i, Segments: src.Segments}
+		sub.TotalTokens += src.Len()
+	}
+	return sub, nil
+}
+
 // Stats summarises a corpus.
 type Stats struct {
 	Docs      int

@@ -103,6 +103,88 @@ func TestAppendFileTwice(t *testing.T) {
 	sameCorpus(t, corpus.FromStrings(all, corpus.DefaultBuildOptions()), f.Corpus())
 }
 
+// TestDocRangeViews pins the zero-copy doc-range open a distributed
+// training worker relies on: over a 2-segment v2 file, two disjoint
+// ranges must reproduce the full open's token and segment data byte
+// for byte, share (not copy) the token arena, surface pool and
+// vocabulary, and rebase document IDs to the range.
+func TestDocRangeViews(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "grow.tpc", testDocs, true)
+	appendDocsTo(t, path, appendDocs, AppendOptions{})
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Version() != VersionMulti {
+		t.Fatalf("fixture is not a v2 file (version %d)", f.Version())
+	}
+	full := f.Corpus()
+	n := len(full.Docs)
+	mid := len(testDocs) // base-segment/appended-segment boundary
+
+	wantTokens := 0
+	for _, r := range [][2]int{{0, mid}, {mid, n}} {
+		sub, err := f.DocRange(r[0], r[1])
+		if err != nil {
+			t.Fatalf("DocRange(%d, %d): %v", r[0], r[1], err)
+		}
+		if len(sub.Docs) != r[1]-r[0] {
+			t.Fatalf("range %v: %d docs", r, len(sub.Docs))
+		}
+		if sub.Vocab != full.Vocab {
+			t.Fatalf("range %v: vocabulary copied instead of shared", r)
+		}
+		tokens := 0
+		for i, sd := range sub.Docs {
+			fd := full.Docs[r[0]+i]
+			if sd.ID != i {
+				t.Fatalf("range %v doc %d: ID %d not rebased", r, i, sd.ID)
+			}
+			if len(sd.Segments) != len(fd.Segments) {
+				t.Fatalf("range %v doc %d: %d segments, want %d", r, i, len(sd.Segments), len(fd.Segments))
+			}
+			for si := range sd.Segments {
+				sw, fw := sd.Segments[si].Words(), fd.Segments[si].Words()
+				if len(sw) != len(fw) {
+					t.Fatalf("range %v doc %d seg %d: %d words, want %d", r, i, si, len(sw), len(fw))
+				}
+				for wi := range sw {
+					if sw[wi] != fw[wi] {
+						t.Fatalf("range %v doc %d seg %d word %d: %d != %d", r, i, si, wi, sw[wi], fw[wi])
+					}
+				}
+				// Zero-copy: the view's words alias the full open's arena.
+				if len(sw) > 0 && &sw[0] != &fw[0] {
+					t.Fatalf("range %v doc %d seg %d: token data copied", r, i, si)
+				}
+				for wi := 0; wi < sd.Segments[si].Len(); wi++ {
+					if sd.Segments[si].Surface(wi) != fd.Segments[si].Surface(wi) ||
+						sd.Segments[si].Gap(wi) != fd.Segments[si].Gap(wi) {
+						t.Fatalf("range %v doc %d seg %d: surface/gap pool diverged", r, i, si)
+					}
+				}
+			}
+			tokens += sd.Len()
+		}
+		if sub.TotalTokens != tokens {
+			t.Fatalf("range %v: TotalTokens %d, counted %d", r, sub.TotalTokens, tokens)
+		}
+		wantTokens += tokens
+	}
+	if wantTokens != full.TotalTokens {
+		t.Fatalf("disjoint ranges cover %d tokens, full corpus has %d", wantTokens, full.TotalTokens)
+	}
+
+	for _, r := range [][2]int{{-1, 2}, {0, n + 1}, {5, 3}} {
+		if _, err := f.DocRange(r[0], r[1]); err == nil {
+			t.Fatalf("DocRange(%d, %d): no error", r[0], r[1])
+		}
+	}
+}
+
 // TestAppendFileNoOp: appending nothing must leave the file untouched.
 func TestAppendFileNoOp(t *testing.T) {
 	dir := t.TempDir()

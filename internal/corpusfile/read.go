@@ -47,6 +47,17 @@ type File struct {
 // the mmap'd file; it is valid until Close.
 func (f *File) Corpus() *corpus.Corpus { return f.c }
 
+// DocRange returns a zero-copy corpus view of documents [lo, hi) of
+// the stored corpus: segments, token arena, surface pool and
+// vocabulary are shared with the full Corpus(), document IDs are
+// rebased to the range. For a mapped file only the pages the range's
+// segments touch ever fault in, so a distributed training worker can
+// open a many-GB .tpc and pay only for its own partition. The view is
+// valid until Close.
+func (f *File) DocRange(lo, hi int) (*corpus.Corpus, error) {
+	return f.c.DocRange(lo, hi)
+}
+
 // Mined returns the bundled frequent-phrase statistics, or nil when
 // the file carries a corpus alone (or its artifacts went stale; see
 // StaleArtifacts).

@@ -1,0 +1,463 @@
+package dtrain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"topmine/internal/phrasemine"
+	"topmine/internal/topicmodel"
+)
+
+// Job describes one distributed training run. The coordinator builds
+// the full model (so initialisation consumes the seed exactly like
+// in-process training) and ships each worker everything it needs to
+// rebuild its shard from the corpus file: the mined phrase statistics,
+// segmentation parameters and the shard's initial assignments.
+type Job struct {
+	// CorpusPath is the .tpc file workers open; it must resolve on the
+	// worker hosts (workers may override it locally).
+	CorpusPath string
+	// Docs are the coordinator's modeling documents for the whole
+	// corpus, in corpus order — the same DocsFromSegmentation output an
+	// in-process run would train on.
+	Docs      []topicmodel.Doc
+	VocabSize int
+	// Mined and the segmentation parameters let each worker re-segment
+	// its document range locally: per-document partitioning depends
+	// only on the document's tokens and the mined counts, so the shard
+	// rebuild is deterministic (and cross-checked via READY checksums).
+	Mined        *phrasemine.Result
+	SigAlpha     float64
+	MaxPhraseLen int
+	// Model parameterises training; custom significance scores cannot
+	// cross a process boundary, so jobs using segment.Options.Score
+	// overrides are not supported.
+	Model topicmodel.Options
+}
+
+// Options configures the coordinator side of a run.
+type Options struct {
+	// Workers is the number of worker processes to wait for.
+	Workers int
+	// AcceptTimeout bounds the wait for all workers to connect
+	// (default 60s).
+	AcceptTimeout time.Duration
+	// BarrierTimeout bounds every per-worker frame exchange; a worker
+	// that dies or stalls past it fails the run with ErrWorkerLost
+	// instead of hanging (default 120s).
+	BarrierTimeout time.Duration
+	// SweepStats, when set, receives one timing breakdown per sweep:
+	// Sample is the barrier wait for the slowest worker's delta,
+	// WorkerSample the workers' self-reported sample times, Reconcile
+	// the fold + rebroadcast.
+	SweepStats func(topicmodel.SweepStats)
+	// Logf, when set, receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.AcceptTimeout <= 0 {
+		o.AcceptTimeout = 60 * time.Second
+	}
+	if o.BarrierTimeout <= 0 {
+		o.BarrierTimeout = 120 * time.Second
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// setupMsg is the gob-encoded SETUP payload.
+type setupMsg struct {
+	Proto        int
+	CorpusPath   string
+	Lo, Hi       int
+	Index        int
+	NumWorkers   int
+	K, V         int
+	Alpha        []float64
+	AlphaSum     float64
+	Beta         float64
+	BetaSum      float64
+	Z            [][]int32
+	SigAlpha     float64
+	MaxPhraseLen int
+	Mined        *phrasemine.Result
+}
+
+// wconn is the coordinator's handle on one worker.
+type wconn struct {
+	fr     *framer
+	index  int
+	lo, hi int
+}
+
+// Train runs one distributed training job over ln, waiting for
+// opt.Workers workers to connect, and returns the trained model. The
+// listener is not closed. Any worker failure — death, stall past the
+// barrier timeout, shard mismatch, explicit abort — fails the whole
+// run: shard state lives only in workers, so there is no mid-sweep
+// recovery, by design (documented in the README).
+func Train(ln net.Listener, job Job, opt Options) (*topicmodel.Model, error) {
+	opt.fill()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("dtrain: need at least 1 worker, got %d", opt.Workers)
+	}
+	if len(job.Docs) < 2*opt.Workers {
+		return nil, fmt.Errorf("dtrain: corpus of %d docs is too small for %d workers (need >= %d)",
+			len(job.Docs), opt.Workers, 2*opt.Workers)
+	}
+	mopt := job.Model.Filled()
+	m := topicmodel.NewModel(job.Docs, job.VocabSize, mopt)
+	ranges := topicmodel.ShardRanges(job.Docs, opt.Workers)
+
+	ws, err := acceptWorkers(ln, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, w := range ws {
+			_ = w.fr.conn.Close()
+		}
+	}()
+	fail := func(w *wconn, err error) error {
+		err = classify(w, err)
+		for _, o := range ws {
+			o.fr.abort(err.Error())
+		}
+		return err
+	}
+
+	for wi, w := range ws {
+		w.index, w.lo, w.hi = wi, ranges[wi][0], ranges[wi][1]
+	}
+	opt.logf("dtrain: %d workers connected, shard ranges %v", len(ws), ranges)
+
+	// SETUP + GLOBALS, then the READY checksum barrier. Setup frames
+	// carry per-shard state; sends run per worker concurrently.
+	globals := encodeGlobals(m)
+	err = each(ws, func(w *wconn) error {
+		var payload bytes.Buffer
+		enc := gob.NewEncoder(&payload)
+		if err := enc.Encode(&setupMsg{
+			Proto:        protoVersion,
+			CorpusPath:   job.CorpusPath,
+			Lo:           w.lo,
+			Hi:           w.hi,
+			Index:        w.index,
+			NumWorkers:   len(ws),
+			K:            m.K,
+			V:            m.V,
+			Alpha:        m.Alpha,
+			AlphaSum:     m.AlphaSum,
+			Beta:         m.Beta,
+			BetaSum:      m.BetaSum,
+			Z:            m.Z[w.lo:w.hi],
+			SigAlpha:     job.SigAlpha,
+			MaxPhraseLen: job.MaxPhraseLen,
+			Mined:        job.Mined,
+		}); err != nil {
+			return fmt.Errorf("encode setup: %w", err)
+		}
+		if err := w.fr.send(fSetup, payload.Bytes()); err != nil {
+			return err
+		}
+		if err := w.fr.send(fGlobals, globals); err != nil {
+			return err
+		}
+		ready, err := w.fr.recvExpect(fReady)
+		if err != nil {
+			return err
+		}
+		r := wireReader{data: ready}
+		sum, tokens := r.u32(), r.u64()
+		if r.err != nil {
+			return r.err
+		}
+		shard := job.Docs[w.lo:w.hi]
+		wantTokens := 0
+		for i := range shard {
+			wantTokens += shard[i].NumTokens()
+		}
+		if want := topicmodel.DocsChecksum(shard); sum != want || tokens != uint64(wantTokens) {
+			return fmt.Errorf("shard mismatch: worker rebuilt checksum %08x/%d tokens, coordinator has %08x/%d — differing corpus file or parameters",
+				sum, tokens, want, wantTokens)
+		}
+		return nil
+	})
+	if err != nil {
+		w, cause := splitWorkerErr(ws, err)
+		return nil, fail(w, cause)
+	}
+	opt.logf("dtrain: all shards verified, training %d sweeps", mopt.Iterations)
+
+	deltas := make([]*topicmodel.CountRows, len(ws))
+	ndks := make([][]int32, len(ws))
+	sampleNs := make([]int64, len(ws))
+	for it := 1; it <= mopt.Iterations; it++ {
+		base := m.NextSweepBase()
+		hyper := mopt.OptimizeHyper && it > mopt.BurnIn && it%mopt.HyperEvery == 0
+
+		// SWEEP broadcast: iteration, RNG base, current priors.
+		var sweep []byte
+		sweep = binary.LittleEndian.AppendUint32(sweep, uint32(it))
+		sweep = binary.LittleEndian.AppendUint64(sweep, base)
+		if hyper {
+			sweep = append(sweep, 1)
+		} else {
+			sweep = append(sweep, 0)
+		}
+		for _, a := range m.Alpha {
+			sweep = appendF64(sweep, a)
+		}
+		sweep = appendF64(sweep, m.AlphaSum)
+		sweep = appendF64(sweep, m.Beta)
+		sweep = appendF64(sweep, m.BetaSum)
+
+		t0 := time.Now()
+		err = each(ws, func(w *wconn) error {
+			if err := w.fr.send(fSweep, sweep); err != nil {
+				return err
+			}
+			payload, err := w.fr.recvExpect(fDelta)
+			if err != nil {
+				return err
+			}
+			return decodeDelta(payload, w, m.K, m.V, hyper, deltas, ndks, sampleNs)
+		})
+		if err != nil {
+			w, cause := splitWorkerErr(ws, err)
+			return nil, fail(w, cause)
+		}
+		sampleDur := time.Since(t0)
+
+		t1 := time.Now()
+		combined, err := m.FoldShardDeltas(deltas)
+		if err != nil {
+			for _, o := range ws {
+				o.fr.abort(err.Error())
+			}
+			return nil, fmt.Errorf("dtrain: reconcile failed: %w", err)
+		}
+		if hyper {
+			// Hyperparameter optimisation reads every document-topic row,
+			// so workers uploaded their current Ndk alongside the delta.
+			for _, w := range ws {
+				rows := ndks[w.index]
+				for i := 0; i < w.hi-w.lo; i++ {
+					copy(m.Ndk[w.lo+i], rows[i*m.K:(i+1)*m.K])
+				}
+			}
+		}
+		rows := combined.AppendTo(nil)
+		err = each(ws, func(w *wconn) error {
+			return w.fr.send(fRows, rows)
+		})
+		if err != nil {
+			w, cause := splitWorkerErr(ws, err)
+			return nil, fail(w, cause)
+		}
+		if hyper {
+			m.OptimizeAlpha(5)
+			m.OptimizeBeta(5)
+		}
+		if opt.SweepStats != nil {
+			per := make([]time.Duration, len(ws))
+			for i, ns := range sampleNs {
+				per[i] = time.Duration(ns)
+			}
+			opt.SweepStats(topicmodel.SweepStats{
+				Workers:      len(ws),
+				Sample:       sampleDur,
+				Reconcile:    time.Since(t1),
+				WorkerSample: per,
+			})
+		}
+	}
+
+	// FINISH: collect final shard assignments and install them.
+	type finalState struct {
+		z [][]int32
+	}
+	finals := make([]finalState, len(ws))
+	err = each(ws, func(w *wconn) error {
+		if err := w.fr.send(fFinish, nil); err != nil {
+			return err
+		}
+		payload, err := w.fr.recvExpect(fFinal)
+		if err != nil {
+			return err
+		}
+		r := wireReader{data: payload}
+		ndocs := int(r.u32())
+		if ndocs != w.hi-w.lo {
+			return fmt.Errorf("%w: final state has %d docs, shard has %d", ErrProtocol, ndocs, w.hi-w.lo)
+		}
+		z := make([][]int32, ndocs)
+		for i := range z {
+			z[i] = r.i32s(make([]int32, int(r.u32())))
+		}
+		if r.err != nil {
+			return r.err
+		}
+		finals[w.index] = finalState{z: z}
+		return nil
+	})
+	if err != nil {
+		w, cause := splitWorkerErr(ws, err)
+		return nil, fail(w, cause)
+	}
+	for _, w := range ws {
+		if err := m.InstallShardState(w.lo, finals[w.index].z); err != nil {
+			return nil, fail(w, err)
+		}
+	}
+	opt.logf("dtrain: training complete")
+	return m, nil
+}
+
+// acceptWorkers collects opt.Workers HELLO handshakes. Worker index is
+// assignment order; any assignment yields the same result, since the
+// topology is (count, ranges, seed), not which process got which shard.
+func acceptWorkers(ln net.Listener, opt Options) ([]*wconn, error) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		_ = d.SetDeadline(time.Now().Add(opt.AcceptTimeout))
+		defer func() { _ = d.SetDeadline(time.Time{}) }()
+	}
+	ws := make([]*wconn, 0, opt.Workers)
+	for len(ws) < opt.Workers {
+		conn, err := ln.Accept()
+		if err != nil {
+			for _, w := range ws {
+				_ = w.fr.conn.Close()
+			}
+			return nil, fmt.Errorf("%w: %d/%d workers connected: %v", ErrWorkerLost, len(ws), opt.Workers, err)
+		}
+		fr := &framer{conn: conn, timeout: opt.BarrierTimeout}
+		hello, err := fr.recvExpect(fHello)
+		if err == nil {
+			r := wireReader{data: hello}
+			if v := r.u32(); r.err == nil && int(v) != protoVersion {
+				err = fmt.Errorf("%w: worker speaks protocol %d, coordinator %d", ErrProtocol, v, protoVersion)
+			} else {
+				err = r.err
+			}
+		}
+		if err != nil {
+			fr.abort(fmt.Sprintf("handshake failed: %v", err))
+			_ = conn.Close()
+			for _, w := range ws {
+				_ = w.fr.conn.Close()
+			}
+			return nil, fmt.Errorf("dtrain: worker handshake: %w", err)
+		}
+		ws = append(ws, &wconn{fr: fr})
+	}
+	return ws, nil
+}
+
+// decodeDelta parses a DELTA payload into the per-worker slots.
+func decodeDelta(payload []byte, w *wconn, k, v int, wantNdk bool, deltas []*topicmodel.CountRows, ndks [][]int32, sampleNs []int64) error {
+	r := wireReader{data: payload}
+	sampleNs[w.index] = int64(r.u64())
+	hasNdk := r.u8() == 1
+	if r.err != nil {
+		return r.err
+	}
+	if hasNdk != wantNdk {
+		return fmt.Errorf("%w: delta ndk presence %v, want %v", ErrProtocol, hasNdk, wantNdk)
+	}
+	cr, n, err := topicmodel.DecodeCountRows(r.data, v, k)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	r.data = r.data[n:]
+	deltas[w.index] = cr
+	if wantNdk {
+		ndocs := int(r.u32())
+		if ndocs != w.hi-w.lo {
+			return fmt.Errorf("%w: ndk block has %d docs, shard has %d", ErrProtocol, ndocs, w.hi-w.lo)
+		}
+		if cap(ndks[w.index]) < ndocs*k {
+			ndks[w.index] = make([]int32, ndocs*k)
+		}
+		ndks[w.index] = r.i32s(ndks[w.index][:ndocs*k])
+	}
+	return r.err
+}
+
+// encodeGlobals serialises the dense word-topic counts + topic totals.
+func encodeGlobals(m *topicmodel.Model) []byte {
+	buf := make([]byte, 0, 8+4*m.V*m.K+8*m.K)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.V))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.K))
+	for w := 0; w < m.V; w++ {
+		buf = appendI32s(buf, m.Nwk[w])
+	}
+	return appendI64s(buf, m.Nk)
+}
+
+// workerErr tags an error with the worker it came from so the
+// concurrent barrier helper can report which one failed.
+type workerErr struct {
+	index int
+	err   error
+}
+
+func (e *workerErr) Error() string { return fmt.Sprintf("worker %d: %v", e.index, e.err) }
+func (e *workerErr) Unwrap() error { return e.err }
+
+// each runs fn for every worker concurrently and waits for all of
+// them, returning the first failure (lowest worker index) wrapped as a
+// *workerErr.
+func each(ws []*wconn, fn func(w *wconn) error) error {
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *wconn) {
+			defer wg.Done()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return &workerErr{index: i, err: err}
+		}
+	}
+	return nil
+}
+
+// splitWorkerErr recovers the failing worker from an each() error.
+func splitWorkerErr(ws []*wconn, err error) (*wconn, error) {
+	var we *workerErr
+	if errors.As(err, &we) {
+		return ws[we.index], we.err
+	}
+	return ws[0], err
+}
+
+// classify turns a worker failure into the caller-facing error: an
+// explicit ABORT keeps its message; a dead or stalled connection is
+// ErrWorkerLost.
+func classify(w *wconn, err error) error {
+	var ae *abortError
+	if errors.As(err, &ae) {
+		return fmt.Errorf("dtrain: worker %d aborted: %s", w.index, ae.msg)
+	}
+	if errors.Is(err, ErrProtocol) {
+		return fmt.Errorf("dtrain: worker %d: %w", w.index, err)
+	}
+	return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, w.index, err)
+}

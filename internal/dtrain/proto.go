@@ -1,0 +1,260 @@
+// Package dtrain implements multi-process AD-LDA training: a
+// coordinator that owns the full model and the sweep schedule, and
+// workers that each train one contiguous document range of a .tpc
+// corpus file against globals frozen at the sweep barrier.
+//
+// The protocol (one TCP/loopback connection per worker) is a strict
+// lockstep of length-prefixed, CRC-checked frames, reusing the framing
+// idiom of internal/corpusfile's section container:
+//
+//	worker → HELLO                    protocol version
+//	coord  → SETUP                    doc range, priors, shard Z, mined phrases (gob)
+//	coord  → GLOBALS                  dense word-topic counts + topic totals
+//	worker → READY                    shard checksum — worker rebuilt the same docs
+//	per sweep:
+//	  coord  → SWEEP                  iteration, RNG base, current priors
+//	  worker → DELTA                  sparse N_wk delta (+ Ndk rows at hyper barriers)
+//	  coord  → ROWS                   post-fold values of all touched rows
+//	coord  → FINISH; worker → FINAL   final shard assignments
+//	either → ABORT                    named failure, human-readable cause
+//
+// Every draw a worker makes replicates the corresponding in-process
+// SweepParallel goroutine bit for bit (same RNG stream, same frozen
+// globals, same visit order), so a distributed run's trained model —
+// and its rendered topics — is byte-identical to SweepParallel with
+// the same topology (worker count, shard ranges, seed). Output still
+// differs from the serial sampler's: that is the AD-LDA approximation,
+// deterministic per topology, not a bug.
+package dtrain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+const (
+	protoVersion = 1
+	headerSize   = 16
+	maxFrame     = 1 << 30
+)
+
+var frameMagic = [4]byte{'t', 'p', 'd', 'F'}
+
+// Frame types.
+const (
+	fHello byte = iota + 1
+	fSetup
+	fGlobals
+	fReady
+	fSweep
+	fDelta
+	fRows
+	fFinish
+	fFinal
+	fAbort
+)
+
+var (
+	// ErrWorkerLost is returned by the coordinator when a worker
+	// connection dies or misses a barrier deadline mid-run. Shard
+	// assignments live only in the worker, so the run cannot continue;
+	// it aborts loudly instead of hanging.
+	ErrWorkerLost = errors.New("dtrain: worker lost")
+	// ErrProtocol marks a malformed frame: bad magic, CRC mismatch, or
+	// an unexpected frame type.
+	ErrProtocol = errors.New("dtrain: protocol error")
+)
+
+// abortError carries the other side's ABORT message.
+type abortError struct{ msg string }
+
+func (e *abortError) Error() string { return "peer aborted: " + e.msg }
+
+// framer sends and receives frames over one connection with a
+// per-operation deadline. The receive buffer is reused; a frame's
+// payload is valid until the next recv.
+type framer struct {
+	conn    net.Conn
+	timeout time.Duration
+	hdr     [headerSize]byte
+	buf     []byte
+}
+
+func (f *framer) send(t byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, len(payload))
+	}
+	if f.timeout > 0 {
+		if err := f.conn.SetWriteDeadline(time.Now().Add(f.timeout)); err != nil {
+			return err
+		}
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], frameMagic[:])
+	hdr[4] = t
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	if _, err := f.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := f.conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *framer) recv() (byte, []byte, error) {
+	if f.timeout > 0 {
+		if err := f.conn.SetReadDeadline(time.Now().Add(f.timeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	if _, err := io.ReadFull(f.conn, f.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if [4]byte(f.hdr[:4]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad frame magic %q", ErrProtocol, f.hdr[:4])
+	}
+	t := f.hdr[4]
+	n := binary.LittleEndian.Uint32(f.hdr[8:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	if cap(f.buf) < int(n) {
+		f.buf = make([]byte, n)
+	}
+	payload := f.buf[:n]
+	if _, err := io.ReadFull(f.conn, payload); err != nil {
+		return 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(f.hdr[12:]) {
+		return 0, nil, fmt.Errorf("%w: frame CRC mismatch", ErrProtocol)
+	}
+	return t, payload, nil
+}
+
+// recvExpect receives one frame of the given type; an ABORT frame
+// surfaces as *abortError, anything else as ErrProtocol.
+func (f *framer) recvExpect(want byte) ([]byte, error) {
+	t, payload, err := f.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t == fAbort {
+		return nil, &abortError{msg: string(payload)}
+	}
+	if t != want {
+		return nil, fmt.Errorf("%w: got frame type %d, want %d", ErrProtocol, t, want)
+	}
+	return payload, nil
+}
+
+// abort best-effort sends an ABORT frame carrying the cause.
+func (f *framer) abort(msg string) {
+	_ = f.send(fAbort, []byte(msg))
+}
+
+// Little-endian append/read helpers shared by the fixed-layout frames.
+
+func appendI32s(buf []byte, vs []int32) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func appendI64s(buf []byte, vs []int64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data) < n {
+		r.err = fmt.Errorf("%w: payload truncated (need %d bytes, have %d)", ErrProtocol, n, len(r.data))
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *wireReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *wireReader) i32s(dst []int32) []int32 {
+	b := r.take(4 * len(dst))
+	if b == nil {
+		return dst
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return dst
+}
+
+func (r *wireReader) i64s(dst []int64) []int64 {
+	b := r.take(8 * len(dst))
+	if b == nil {
+		return dst
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
+}
+
+func (r *wireReader) f64s(dst []float64) []float64 {
+	b := r.take(8 * len(dst))
+	if b == nil {
+		return dst
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
+}

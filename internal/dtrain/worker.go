@@ -1,0 +1,227 @@
+package dtrain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"topmine/internal/corpusfile"
+	"topmine/internal/segment"
+	"topmine/internal/topicmodel"
+)
+
+// WorkerOptions configures one worker run.
+type WorkerOptions struct {
+	// CorpusPath overrides the coordinator-sent path — for workers on
+	// hosts where the .tpc lives elsewhere. Empty uses the job's path.
+	CorpusPath string
+	// BarrierTimeout bounds every frame exchange with the coordinator
+	// (default 120s). It must cover the coordinator's slowest barrier
+	// work (fold + hyperparameter optimisation) and the other shards'
+	// sample time.
+	BarrierTimeout time.Duration
+	// Logf, when set, receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker serves one training job over an established coordinator
+// connection: it rebuilds its assigned document range from the corpus
+// file (mmap doc-range view + local re-segmentation with the
+// coordinator's mined phrase statistics), then answers sweep barriers
+// until FINISH. The caller dials; the connection is closed on return.
+// Local failures are reported to the coordinator as ABORT frames
+// before returning, so the run fails loudly on both sides.
+func RunWorker(conn net.Conn, opt WorkerOptions) error {
+	defer conn.Close()
+	if opt.BarrierTimeout <= 0 {
+		opt.BarrierTimeout = 120 * time.Second
+	}
+	logf := func(format string, args ...any) {
+		if opt.Logf != nil {
+			opt.Logf(format, args...)
+		}
+	}
+	fr := &framer{conn: conn, timeout: opt.BarrierTimeout}
+	abortf := func(format string, args ...any) error {
+		err := fmt.Errorf(format, args...)
+		fr.abort(err.Error())
+		return err
+	}
+
+	var hello []byte
+	hello = binary.LittleEndian.AppendUint32(hello, protoVersion)
+	if err := fr.send(fHello, hello); err != nil {
+		return fmt.Errorf("dtrain: hello: %w", err)
+	}
+	payload, err := fr.recvExpect(fSetup)
+	if err != nil {
+		return fmt.Errorf("dtrain: setup: %w", err)
+	}
+	var setup setupMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&setup); err != nil {
+		return abortf("dtrain: decode setup: %v", err)
+	}
+	if setup.Proto != protoVersion {
+		return abortf("dtrain: coordinator speaks protocol %d, worker %d", setup.Proto, protoVersion)
+	}
+
+	// Rebuild the shard: zero-copy doc-range view of the corpus file,
+	// re-segmented locally with the coordinator's mined counts. The
+	// per-document partition depends only on the document's tokens and
+	// those counts, so this reproduces the coordinator's docs exactly —
+	// cross-checked by the READY checksum.
+	path := setup.CorpusPath
+	if opt.CorpusPath != "" {
+		path = opt.CorpusPath
+	}
+	f, err := corpusfile.Open(path)
+	if err != nil {
+		return abortf("dtrain: open corpus %s: %v", path, err)
+	}
+	defer f.Close()
+	sub, err := f.DocRange(setup.Lo, setup.Hi)
+	if err != nil {
+		return abortf("dtrain: doc range [%d, %d): %v", setup.Lo, setup.Hi, err)
+	}
+	segs := segment.NewSegmenter(setup.Mined, segment.Options{
+		Alpha:        setup.SigAlpha,
+		MaxPhraseLen: setup.MaxPhraseLen,
+	}).SegmentCorpus(sub)
+	docs := topicmodel.DocsFromSegmentation(sub, segs)
+	tokens := 0
+	for i := range docs {
+		tokens += docs[i].NumTokens()
+	}
+	logf("dtrain: worker %d/%d: shard [%d, %d), %d docs, %d tokens",
+		setup.Index, setup.NumWorkers, setup.Lo, setup.Hi, len(docs), tokens)
+
+	globals, err := fr.recvExpect(fGlobals)
+	if err != nil {
+		return fmt.Errorf("dtrain: globals: %w", err)
+	}
+	gr := wireReader{data: globals}
+	gv, gk := int(gr.u32()), int(gr.u32())
+	if gr.err == nil && (gv != setup.V || gk != setup.K) {
+		gr.err = fmt.Errorf("%w: globals are %dx%d, setup says %dx%d", ErrProtocol, gv, gk, setup.V, setup.K)
+	}
+	nwk := gr.i32s(make([]int32, setup.V*setup.K))
+	nk := gr.i64s(make([]int64, setup.K))
+	if gr.err != nil {
+		return abortf("dtrain: globals: %v", gr.err)
+	}
+
+	m, err := topicmodel.NewShardModel(docs, setup.V, setup.K,
+		append([]float64(nil), setup.Alpha...), setup.AlphaSum, setup.Beta, setup.Z, nwk, nk)
+	if err != nil {
+		return abortf("dtrain: shard model: %v", err)
+	}
+
+	var ready []byte
+	ready = binary.LittleEndian.AppendUint32(ready, topicmodel.DocsChecksum(docs))
+	ready = binary.LittleEndian.AppendUint64(ready, uint64(tokens))
+	if err := fr.send(fReady, ready); err != nil {
+		return fmt.Errorf("dtrain: ready: %w", err)
+	}
+
+	alpha := make([]float64, setup.K)
+	var out []byte
+	sweeps := 0
+	for {
+		t, payload, err := fr.recv()
+		if err != nil {
+			return fmt.Errorf("dtrain: barrier: %w", err)
+		}
+		switch t {
+		case fSweep:
+			r := wireReader{data: payload}
+			r.u32() // iteration, for symmetry/debugging only
+			base := r.u64()
+			wantNdk := r.u8() == 1
+			alpha = r.f64s(alpha)
+			alphaSum, beta, betaSum := r.f64(), r.f64(), r.f64()
+			if r.err != nil {
+				return abortf("dtrain: sweep frame: %v", r.err)
+			}
+			if err := m.SetPriors(alpha, alphaSum, beta, betaSum); err != nil {
+				return abortf("dtrain: priors: %v", err)
+			}
+			t0 := time.Now()
+			delta := m.ShardSweep(setup.Index, base)
+			sampleNs := time.Since(t0).Nanoseconds()
+
+			out = out[:0]
+			out = binary.LittleEndian.AppendUint64(out, uint64(sampleNs))
+			if wantNdk {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			out = delta.AppendTo(out)
+			if wantNdk {
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(docs)))
+				for d := range docs {
+					out = appendI32s(out, m.Ndk[d])
+				}
+			}
+			if err := fr.send(fDelta, out); err != nil {
+				return fmt.Errorf("dtrain: delta: %w", err)
+			}
+			m.ResetShardDelta()
+
+			rows, err := fr.recvExpect(fRows)
+			if err != nil {
+				return fmt.Errorf("dtrain: rows: %w", err)
+			}
+			cr, _, err := topicmodel.DecodeCountRows(rows, setup.V, setup.K)
+			if err != nil {
+				return abortf("dtrain: rows: %v", err)
+			}
+			if err := m.SetGlobalRows(cr); err != nil {
+				return abortf("dtrain: rows: %v", err)
+			}
+			sweeps++
+
+		case fFinish:
+			out = out[:0]
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(docs)))
+			for d := range docs {
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Z[d])))
+				out = appendI32s(out, m.Z[d])
+			}
+			if err := fr.send(fFinal, out); err != nil {
+				return fmt.Errorf("dtrain: final: %w", err)
+			}
+			logf("dtrain: worker %d: done after %d sweeps", setup.Index, sweeps)
+			return nil
+
+		case fAbort:
+			return fmt.Errorf("dtrain: coordinator aborted: %s", string(payload))
+
+		default:
+			return abortf("dtrain: unexpected frame type %d", t)
+		}
+	}
+}
+
+// Dial connects to a coordinator, retrying until the coordinator is
+// listening or the timeout elapses — worker processes are routinely
+// started before (or while) the coordinator binds its port.
+func Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dtrain: dial %s: %w", addr, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -36,6 +36,10 @@ type Options struct {
 	// OnIteration, when set, runs after each sweep (1-based); used for
 	// perplexity curves and runtime instrumentation.
 	OnIteration func(iter int, m *Model)
+	// SweepStats, when set, receives a per-sweep timing breakdown from
+	// the parallel and distributed sweep paths (sample vs. barrier/
+	// reconcile wait). Serial sweeps do not report.
+	SweepStats func(SweepStats)
 }
 
 // DefaultOptions returns the options used by the paper's experiments:
@@ -63,6 +67,15 @@ func (o *Options) fill() {
 	if o.BurnIn <= 0 {
 		o.BurnIn = o.Iterations / 10
 	}
+}
+
+// Filled returns o with the documented defaults substituted, so
+// external schedulers (the distributed coordinator) can see the
+// effective Iterations/HyperEvery/BurnIn values NewModel will use.
+// Like NewModel, it panics when K is not positive.
+func (o Options) Filled() Options {
+	o.fill()
+	return o
 }
 
 // Model is a (Phrase)LDA model trained by collapsed Gibbs sampling.
@@ -109,11 +122,13 @@ type Model struct {
 	nwk []int32
 	ndk []int32
 
-	rng       *xrand.RNG
-	weights   []float64 // scratch for dense sampling
-	denseRows [][]int32 // per-clique row cache for the dense path
-	sp        *sparseSampler
-	par       *parState
+	rng        *xrand.RNG
+	weights    []float64 // scratch for dense sampling
+	denseRows  [][]int32 // per-clique row cache for the dense path
+	sp         *sparseSampler
+	par        *parState
+	sweepStats func(SweepStats) // optional timing hook; never serialised
+	fold       *foldState       // coordinator-side delta fold scratch (dist.go)
 }
 
 // NewModel allocates a model and randomly initialises assignments.
@@ -128,6 +143,7 @@ func NewModel(docs []Doc, vocabSize int, opt Options) *Model {
 		rng:          xrand.New(opt.Seed),
 		weights:      make([]float64, opt.K),
 		DenseSampler: opt.DenseSampler,
+		sweepStats:   opt.SweepStats,
 	}
 	m.Alpha = make([]float64, opt.K)
 	for k := range m.Alpha {

@@ -2,6 +2,7 @@ package topicmodel
 
 import (
 	"sync"
+	"time"
 
 	"topmine/internal/xrand"
 )
@@ -33,6 +34,64 @@ import (
 // touched rows, worker-outermost, each row one contiguous K-stride
 // block of the arena.
 
+// workerSeedStride separates the per-worker RNG streams derived from a
+// sweep's base draw. The distributed worker (dist.go) must use the
+// same constant for its streams to match in-process ones.
+const workerSeedStride = 0x9e3779b97f4a7c15
+
+// ShardRanges splits docs into `workers` contiguous [lo, hi) ranges
+// balanced on cumulative token counts, so one long-document shard
+// doesn't stall the sweep barrier the way equal-document chunking did.
+// The boundaries are a pure function of (docs, workers): shard wi ends
+// at the first document whose cumulative token count reaches
+// total·(wi+1)/workers. Ranges cover [0, len(docs)) exactly; a range
+// may be empty under extreme skew.
+func ShardRanges(docs []Doc, workers int) [][2]int {
+	ranges := make([][2]int, workers)
+	total := 0
+	for i := range docs {
+		total += docs[i].NumTokens()
+	}
+	d, cum := 0, 0
+	for wi := 0; wi < workers; wi++ {
+		lo := d
+		if wi == workers-1 {
+			d = len(docs)
+		} else {
+			target := total * (wi + 1) / workers
+			for d < len(docs) && cum < target {
+				cum += docs[d].NumTokens()
+				d++
+			}
+		}
+		ranges[wi] = [2]int{lo, d}
+	}
+	return ranges
+}
+
+// SweepStats is one parallel (or distributed) sweep's timing breakdown,
+// delivered through the hook installed by Options.SweepStats or
+// SetSweepStats. Sample is the barrier wait — sweep start to the
+// slowest worker finishing (for a distributed run, to its delta frame
+// arriving) — and Reconcile covers folding the deltas back into the
+// global counts (plus the rebroadcast, when distributed).
+type SweepStats struct {
+	Workers      int
+	Sample       time.Duration
+	Reconcile    time.Duration
+	WorkerSample []time.Duration // per-worker sample wall time
+}
+
+// SetSweepStats installs (or clears) the per-sweep timing hook. Only
+// the parallel and distributed sweep paths report; timing is not
+// measured when no hook is set.
+func (m *Model) SetSweepStats(fn func(SweepStats)) { m.sweepStats = fn }
+
+// NextSweepBase draws the per-sweep RNG base exactly as SweepParallel
+// does. The distributed coordinator calls it once per sweep so worker
+// RNG streams match the in-process sampler draw for draw.
+func (m *Model) NextSweepBase() uint64 { return m.rng.Uint64() }
+
 // SweepParallel runs one Gibbs pass with the given number of workers.
 // workers <= 1 falls back to the exact serial sweep.
 func (m *Model) SweepParallel(workers int) {
@@ -40,31 +99,49 @@ func (m *Model) SweepParallel(workers int) {
 		m.Sweep()
 		return
 	}
-	base := m.rng.Uint64()
+	base := m.NextSweepBase()
 	ps := m.ensurePar(workers)
 
+	stats := m.sweepStats
+	var t0 time.Time
+	var perWorker []time.Duration
+	if stats != nil {
+		t0 = time.Now()
+		perWorker = make([]time.Duration, workers)
+	}
+
 	var wg sync.WaitGroup
-	chunk := (len(m.Docs) + workers - 1) / workers
-	for wi := 0; wi < workers; wi++ {
-		lo, hi := wi*chunk, (wi+1)*chunk
-		if hi > len(m.Docs) {
-			hi = len(m.Docs)
-		}
+	for wi, r := range ShardRanges(m.Docs, workers) {
+		lo, hi := r[0], r[1]
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
 		go func(ws *parWorker, wi, lo, hi int) {
 			defer wg.Done()
-			ws.rng.Seed(base + uint64(wi)*0x9e3779b97f4a7c15)
+			var start time.Time
+			if stats != nil {
+				start = time.Now()
+			}
+			ws.rng.Seed(base + uint64(wi)*workerSeedStride)
 			for d := lo; d < hi; d++ {
 				for g := range m.Docs[d].Cliques {
 					m.sampleCliqueDelta(ws, d, g)
 				}
 			}
+			if stats != nil {
+				perWorker[wi] = time.Since(start)
+			}
 		}(ps.workers[wi], wi, lo, hi)
 	}
 	wg.Wait()
+
+	var sampleDur time.Duration
+	var t1 time.Time
+	if stats != nil {
+		sampleDur = time.Since(t0)
+		t1 = time.Now()
+	}
 
 	// Reconcile worker-outermost: each worker's touched rows are
 	// contiguous K-stride blocks, applied and re-zeroed in one pass,
@@ -89,6 +166,15 @@ func (m *Model) SweepParallel(workers int) {
 	// The bulk count update bypassed the sparse sampler's word-topic
 	// index; rebuild it lazily on the next serial sparse sweep.
 	m.invalidateSparse()
+
+	if stats != nil {
+		stats(SweepStats{
+			Workers:      workers,
+			Sample:       sampleDur,
+			Reconcile:    time.Since(t1),
+			WorkerSample: perWorker,
+		})
+	}
 }
 
 // parState holds the reusable worker buffers across sweeps.

@@ -5,6 +5,129 @@ import (
 	"testing"
 )
 
+// skewedDocs builds a corpus whose first document dwarfs the rest —
+// the shape that stalls equal-document chunking at the sweep barrier.
+func skewedDocs(nSmall, bigTokens int) []Doc {
+	docs := make([]Doc, 0, nSmall+1)
+	big := Doc{ID: 0}
+	for t := 0; t < bigTokens; t++ {
+		big.Cliques = append(big.Cliques, []int32{int32(t % 10)})
+	}
+	docs = append(docs, big)
+	for d := 0; d < nSmall; d++ {
+		docs = append(docs, Doc{ID: d + 1, Cliques: [][]int32{{int32(d % 10)}}})
+	}
+	return docs
+}
+
+// TestShardRangesTokenBalance pins the shard-imbalance fix: boundaries
+// follow cumulative token counts, so on a skewed corpus the giant
+// document no longer drags half the small ones into its shard.
+func TestShardRangesTokenBalance(t *testing.T) {
+	docs := skewedDocs(300, 300)
+	ranges := ShardRanges(docs, 2)
+	if ranges[0] != [2]int{0, 1} {
+		t.Fatalf("giant doc should fill shard 0 alone, got %v", ranges)
+	}
+	if ranges[1] != [2]int{1, 301} {
+		t.Fatalf("shard 1 should hold all small docs, got %v", ranges)
+	}
+
+	// Balanced corpora split near-evenly on tokens, cover [0, n)
+	// contiguously, and the boundaries are deterministic.
+	docs = twoTopicDocs(41, 27)
+	total := 0
+	for i := range docs {
+		total += docs[i].NumTokens()
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		ranges := ShardRanges(docs, workers)
+		if len(ranges) != workers {
+			t.Fatalf("%d workers: got %d ranges", workers, len(ranges))
+		}
+		prev := 0
+		for wi, r := range ranges {
+			if r[0] != prev {
+				t.Fatalf("%d workers: range %d starts at %d, want %d", workers, wi, r[0], prev)
+			}
+			prev = r[1]
+			tok := 0
+			for d := r[0]; d < r[1]; d++ {
+				tok += docs[d].NumTokens()
+			}
+			// Each shard is within one max-document of the ideal share.
+			maxDoc := 0
+			for i := range docs {
+				if n := docs[i].NumTokens(); n > maxDoc {
+					maxDoc = n
+				}
+			}
+			if ideal := total / workers; tok > ideal+maxDoc {
+				t.Fatalf("%d workers: shard %d holds %d tokens, ideal %d (max doc %d)", workers, wi, tok, ideal, maxDoc)
+			}
+		}
+		if prev != len(docs) {
+			t.Fatalf("%d workers: ranges end at %d, want %d", workers, prev, len(docs))
+		}
+		again := ShardRanges(docs, workers)
+		for wi := range ranges {
+			if ranges[wi] != again[wi] {
+				t.Fatalf("%d workers: ShardRanges not deterministic", workers)
+			}
+		}
+	}
+}
+
+// TestSweepParallelSkewedDeterministic pins that training stays
+// deterministic (fixed topology) with token-balanced shards on a
+// skewed corpus, and that invariants hold.
+func TestSweepParallelSkewedDeterministic(t *testing.T) {
+	opt := Options{K: 3, Iterations: 10, Seed: 211}
+	a := TrainParallel(skewedDocs(50, 120), 10, opt, 3)
+	b := TrainParallel(skewedDocs(50, 120), 10, opt, 3)
+	for d := range a.Z {
+		for g := range a.Z[d] {
+			if a.Z[d][g] != b.Z[d][g] {
+				t.Fatal("skewed parallel training nondeterministic")
+			}
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepStatsHook pins the per-sweep timing hook: parallel sweeps
+// report worker count and per-worker sample durations; clearing the
+// hook stops reporting.
+func TestSweepStatsHook(t *testing.T) {
+	docs := twoTopicDocs(20, 20)
+	m := NewModel(docs, 10, Options{K: 2, Iterations: 1, Seed: 13})
+	var got []SweepStats
+	m.SetSweepStats(func(st SweepStats) { got = append(got, st) })
+	m.SweepParallel(4)
+	m.SweepParallel(4)
+	if len(got) != 2 {
+		t.Fatalf("expected 2 stats reports, got %d", len(got))
+	}
+	for _, st := range got {
+		if st.Workers != 4 || len(st.WorkerSample) != 4 {
+			t.Fatalf("bad stats shape: %+v", st)
+		}
+		if st.Sample <= 0 {
+			t.Fatalf("sample duration not measured: %+v", st)
+		}
+	}
+	m.SetSweepStats(nil)
+	m.SweepParallel(4)
+	if len(got) != 2 {
+		t.Fatal("cleared hook still reporting")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSweepParallelPreservesInvariants(t *testing.T) {
 	docs := twoTopicDocs(20, 20)
 	m := NewModel(docs, 10, Options{K: 3, Iterations: 1, Seed: 91})
