@@ -107,6 +107,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"at this address (-corpus overrides the coordinator-sent corpus path) and exit when training completes")
 	trainTimeout := fs.Duration("train-timeout", 0, "distributed training barrier timeout; with -train-coordinator also bounds "+
 		"the wait for workers to connect (0 = defaults: 120s barriers, 60s accept)")
+	trainCheckpoint := fs.String("checkpoint", "", "with -train-coordinator: atomically rewrite a CRC-checked .tpd barrier checkpoint "+
+		"at this path every -checkpoint-every sweeps; a dead run restarts from it with -resume")
+	trainCkptEvery := fs.Int("checkpoint-every", 0, "with -checkpoint: sweeps between checkpoint writes (0 = 50)")
+	trainResume := fs.String("resume", "", "with -train-coordinator: resume a dead run from this .tpd checkpoint with any worker count; "+
+		"the training schedule and sampler state come from the checkpoint, the mining flags must match the original run")
+	trainElastic := fs.Bool("elastic", false, "with -train-coordinator: survive lost workers by rolling back to the last barrier "+
+		"snapshot, re-accepting replacements and re-sharding instead of failing the run")
+	trainReconnect := fs.Duration("train-reconnect", 0, "with -train-worker: re-dial a lost coordinator for up to this long instead "+
+		"of exiting, so a worker fleet rides out a coordinator restart with -resume (0 = exit on coordinator loss)")
 	verbose := fs.Bool("v", false, "verbose training logs: per-sweep sample/reconcile timing for parallel (-topic-workers) and distributed training")
 	topN := fs.Int("top", 10, "phrases and unigrams to display per topic")
 	noHyper := fs.Bool("nohyper", false, "disable hyperparameter optimisation")
@@ -136,7 +145,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// everything from the coordinator — so any pipeline flag here is
 		// a misunderstanding worth failing loudly on.
 		allowed := map[string]bool{"train-worker": true, "train-timeout": true,
-			"corpus": true, "v": true}
+			"train-reconnect": true, "corpus": true, "v": true}
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -146,17 +155,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if len(ignored) > 0 {
 			return fmt.Errorf("-train-worker receives all training parameters from the coordinator; %s would be ignored", strings.Join(ignored, ", "))
 		}
-		return runTrainWorker(*trainWorker, *corpusFile, *trainTimeout, stderr)
+		return runTrainWorker(*trainWorker, *corpusFile, *trainTimeout, *trainReconnect, stderr)
 	}
 	if flagWasSet(fs, "train-workers") && *trainCoordinator == "" {
 		return fmt.Errorf("-train-workers needs -train-coordinator")
+	}
+	for _, name := range []string{"checkpoint", "checkpoint-every", "resume", "elastic"} {
+		if flagWasSet(fs, name) && *trainCoordinator == "" {
+			return fmt.Errorf("-%s needs -train-coordinator", name)
+		}
+	}
+	if flagWasSet(fs, "train-reconnect") {
+		return fmt.Errorf("-train-reconnect needs -train-worker")
+	}
+	if flagWasSet(fs, "checkpoint-every") && *trainCheckpoint == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint")
 	}
 	if *trainCoordinator != "" {
 		// The coordinator is a training mode: it takes the full set of
 		// training flags but replaces the in-process samplers, so input
 		// flags and -topic-workers are rejected rather than ignored.
 		allowed := map[string]bool{"train-coordinator": true, "train-workers": true,
-			"train-timeout": true, "corpus": true, "k": true, "iters": true,
+			"train-timeout": true, "checkpoint": true, "checkpoint-every": true,
+			"resume": true, "elastic": true, "corpus": true, "k": true, "iters": true,
 			"minsup": true, "relsup": true, "alpha": true, "maxlen": true,
 			"seed": true, "top": true, "nohyper": true, "filterbg": true,
 			"save": true, "save-state": true, "infer": true, "infer-iters": true,
@@ -176,6 +197,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if *trainWorkers < 1 {
 			return fmt.Errorf("-train-workers must be at least 1, got %d", *trainWorkers)
 		}
+		if *trainResume != "" {
+			// The schedule and sampler state live in the checkpoint; a
+			// silently ignored -k or -iters would look like a different run.
+			var clash []string
+			for _, name := range []string{"k", "iters", "nohyper", "seed"} {
+				if flagWasSet(fs, name) {
+					clash = append(clash, "-"+name)
+				}
+			}
+			if len(clash) > 0 {
+				return fmt.Errorf("-resume takes the training schedule and sampler state from the checkpoint; %s would be ignored", strings.Join(clash, ", "))
+			}
+		}
 		opt := topmine.DefaultOptions()
 		opt.Topics = *k
 		opt.Iterations = *iters
@@ -192,6 +226,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		return runCoordinator(*trainCoordinator, *corpusFile, *trainWorkers, *trainTimeout,
+			coordinatorConfig{
+				checkpoint: *trainCheckpoint, checkpointEvery: *trainCkptEvery,
+				resume: *trainResume, elastic: *trainElastic,
+			},
 			opt, *verbose, *saveModel, *saveState, *inferText, *inferIters, stdout, stderr)
 	}
 	if *mergePath != "" {
@@ -446,31 +484,52 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 // sweepStatsLogger returns a SweepStats hook that logs a timing
-// breakdown every 25th sweep (and the first), keeping -v readable over
-// thousand-sweep runs while still showing the sample/reconcile split.
+// breakdown every 25th sweep (and the first, and every sweep that
+// wrote a checkpoint), keeping -v readable over thousand-sweep runs
+// while still showing the sample/reconcile split, checkpoint cost and
+// elastic recoveries.
 func sweepStatsLogger(stderr io.Writer) func(topmine.SweepStats) {
 	n := 0
 	return func(st topmine.SweepStats) {
 		n++
-		if n != 1 && n%25 != 0 {
+		if n != 1 && n%25 != 0 && st.Checkpoint == 0 {
 			return
 		}
-		fmt.Fprintf(stderr, "sweep %4d: sample %v, reconcile %v (%d workers)\n",
+		line := fmt.Sprintf("sweep %4d: sample %v, reconcile %v (%d workers",
 			n, st.Sample.Round(10*time.Microsecond), st.Reconcile.Round(10*time.Microsecond), st.Workers)
+		if st.Recovered > 0 {
+			line += fmt.Sprintf(", %d recovered", st.Recovered)
+		}
+		line += ")"
+		if st.Checkpoint > 0 {
+			line += fmt.Sprintf(", checkpoint %v", st.Checkpoint.Round(10*time.Microsecond))
+		}
+		fmt.Fprintln(stderr, line)
 	}
+}
+
+// coordinatorConfig carries the fault-tolerance flags into
+// runCoordinator.
+type coordinatorConfig struct {
+	checkpoint      string
+	checkpointEvery int
+	resume          string
+	elastic         bool
 }
 
 // runCoordinator is the -train-coordinator mode: train over a shared
 // corpus file with external worker processes, then print topics (and
 // optionally snapshot/infer) exactly like an in-process run.
 func runCoordinator(addr, corpusPath string, workers int, timeout time.Duration,
-	opt topmine.Options, verbose bool, saveModel string, saveState bool,
+	cfg coordinatorConfig, opt topmine.Options, verbose bool, saveModel string, saveState bool,
 	inferText string, inferIters int, stdout, stderr io.Writer) error {
 	dopt := topmine.DistributedOptions{
 		Addr:           addr,
 		Workers:        workers,
 		AcceptTimeout:  timeout,
 		BarrierTimeout: timeout,
+		Checkpoint:     topmine.CheckpointSpec{Path: cfg.checkpoint, Every: cfg.checkpointEvery},
+		Elastic:        cfg.elastic,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
@@ -479,13 +538,24 @@ func runCoordinator(addr, corpusPath string, workers int, timeout time.Duration,
 		dopt.SweepStats = sweepStatsLogger(stderr)
 	}
 	t0 := time.Now()
-	res, err := topmine.TrainDistributed(corpusPath, opt, dopt)
+	var res *topmine.Result
+	var err error
+	if cfg.resume != "" {
+		res, err = topmine.ResumeDistributed(corpusPath, cfg.resume, opt, dopt)
+	} else {
+		res, err = topmine.TrainDistributed(corpusPath, opt, dopt)
+	}
 	if err != nil {
 		return err
 	}
 	defer res.Close()
-	fmt.Fprintf(stderr, "distributed training: %v (%d workers, %d sweeps)\n",
-		time.Since(t0).Round(time.Millisecond), workers, opt.Iterations)
+	if cfg.resume != "" {
+		fmt.Fprintf(stderr, "distributed training resumed from %s: %v (%d workers)\n",
+			cfg.resume, time.Since(t0).Round(time.Millisecond), workers)
+	} else {
+		fmt.Fprintf(stderr, "distributed training: %v (%d workers, %d sweeps)\n",
+			time.Since(t0).Round(time.Millisecond), workers, opt.Iterations)
+	}
 	fmt.Fprint(stdout, topmine.FormatTopics(res.Topics))
 	if saveModel != "" {
 		if err := saveSnapshot(saveModel, res, saveState, stderr); err != nil {
@@ -499,13 +569,15 @@ func runCoordinator(addr, corpusPath string, workers int, timeout time.Duration,
 }
 
 // runTrainWorker is the -train-worker mode: serve one distributed
-// training job and exit.
-func runTrainWorker(addr, corpusOverride string, timeout time.Duration, stderr io.Writer) error {
+// training job and exit (re-dialing a lost coordinator when
+// -train-reconnect is set).
+func runTrainWorker(addr, corpusOverride string, timeout, reconnect time.Duration, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "connecting to coordinator at %s\n", addr)
 	return topmine.ServeTrainingWorker(addr, topmine.TrainingWorkerOptions{
 		CorpusPath:     corpusOverride,
 		DialTimeout:    timeout,
 		BarrierTimeout: timeout,
+		Reconnect:      reconnect,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -313,6 +314,66 @@ func TestDistributedCLIWorkflow(t *testing.T) {
 	}
 }
 
+// TestDistributedCheckpointResumeCLI drives -checkpoint / -resume
+// through the CLI: a coordinator run that checkpoints every sweep, then
+// a -resume run over the final checkpoint. The resumed run replays zero
+// sweeps (the checkpoint is at the schedule's end) and must render the
+// byte-identical topics — the schedule flags stay off the resume
+// command line, because the checkpoint owns them.
+func TestDistributedCheckpointResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "corpus.tpc")
+	ck := filepath.Join(dir, "run.tpd")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-preprocess", tpc), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess: %v\nstderr:\n%s", err, errb.String())
+	}
+
+	runDistributed := func(coordArgs []string) (string, string) {
+		t.Helper()
+		addr := freePort(t)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var wout, werr bytes.Buffer
+				if err := run([]string{"-train-worker", addr, "-train-timeout", "30s"},
+					strings.NewReader(""), &wout, &werr); err != nil {
+					t.Errorf("worker %d: %v\nstderr:\n%s", i, err, werr.String())
+				}
+			}(i)
+		}
+		var dout, derr bytes.Buffer
+		args := append([]string{"-train-coordinator", addr, "-train-workers", "2", "-train-timeout", "30s"}, coordArgs...)
+		err := run(args, strings.NewReader(""), &dout, &derr)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("coordinator %v: %v\nstderr:\n%s", coordArgs, err, derr.String())
+		}
+		return dout.String(), derr.String()
+	}
+
+	out1, err1 := runDistributed(append(fastArgs("-corpus", tpc), "-checkpoint", ck, "-checkpoint-every", "1", "-v"))
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	if !strings.Contains(err1, "checkpoint ") {
+		t.Fatalf("-v did not log checkpoint timings:\n%s", err1)
+	}
+	// -minsup/-top must match the original run (they shape the corpus
+	// rebuild and rendering); -k/-iters/-seed must NOT be passed — the
+	// checkpoint carries the schedule.
+	out2, err2 := runDistributed([]string{"-corpus", tpc, "-resume", ck, "-minsup", "2", "-top", "3"})
+	if !strings.Contains(err2, "resumed from") {
+		t.Fatalf("resume not reported:\n%s", err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("resumed topics differ from the original run:\n--- original ---\n%s\n--- resumed ---\n%s", out1, out2)
+	}
+}
+
 func TestBadFlagCombos(t *testing.T) {
 	cases := [][]string{
 		{"-input", "x", "-synth", "yelp-reviews"},
@@ -339,6 +400,15 @@ func TestBadFlagCombos(t *testing.T) {
 		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-input", "y"},
 		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-load", "m.tpm"},
 		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "0"},
+		{"-checkpoint", "x.tpd"},
+		{"-checkpoint-every", "5"},
+		{"-resume", "x.tpd"},
+		{"-elastic"},
+		{"-train-reconnect", "5s"},
+		{"-train-worker", ":0", "-checkpoint", "x.tpd"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "2", "-checkpoint-every", "5"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "2", "-resume", "x.tpd", "-k", "5"},
+		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "2", "-resume", "x.tpd", "-iters", "9"},
 	}
 	for _, args := range cases {
 		if err := run(args, strings.NewReader(""), io.Discard, io.Discard); err == nil {

@@ -1,6 +1,7 @@
 package topmine
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -31,13 +32,34 @@ import (
 // SweepStats is one sweep's timing breakdown from parallel or
 // distributed training: Sample is the barrier wait for the slowest
 // worker, Reconcile the delta fold + (for distributed runs) the
-// rebroadcast, WorkerSample the per-worker sample times.
+// rebroadcast, WorkerSample the per-worker sample times, Checkpoint
+// the barrier's .tpd write (zero when none happened), Recovered the
+// cumulative count of workers re-accepted after failures.
 type SweepStats = topicmodel.SweepStats
 
-// ErrWorkerLost is returned by TrainDistributed when a worker process
-// dies or misses a barrier deadline mid-run. Shard state lives only in
-// workers, so the run aborts loudly instead of hanging or degrading.
-var ErrWorkerLost = dtrain.ErrWorkerLost
+// CheckpointSpec configures barrier checkpointing of a distributed
+// run: Path is the .tpd file the coordinator atomically rewrites,
+// Every the sweep cadence (default 50 when Path is set).
+type CheckpointSpec = dtrain.CheckpointSpec
+
+// Named distributed-training failure classes.
+var (
+	// ErrWorkerLost is returned by TrainDistributed when a worker
+	// process dies or misses a barrier deadline mid-run and the run is
+	// not elastic (or its recovery budget is exhausted).
+	ErrWorkerLost = dtrain.ErrWorkerLost
+	// ErrCoordinatorLost is returned by ServeTrainingWorker when the
+	// coordinator connection dies mid-run and TrainingWorkerOptions.
+	// Reconnect is zero (otherwise the worker re-dials).
+	ErrCoordinatorLost = dtrain.ErrCoordinatorLost
+	// ErrCheckpointCorrupt is wrapped by every torn/bit-rotted .tpd
+	// failure from ResumeDistributed's checkpoint read.
+	ErrCheckpointCorrupt = dtrain.ErrCkptChecksum
+	// ErrCheckpointMismatch is returned by ResumeDistributed when the
+	// corpus file (or the mining/segmentation options) does not rebuild
+	// the documents the checkpoint was trained against.
+	ErrCheckpointMismatch = dtrain.ErrCorpusMismatch
+)
 
 // DistributedOptions configures the coordinator side of a distributed
 // training run.
@@ -54,13 +76,46 @@ type DistributedOptions struct {
 	// (default 60s).
 	AcceptTimeout time.Duration
 	// BarrierTimeout bounds every per-worker frame exchange; a worker
-	// that dies or stalls past it fails the run with ErrWorkerLost
-	// (default 120s).
+	// that dies or stalls past it fails the run with ErrWorkerLost —
+	// or triggers recovery when Elastic is set (default 120s).
 	BarrierTimeout time.Duration
+	// Checkpoint enables barrier checkpoints: at the configured sweep
+	// cadence (and with state also captured at every hyperparameter
+	// barrier) the coordinator writes the globally synchronized model
+	// state — priors, every document's assignments, sweep number, RNG
+	// position, corpus checksum — to a CRC-checked .tpd file via temp
+	// file + rename. ResumeDistributed restarts a dead run from it.
+	Checkpoint CheckpointSpec
+	// Elastic keeps the run alive when workers are lost: the
+	// coordinator rolls back to the last synchronized barrier snapshot,
+	// re-accepts replacements for up to ReacceptTimeout, re-shards and
+	// continues. If the worker count ends up unchanged, the final model
+	// is byte-identical to an uninterrupted run.
+	Elastic bool
+	// ReacceptTimeout bounds the wait for replacement workers during
+	// one elastic recovery (default 15s); when it elapses the run
+	// continues with the survivors.
+	ReacceptTimeout time.Duration
+	// MaxRecoveries caps elastic recoveries per run (default 5).
+	MaxRecoveries int
 	// SweepStats, when set, receives one timing breakdown per sweep.
 	SweepStats func(SweepStats)
 	// Logf, when set, receives lifecycle log lines.
 	Logf func(format string, args ...any)
+}
+
+func (dopt DistributedOptions) internal() dtrain.Options {
+	return dtrain.Options{
+		Workers:         dopt.Workers,
+		AcceptTimeout:   dopt.AcceptTimeout,
+		BarrierTimeout:  dopt.BarrierTimeout,
+		Checkpoint:      dopt.Checkpoint,
+		Elastic:         dopt.Elastic,
+		ReacceptTimeout: dopt.ReacceptTimeout,
+		MaxRecoveries:   dopt.MaxRecoveries,
+		SweepStats:      dopt.SweepStats,
+		Logf:            dopt.Logf,
+	}
 }
 
 // TrainingWorkerOptions configures one ServeTrainingWorker call.
@@ -75,6 +130,12 @@ type TrainingWorkerOptions struct {
 	// BarrierTimeout bounds every frame exchange with the coordinator
 	// (default 120s).
 	BarrierTimeout time.Duration
+	// Reconnect, when positive, makes the worker survive a coordinator
+	// loss: each time the connection dies mid-run it re-dials for up to
+	// this long (jittered exponential backoff) and serves the next job
+	// — typically a coordinator restarted with -resume. Explicit aborts
+	// and protocol errors are never retried.
+	Reconnect time.Duration
 	// Logf, when set, receives lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -93,10 +154,41 @@ type TrainingWorkerOptions struct {
 // dopt.Workers >= 2. A single distributed worker has no in-process
 // twin — TopicWorkers 1 selects the exact serial sampler, which no
 // sharded run reproduces — so Workers 1 is supported but only
-// comparable to other distributed runs. Any worker failure fails the
-// whole run (ErrWorkerLost for deaths and stalls); there is no
-// mid-sweep recovery, by design.
+// comparable to other distributed runs. By default any worker failure
+// fails the whole run (ErrWorkerLost for deaths and stalls);
+// dopt.Elastic recovers from lost workers instead, and dopt.Checkpoint
+// + ResumeDistributed survive coordinator death too.
 func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Result, error) {
+	return runDistributed(path, opt, dopt, func(ln net.Listener, job dtrain.Job) (*topicmodel.Model, error) {
+		return dtrain.Train(ln, job, dopt.internal())
+	})
+}
+
+// ResumeDistributed restarts a dead distributed run from a .tpd
+// barrier checkpoint written by a TrainDistributed coordinator with
+// DistributedOptions.Checkpoint set. Any worker count works — shards
+// are recomputed after the restore — and the training schedule
+// (iterations, hyperparameter cadence) comes from the checkpoint.
+// opt must carry the same mining/segmentation parameters as the
+// original run: the rebuilt documents are verified against the
+// checkpoint's corpus checksum (ErrCheckpointMismatch otherwise)
+// before any worker is accepted. A resumed run's final model is
+// byte-identical to a fresh run launched from that checkpoint state
+// with the same worker count.
+func ResumeDistributed(path, ckptPath string, opt Options, dopt DistributedOptions) (*Result, error) {
+	ck, err := dtrain.ReadCheckpointFile(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	return runDistributed(path, opt, dopt, func(ln net.Listener, job dtrain.Job) (*topicmodel.Model, error) {
+		return dtrain.Resume(ln, job, ck, dopt.internal())
+	})
+}
+
+// runDistributed is the shared coordinator-side harness: open (and
+// possibly re-mine) the corpus, listen, run the protocol via train,
+// wrap the trained model into a Result.
+func runDistributed(path string, opt Options, dopt DistributedOptions, train func(net.Listener, dtrain.Job) (*topicmodel.Model, error)) (*Result, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
@@ -130,7 +222,7 @@ func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Resul
 		return nil, fmt.Errorf("topmine: TrainDistributed: %w", err)
 	}
 	defer ln.Close()
-	model, err := dtrain.Train(ln, dtrain.Job{
+	model, err := train(ln, dtrain.Job{
 		CorpusPath:   path,
 		Docs:         docs,
 		VocabSize:    c.Vocab.Size(),
@@ -138,12 +230,6 @@ func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Resul
 		SigAlpha:     opt.SigThreshold,
 		MaxPhraseLen: opt.MaxPhraseLen,
 		Model:        toModelOptions(opt, nil),
-	}, dtrain.Options{
-		Workers:        dopt.Workers,
-		AcceptTimeout:  dopt.AcceptTimeout,
-		BarrierTimeout: dopt.BarrierTimeout,
-		SweepStats:     dopt.SweepStats,
-		Logf:           dopt.Logf,
 	})
 	if err != nil {
 		cf.Close()
@@ -156,21 +242,36 @@ func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Resul
 }
 
 // ServeTrainingWorker serves one distributed training job as a worker:
-// it dials the coordinator at addr (retrying until it is listening),
-// rebuilds its assigned document range from the corpus file, and
-// answers sweep barriers until training completes. It returns nil
-// after a successful run and an error describing the cause when the
-// run aborts (local failure, coordinator abort, lost connection).
+// it dials the coordinator at addr (retrying with jittered exponential
+// backoff until it is listening), rebuilds its assigned document range
+// from the corpus file, and answers sweep barriers until training
+// completes. It returns nil after a successful run and an error
+// describing the cause when the run aborts (local failure, coordinator
+// abort, lost connection). With wopt.Reconnect set, a lost coordinator
+// connection re-dials instead of failing — the path by which a worker
+// fleet rides out a coordinator restart + resume.
 func ServeTrainingWorker(addr string, wopt TrainingWorkerOptions) error {
-	conn, err := dtrain.Dial(addr, wopt.DialTimeout)
-	if err != nil {
-		return err
+	dialTimeout := wopt.DialTimeout
+	for {
+		conn, err := dtrain.Dial(addr, dialTimeout)
+		if err != nil {
+			return err
+		}
+		err = dtrain.RunWorker(conn, dtrain.WorkerOptions{
+			CorpusPath:     wopt.CorpusPath,
+			BarrierTimeout: wopt.BarrierTimeout,
+			Logf:           wopt.Logf,
+		})
+		if err == nil || wopt.Reconnect <= 0 || !errors.Is(err, dtrain.ErrCoordinatorLost) {
+			return err
+		}
+		if wopt.Logf != nil {
+			wopt.Logf("topmine: worker lost coordinator (%v); re-dialing %s for up to %v", err, addr, wopt.Reconnect)
+		}
+		// Each loss grants one fresh Reconnect window for the re-dial;
+		// a coordinator that stays down ends the worker when it closes.
+		dialTimeout = wopt.Reconnect
 	}
-	return dtrain.RunWorker(conn, dtrain.WorkerOptions{
-		CorpusPath:     wopt.CorpusPath,
-		BarrierTimeout: wopt.BarrierTimeout,
-		Logf:           wopt.Logf,
-	})
 }
 
 // TrainModelWithSweepStats is TrainModel with a per-sweep timing hook.

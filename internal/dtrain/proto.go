@@ -12,11 +12,20 @@
 //	coord  → GLOBALS                  dense word-topic counts + topic totals
 //	worker → READY                    shard checksum — worker rebuilt the same docs
 //	per sweep:
-//	  coord  → SWEEP                  iteration, RNG base, current priors
-//	  worker → DELTA                  sparse N_wk delta (+ Ndk rows at hyper barriers)
+//	  coord  → SWEEP                  iteration, RNG base, wantZ flag, current priors
+//	  worker → DELTA                  sparse N_wk delta
+//	  worker → CKPT                   full shard Z (only when SWEEP set wantZ)
 //	  coord  → ROWS                   post-fold values of all touched rows
 //	coord  → FINISH; worker → FINAL   final shard assignments
 //	either → ABORT                    named failure, human-readable cause
+//
+// The SWEEP wantZ flag is set at hyperparameter-optimization barriers
+// (the coordinator recomputes every document-topic row from the
+// uploaded assignments) and at checkpoint barriers (the coordinator
+// snapshots the globally synchronized state, in memory for elastic
+// recovery and optionally to a .tpd file). A coordinator recovering
+// from a lost worker re-sends SETUP mid-run; workers treat SETUP at
+// any point as "abandon the current shard and resync".
 //
 // Every draw a worker makes replicates the corresponding in-process
 // SweepParallel goroutine bit for bit (same RNG stream, same frozen
@@ -39,7 +48,7 @@ import (
 )
 
 const (
-	protoVersion = 1
+	protoVersion = 2
 	headerSize   = 16
 	maxFrame     = 1 << 30
 )
@@ -58,6 +67,7 @@ const (
 	fFinish
 	fFinal
 	fAbort
+	fCkpt
 )
 
 var (
@@ -69,6 +79,13 @@ var (
 	// ErrProtocol marks a malformed frame: bad magic, CRC mismatch, or
 	// an unexpected frame type.
 	ErrProtocol = errors.New("dtrain: protocol error")
+	// ErrCoordinatorLost is returned by RunWorker when the coordinator
+	// connection dies or misses a barrier deadline. It marks the one
+	// retryable worker-side failure class: the coordinator may have
+	// restarted (possibly resuming from a checkpoint), so the public
+	// worker loop can dial again, unlike explicit aborts or protocol
+	// violations, which stay fatal.
+	ErrCoordinatorLost = errors.New("dtrain: coordinator lost")
 )
 
 // abortError carries the other side's ABORT message.
@@ -157,9 +174,22 @@ func (f *framer) recvExpect(want byte) ([]byte, error) {
 	return payload, nil
 }
 
-// abort best-effort sends an ABORT frame carrying the cause.
+// abortTimeout bounds the best-effort ABORT write. Failure propagation
+// fans out to every surviving peer; with the regular BarrierTimeout a
+// single wedged connection (full TCP window, stalled reader) could
+// stall that fan-out for minutes, so the courtesy notification gets its
+// own short budget instead.
+const abortTimeout = 2 * time.Second
+
+// abort best-effort sends an ABORT frame carrying the cause, bounded
+// by abortTimeout rather than the frame timeout.
 func (f *framer) abort(msg string) {
+	saved := f.timeout
+	if saved <= 0 || saved > abortTimeout {
+		f.timeout = abortTimeout
+	}
 	_ = f.send(fAbort, []byte(msg))
+	f.timeout = saved
 }
 
 // Little-endian append/read helpers shared by the fixed-layout frames.

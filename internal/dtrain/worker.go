@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"topmine/internal/corpusfile"
 	"topmine/internal/segment"
 	"topmine/internal/topicmodel"
+	"topmine/internal/xrand"
 )
 
 // WorkerOptions configures one worker run.
@@ -31,9 +33,17 @@ type WorkerOptions struct {
 // connection: it rebuilds its assigned document range from the corpus
 // file (mmap doc-range view + local re-segmentation with the
 // coordinator's mined phrase statistics), then answers sweep barriers
-// until FINISH. The caller dials; the connection is closed on return.
-// Local failures are reported to the coordinator as ABORT frames
-// before returning, so the run fails loudly on both sides.
+// until FINISH. A SETUP arriving mid-run means the coordinator
+// recovered from a lost peer and resharded: the worker abandons its
+// current shard and rebuilds from the new SETUP. The caller dials; the
+// connection is closed on return.
+//
+// Failures split into two classes. Local and protocol failures are
+// fatal and reported to the coordinator as ABORT frames before
+// returning, so the run fails loudly on both sides. Connection-level
+// failures — the coordinator died or stalled — wrap
+// ErrCoordinatorLost, which the reconnecting loop in the public API
+// treats as retryable (the coordinator may come back via Resume).
 func RunWorker(conn net.Conn, opt WorkerOptions) error {
 	defer conn.Close()
 	if opt.BarrierTimeout <= 0 {
@@ -45,27 +55,44 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 		}
 	}
 	fr := &framer{conn: conn, timeout: opt.BarrierTimeout}
+
+	var hello []byte
+	hello = binary.LittleEndian.AppendUint32(hello, protoVersion)
+	if err := fr.send(fHello, hello); err != nil {
+		return coordErr("hello", err)
+	}
+	setup, err := fr.recvExpect(fSetup)
+	if err != nil {
+		return coordErr("setup", err)
+	}
+	for {
+		next, err := serveShard(fr, setup, opt, logf)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			return nil
+		}
+		setup = next
+	}
+}
+
+// serveShard handles one SETUP's worth of work: rebuild the shard,
+// verify it via READY, answer sweep barriers. It returns (nil, nil)
+// after FINISH, or the payload of a new SETUP when the coordinator
+// resharded mid-run (elastic recovery) so the caller can start over.
+func serveShard(fr *framer, payload []byte, opt WorkerOptions, logf func(string, ...any)) ([]byte, error) {
 	abortf := func(format string, args ...any) error {
 		err := fmt.Errorf(format, args...)
 		fr.abort(err.Error())
 		return err
 	}
-
-	var hello []byte
-	hello = binary.LittleEndian.AppendUint32(hello, protoVersion)
-	if err := fr.send(fHello, hello); err != nil {
-		return fmt.Errorf("dtrain: hello: %w", err)
-	}
-	payload, err := fr.recvExpect(fSetup)
-	if err != nil {
-		return fmt.Errorf("dtrain: setup: %w", err)
-	}
 	var setup setupMsg
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&setup); err != nil {
-		return abortf("dtrain: decode setup: %v", err)
+		return nil, abortf("dtrain: decode setup: %v", err)
 	}
 	if setup.Proto != protoVersion {
-		return abortf("dtrain: coordinator speaks protocol %d, worker %d", setup.Proto, protoVersion)
+		return nil, abortf("dtrain: coordinator speaks protocol %d, worker %d", setup.Proto, protoVersion)
 	}
 
 	// Rebuild the shard: zero-copy doc-range view of the corpus file,
@@ -79,12 +106,12 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 	}
 	f, err := corpusfile.Open(path)
 	if err != nil {
-		return abortf("dtrain: open corpus %s: %v", path, err)
+		return nil, abortf("dtrain: open corpus %s: %v", path, err)
 	}
 	defer f.Close()
 	sub, err := f.DocRange(setup.Lo, setup.Hi)
 	if err != nil {
-		return abortf("dtrain: doc range [%d, %d): %v", setup.Lo, setup.Hi, err)
+		return nil, abortf("dtrain: doc range [%d, %d): %v", setup.Lo, setup.Hi, err)
 	}
 	segs := segment.NewSegmenter(setup.Mined, segment.Options{
 		Alpha:        setup.SigAlpha,
@@ -100,7 +127,7 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 
 	globals, err := fr.recvExpect(fGlobals)
 	if err != nil {
-		return fmt.Errorf("dtrain: globals: %w", err)
+		return nil, coordErr("globals", err)
 	}
 	gr := wireReader{data: globals}
 	gv, gk := int(gr.u32()), int(gr.u32())
@@ -110,20 +137,20 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 	nwk := gr.i32s(make([]int32, setup.V*setup.K))
 	nk := gr.i64s(make([]int64, setup.K))
 	if gr.err != nil {
-		return abortf("dtrain: globals: %v", gr.err)
+		return nil, abortf("dtrain: globals: %v", gr.err)
 	}
 
 	m, err := topicmodel.NewShardModel(docs, setup.V, setup.K,
 		append([]float64(nil), setup.Alpha...), setup.AlphaSum, setup.Beta, setup.Z, nwk, nk)
 	if err != nil {
-		return abortf("dtrain: shard model: %v", err)
+		return nil, abortf("dtrain: shard model: %v", err)
 	}
 
 	var ready []byte
 	ready = binary.LittleEndian.AppendUint32(ready, topicmodel.DocsChecksum(docs))
 	ready = binary.LittleEndian.AppendUint64(ready, uint64(tokens))
 	if err := fr.send(fReady, ready); err != nil {
-		return fmt.Errorf("dtrain: ready: %w", err)
+		return nil, coordErr("ready", err)
 	}
 
 	alpha := make([]float64, setup.K)
@@ -132,21 +159,21 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 	for {
 		t, payload, err := fr.recv()
 		if err != nil {
-			return fmt.Errorf("dtrain: barrier: %w", err)
+			return nil, coordErr("barrier", err)
 		}
 		switch t {
 		case fSweep:
 			r := wireReader{data: payload}
 			r.u32() // iteration, for symmetry/debugging only
 			base := r.u64()
-			wantNdk := r.u8() == 1
+			wantZ := r.u8() == 1
 			alpha = r.f64s(alpha)
 			alphaSum, beta, betaSum := r.f64(), r.f64(), r.f64()
 			if r.err != nil {
-				return abortf("dtrain: sweep frame: %v", r.err)
+				return nil, abortf("dtrain: sweep frame: %v", r.err)
 			}
 			if err := m.SetPriors(alpha, alphaSum, beta, betaSum); err != nil {
-				return abortf("dtrain: priors: %v", err)
+				return nil, abortf("dtrain: priors: %v", err)
 			}
 			t0 := time.Now()
 			delta := m.ShardSweep(setup.Index, base)
@@ -154,74 +181,122 @@ func RunWorker(conn net.Conn, opt WorkerOptions) error {
 
 			out = out[:0]
 			out = binary.LittleEndian.AppendUint64(out, uint64(sampleNs))
-			if wantNdk {
-				out = append(out, 1)
-			} else {
-				out = append(out, 0)
-			}
 			out = delta.AppendTo(out)
-			if wantNdk {
-				out = binary.LittleEndian.AppendUint32(out, uint32(len(docs)))
-				for d := range docs {
-					out = appendI32s(out, m.Ndk[d])
-				}
-			}
 			if err := fr.send(fDelta, out); err != nil {
-				return fmt.Errorf("dtrain: delta: %w", err)
+				return nil, coordErr("delta", err)
 			}
 			m.ResetShardDelta()
+			if wantZ {
+				out = appendShardZ(out[:0], m, len(docs))
+				if err := fr.send(fCkpt, out); err != nil {
+					return nil, coordErr("ckpt", err)
+				}
+			}
 
-			rows, err := fr.recvExpect(fRows)
+			// The post-fold rows normally follow; a SETUP here instead
+			// means a peer died during this barrier and the coordinator is
+			// resharding — hand it up and start over.
+			t, rows, err := fr.recv()
 			if err != nil {
-				return fmt.Errorf("dtrain: rows: %w", err)
+				return nil, coordErr("rows", err)
+			}
+			switch t {
+			case fRows:
+			case fSetup:
+				logf("dtrain: worker %d: resync at mid-sweep barrier", setup.Index)
+				return append([]byte(nil), rows...), nil
+			case fAbort:
+				return nil, fmt.Errorf("dtrain: coordinator aborted: %s", string(rows))
+			default:
+				return nil, abortf("dtrain: unexpected frame type %d awaiting rows", t)
 			}
 			cr, _, err := topicmodel.DecodeCountRows(rows, setup.V, setup.K)
 			if err != nil {
-				return abortf("dtrain: rows: %v", err)
+				return nil, abortf("dtrain: rows: %v", err)
 			}
 			if err := m.SetGlobalRows(cr); err != nil {
-				return abortf("dtrain: rows: %v", err)
+				return nil, abortf("dtrain: rows: %v", err)
 			}
 			sweeps++
 
 		case fFinish:
-			out = out[:0]
-			out = binary.LittleEndian.AppendUint32(out, uint32(len(docs)))
-			for d := range docs {
-				out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Z[d])))
-				out = appendI32s(out, m.Z[d])
-			}
+			out = appendShardZ(out[:0], m, len(docs))
 			if err := fr.send(fFinal, out); err != nil {
-				return fmt.Errorf("dtrain: final: %w", err)
+				return nil, coordErr("final", err)
 			}
 			logf("dtrain: worker %d: done after %d sweeps", setup.Index, sweeps)
-			return nil
+			return nil, nil
+
+		case fSetup:
+			logf("dtrain: worker %d: resync after %d sweeps", setup.Index, sweeps)
+			return append([]byte(nil), payload...), nil
 
 		case fAbort:
-			return fmt.Errorf("dtrain: coordinator aborted: %s", string(payload))
+			return nil, fmt.Errorf("dtrain: coordinator aborted: %s", string(payload))
 
 		default:
-			return abortf("dtrain: unexpected frame type %d", t)
+			return nil, abortf("dtrain: unexpected frame type %d", t)
 		}
 	}
 }
 
-// Dial connects to a coordinator, retrying until the coordinator is
-// listening or the timeout elapses — worker processes are routinely
-// started before (or while) the coordinator binds its port.
+// appendShardZ encodes the shard's per-document assignments — the
+// shared payload of CKPT and FINAL frames.
+func appendShardZ(out []byte, m *topicmodel.Model, ndocs int) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(ndocs))
+	for d := 0; d < ndocs; d++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Z[d])))
+		out = appendI32s(out, m.Z[d])
+	}
+	return out
+}
+
+// coordErr classifies a coordinator-exchange failure: explicit aborts
+// and protocol violations stay fatal verbatim; anything else is a
+// connection-level loss, wrapped in retryable ErrCoordinatorLost.
+func coordErr(op string, err error) error {
+	var ae *abortError
+	if errors.As(err, &ae) || errors.Is(err, ErrProtocol) {
+		return fmt.Errorf("dtrain: %s: %w", op, err)
+	}
+	return fmt.Errorf("%w: %s: %v", ErrCoordinatorLost, op, err)
+}
+
+// Dial connects to a coordinator, retrying with jittered exponential
+// backoff until the coordinator is listening or the timeout elapses —
+// worker processes are routinely started before (or while) the
+// coordinator binds its port, and they reconnect through the same path
+// after a coordinator restart. The jitter keeps a fleet of workers
+// restarted together from hammering the port in lockstep.
 func Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	if timeout <= 0 {
 		timeout = 60 * time.Second
 	}
 	deadline := time.Now().Add(timeout)
+	rng := xrand.New(uint64(time.Now().UnixNano()))
+	backoff := 50 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
+		attempt := time.Until(deadline)
+		if attempt > 5*time.Second {
+			attempt = 5 * time.Second
+		}
+		if attempt <= 0 {
+			attempt = time.Millisecond
+		}
+		conn, err := net.DialTimeout("tcp", addr, attempt)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		// Sleep a uniform draw from [backoff/2, backoff), doubling the
+		// ceiling up to 2s; give up when the next attempt would start
+		// past the deadline.
+		sleep := backoff/2 + time.Duration(rng.Intn(int(backoff/2)))
+		if time.Now().Add(sleep).After(deadline) {
 			return nil, fmt.Errorf("dtrain: dial %s: %w", addr, err)
 		}
-		time.Sleep(200 * time.Millisecond)
+		time.Sleep(sleep)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
 	}
 }

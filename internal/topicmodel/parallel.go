@@ -80,6 +80,14 @@ type SweepStats struct {
 	Sample       time.Duration
 	Reconcile    time.Duration
 	WorkerSample []time.Duration // per-worker sample wall time
+	// Checkpoint is the time spent writing this barrier's on-disk
+	// checkpoint; zero on barriers that did not write one. Distributed
+	// runs only.
+	Checkpoint time.Duration
+	// Recovered counts the workers re-accepted after failures so far in
+	// the run (cumulative). Nonzero only for elastic distributed runs
+	// that actually lost and replaced workers.
+	Recovered int
 }
 
 // SetSweepStats installs (or clears) the per-sweep timing hook. Only

@@ -11,7 +11,10 @@
 // splitmix64, the combination recommended by its authors.
 package xrand
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // RNG is a xoshiro256** pseudo random number generator. It is NOT safe
 // for concurrent use; give each goroutine its own RNG (see Split).
@@ -50,6 +53,33 @@ func (r *RNG) Seed(seed uint64) {
 		r.s0 = 0x9e3779b97f4a7c15
 	}
 }
+
+// State is the full xoshiro256** generator state: four 64-bit words.
+// It round-trips through State/SetState so a generator's exact stream
+// position can be checkpointed and restored (the distributed trainer
+// persists it at sweep barriers).
+type State [4]uint64
+
+// State returns the generator's current state.
+func (r *RNG) State() State {
+	return State{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState restores a state captured by State. The all-zero state is
+// invalid for xoshiro (the generator would emit zeros forever) and is
+// rejected; it can only come from a corrupted checkpoint, never from
+// State itself.
+func (r *RNG) SetState(s State) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errZeroState
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	return nil
+}
+
+// errZeroState is a sentinel kept unexported; callers classify through
+// the error message, which names the only way to hit it.
+var errZeroState = errors.New("xrand: all-zero generator state (corrupted checkpoint)")
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
