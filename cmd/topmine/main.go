@@ -116,6 +116,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"snapshot, re-accepting replacements and re-sharding instead of failing the run")
 	trainReconnect := fs.Duration("train-reconnect", 0, "with -train-worker: re-dial a lost coordinator for up to this long instead "+
 		"of exiting, so a worker fleet rides out a coordinator restart with -resume (0 = exit on coordinator loss)")
+	trainHTTP := fs.String("train-http", "", "with -train-coordinator: serve a live training status plane on this address "+
+		"(host:port): Prometheus /metrics, /v1/progress JSON and /debug/pprof/; purely observational, the trained model is unchanged")
+	trainTrace := fs.String("trace", "", "with -train-coordinator: append one JSON event per sweep, worker delta, checkpoint and "+
+		"recovery to this file; replay it with toptrace for a barrier timeline with straggler attribution")
 	verbose := fs.Bool("v", false, "verbose training logs: per-sweep sample/reconcile timing for parallel (-topic-workers) and distributed training")
 	topN := fs.Int("top", 10, "phrases and unigrams to display per topic")
 	noHyper := fs.Bool("nohyper", false, "disable hyperparameter optimisation")
@@ -160,7 +164,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if flagWasSet(fs, "train-workers") && *trainCoordinator == "" {
 		return fmt.Errorf("-train-workers needs -train-coordinator")
 	}
-	for _, name := range []string{"checkpoint", "checkpoint-every", "resume", "elastic"} {
+	for _, name := range []string{"checkpoint", "checkpoint-every", "resume", "elastic", "train-http", "trace"} {
 		if flagWasSet(fs, name) && *trainCoordinator == "" {
 			return fmt.Errorf("-%s needs -train-coordinator", name)
 		}
@@ -177,7 +181,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// flags and -topic-workers are rejected rather than ignored.
 		allowed := map[string]bool{"train-coordinator": true, "train-workers": true,
 			"train-timeout": true, "checkpoint": true, "checkpoint-every": true,
-			"resume": true, "elastic": true, "corpus": true, "k": true, "iters": true,
+			"resume": true, "elastic": true, "train-http": true, "trace": true,
+			"corpus": true, "k": true, "iters": true,
 			"minsup": true, "relsup": true, "alpha": true, "maxlen": true,
 			"seed": true, "top": true, "nohyper": true, "filterbg": true,
 			"save": true, "save-state": true, "infer": true, "infer-iters": true,
@@ -229,6 +234,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			coordinatorConfig{
 				checkpoint: *trainCheckpoint, checkpointEvery: *trainCkptEvery,
 				resume: *trainResume, elastic: *trainElastic,
+				statusAddr: *trainHTTP, trace: *trainTrace,
 			},
 			opt, *verbose, *saveModel, *saveState, *inferText, *inferIters, stdout, stderr)
 	}
@@ -484,19 +490,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 // sweepStatsLogger returns a SweepStats hook that logs a timing
-// breakdown every 25th sweep (and the first, and every sweep that
-// wrote a checkpoint), keeping -v readable over thousand-sweep runs
-// while still showing the sample/reconcile split, checkpoint cost and
-// elastic recoveries.
+// breakdown every 25th sweep (and the first, every sweep that wrote a
+// checkpoint, and every sweep after an elastic recovery), keeping -v
+// readable over thousand-sweep runs while still showing the
+// sample/reconcile split, checkpoint cost and elastic recoveries.
+// Checkpoint and recovery sweeps log unconditionally: they used to be
+// dropped when they fell between 25-sweep multiples, which hid exactly
+// the events worth watching for.
 func sweepStatsLogger(stderr io.Writer) func(topmine.SweepStats) {
 	n := 0
+	lastRecovered := 0
 	return func(st topmine.SweepStats) {
 		n++
-		if n != 1 && n%25 != 0 && st.Checkpoint == 0 {
+		// Distributed runs report the coordinator's schedule iteration;
+		// the in-process parallel path reports its own call count. Either
+		// way st.Sweep is authoritative when present — the local counter n
+		// drifts from it after an elastic rollback replays sweeps.
+		sweep := st.Sweep
+		if sweep == 0 {
+			sweep = n
+		}
+		recovered := st.Recovered != lastRecovered
+		lastRecovered = st.Recovered
+		if n != 1 && n%25 != 0 && st.Checkpoint == 0 && !recovered {
 			return
 		}
 		line := fmt.Sprintf("sweep %4d: sample %v, reconcile %v (%d workers",
-			n, st.Sample.Round(10*time.Microsecond), st.Reconcile.Round(10*time.Microsecond), st.Workers)
+			sweep, st.Sample.Round(10*time.Microsecond), st.Reconcile.Round(10*time.Microsecond), st.Workers)
 		if st.Recovered > 0 {
 			line += fmt.Sprintf(", %d recovered", st.Recovered)
 		}
@@ -515,6 +535,8 @@ type coordinatorConfig struct {
 	checkpointEvery int
 	resume          string
 	elastic         bool
+	statusAddr      string // -train-http: live status plane address
+	trace           string // -trace: structured JSONL trace log path
 }
 
 // runCoordinator is the -train-coordinator mode: train over a shared
@@ -530,9 +552,22 @@ func runCoordinator(addr, corpusPath string, workers int, timeout time.Duration,
 		BarrierTimeout: timeout,
 		Checkpoint:     topmine.CheckpointSpec{Path: cfg.checkpoint, Every: cfg.checkpointEvery},
 		Elastic:        cfg.elastic,
+		StatusAddr:     cfg.statusAddr,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
+	}
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "closing trace log: %v\n", err)
+			}
+		}()
+		dopt.TraceLog = f
 	}
 	if verbose {
 		dopt.SweepStats = sweepStatsLogger(stderr)

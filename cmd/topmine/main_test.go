@@ -2,14 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"topmine"
+	"topmine/internal/obs"
 )
 
 // oneShotReader yields its content once and then fails hard on any
@@ -374,6 +380,134 @@ func TestDistributedCheckpointResumeCLI(t *testing.T) {
 	}
 }
 
+// TestDistributedObservabilityCLI drives -train-http and -trace
+// end to end: a distributed run with the status plane and trace log on
+// must print byte-identical topics to one with them off, the plane
+// must answer live scrapes mid-run, and the trace file must replay as
+// one JSON event per sweep plus a finish marker.
+func TestDistributedObservabilityCLI(t *testing.T) {
+	dir := t.TempDir()
+	tpc := filepath.Join(dir, "corpus.tpc")
+	traceFile := filepath.Join(dir, "trace.jsonl")
+	stdin := &oneShotReader{r: strings.NewReader(testStdinDocs())}
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-input", "-", "-preprocess", tpc), stdin, &out, &errb); err != nil {
+		t.Fatalf("preprocess: %v\nstderr:\n%s", err, errb.String())
+	}
+
+	runDistributed := func(coordArgs ...string) (string, string) {
+		t.Helper()
+		addr := freePort(t)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var wout, werr bytes.Buffer
+				if err := run([]string{"-train-worker", addr, "-train-timeout", "30s"},
+					strings.NewReader(""), &wout, &werr); err != nil {
+					t.Errorf("worker %d: %v\nstderr:\n%s", i, err, werr.String())
+				}
+			}(i)
+		}
+		var dout, derr bytes.Buffer
+		args := append([]string{"-corpus", tpc, "-train-coordinator", addr,
+			"-train-workers", "2", "-train-timeout", "30s",
+			"-k", "2", "-iters", "400", "-minsup", "2", "-top", "3"}, coordArgs...)
+		err := run(args, strings.NewReader(""), &dout, &derr)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("coordinator %v: %v\nstderr:\n%s", coordArgs, err, derr.String())
+		}
+		return dout.String(), derr.String()
+	}
+
+	plain, _ := runDistributed()
+
+	statusAddr := freePort(t)
+	done := make(chan struct{})
+	type scrapeResult struct {
+		progress int
+		metrics  int
+		training int // metrics bodies carrying topmine_train_ series
+	}
+	scraped := make(chan scrapeResult, 1)
+	go func() {
+		var res scrapeResult
+		defer func() { scraped <- res }()
+		client := &http.Client{Timeout: 2 * time.Second}
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if resp, err := client.Get("http://" + statusAddr + "/v1/progress"); err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var p topmine.TrainingProgress
+				if err := json.Unmarshal(body, &p); err != nil {
+					t.Errorf("/v1/progress did not decode: %v: %s", err, body)
+					return
+				}
+				res.progress++
+			}
+			if resp, err := client.Get("http://" + statusAddr + "/metrics"); err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := obs.Lint(body); err != nil {
+					t.Errorf("/metrics did not parse back: %v", err)
+					return
+				}
+				res.metrics++
+				if bytes.Contains(body, []byte("topmine_train_sweep")) {
+					res.training++
+				}
+			}
+		}
+	}()
+
+	traced, derr := runDistributed("-train-http", statusAddr, "-trace", traceFile)
+	close(done)
+	res := <-scraped
+	if !strings.Contains(derr, "training status plane on http://"+statusAddr) {
+		t.Fatalf("status plane not announced:\n%s", derr)
+	}
+	if res.progress == 0 || res.metrics == 0 {
+		t.Fatalf("no live scrapes landed mid-run (progress %d, metrics %d)", res.progress, res.metrics)
+	}
+	if res.training == 0 {
+		t.Fatalf("%d live /metrics scrapes, none carrying topmine_train_ series", res.metrics)
+	}
+
+	if traced != plain {
+		t.Fatalf("observability changed the trained topics:\n--- plain ---\n%s\n--- traced ---\n%s", plain, traced)
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace log: %v", err)
+	}
+	sweeps, finishes := 0, 0
+	for i, line := range bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n")) {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d: %v: %s", i+1, err, line)
+		}
+		switch ev.Ev {
+		case "sweep":
+			sweeps++
+		case "finish":
+			finishes++
+		}
+	}
+	if sweeps != 400 || finishes != 1 {
+		t.Fatalf("trace has %d sweep and %d finish events, want 400 and 1", sweeps, finishes)
+	}
+}
+
 func TestBadFlagCombos(t *testing.T) {
 	cases := [][]string{
 		{"-input", "x", "-synth", "yelp-reviews"},
@@ -404,6 +538,10 @@ func TestBadFlagCombos(t *testing.T) {
 		{"-checkpoint-every", "5"},
 		{"-resume", "x.tpd"},
 		{"-elastic"},
+		{"-train-http", "127.0.0.1:0"},
+		{"-trace", "trace.jsonl"},
+		{"-train-worker", ":0", "-train-http", "127.0.0.1:0"},
+		{"-train-worker", ":0", "-trace", "trace.jsonl"},
 		{"-train-reconnect", "5s"},
 		{"-train-worker", ":0", "-checkpoint", "x.tpd"},
 		{"-train-coordinator", ":0", "-corpus", "x.tpc", "-train-workers", "2", "-checkpoint-every", "5"},

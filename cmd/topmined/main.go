@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -98,6 +99,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open (0 disables)")
 	warmLog := flag.String("warm-log", "", "newline-delimited access log to replay into the response cache on startup (plain text per line, or JSON {\"text\",\"model\",\"iters\",\"op\"}; -request-log output works directly)")
 	requestLog := flag.String("request-log", "", "write one JSON line per request (latency breakdown: resolve/infer/marshal) to this file ('-' = stderr)")
+	pprofFlag := flag.Bool("pprof", false, "mount Go's net/http/pprof profiling handlers under /debug/pprof/ on the serving port; "+
+		"off by default because profiles expose internals (guard the port, or leave this off in untrusted networks)")
 	flag.Parse()
 
 	if len(models) == 0 && *modelsDir == "" {
@@ -190,6 +193,20 @@ func main() {
 		opt.RequestLog = reqLog
 	}
 	handler := serve.NewWithRegistry(reg, opt)
+	var root http.Handler = handler
+	if *pprofFlag {
+		// The serve mux owns "/" — mount pprof on an outer mux so the
+		// API surface is untouched and only /debug/pprof/ is new.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+		log.Print("pprof profiling enabled on /debug/pprof/")
+	}
 	// ReadHeaderTimeout alone leaves two ways for a misbehaving client
 	// to pin a connection forever: trickling the request body after the
 	// headers (ReadTimeout bounds that) and parking an idle keep-alive
@@ -199,7 +216,7 @@ func main() {
 	// goroutine for good.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

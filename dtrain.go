@@ -3,7 +3,9 @@ package topmine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"time"
 
 	"topmine/internal/core"
@@ -100,9 +102,29 @@ type DistributedOptions struct {
 	MaxRecoveries int
 	// SweepStats, when set, receives one timing breakdown per sweep.
 	SweepStats func(SweepStats)
+	// StatusAddr, when non-empty, serves a live status plane for the
+	// run over HTTP on that address (e.g. "127.0.0.1:7700", or
+	// "127.0.0.1:0" for an ephemeral port reported via Logf):
+	// /metrics (Prometheus text, the topmine_train_* series),
+	// /v1/progress (a TrainingProgress JSON snapshot) and
+	// /debug/pprof/*. The server lives for the duration of the run and
+	// reads atomic snapshots only — it never touches the sweep barrier
+	// path.
+	StatusAddr string
+	// TraceLog, when non-nil, receives the structured training trace:
+	// one JSON line per run/setup/worker-delta/sweep/checkpoint/
+	// recovery/finish event with monotonic t_ms timestamps. The
+	// cmd/toptrace analyzer replays it into a barrier timeline with
+	// straggler attribution. Purely observational: enabling it does not
+	// change the trained model.
+	TraceLog io.Writer
 	// Logf, when set, receives lifecycle log lines.
 	Logf func(format string, args ...any)
 }
+
+// TrainingProgress is the JSON schema served at the status plane's
+// /v1/progress endpoint; see DistributedOptions.StatusAddr.
+type TrainingProgress = dtrain.Progress
 
 func (dopt DistributedOptions) internal() dtrain.Options {
 	return dtrain.Options{
@@ -159,9 +181,7 @@ type TrainingWorkerOptions struct {
 // dopt.Elastic recovers from lost workers instead, and dopt.Checkpoint
 // + ResumeDistributed survive coordinator death too.
 func TrainDistributed(path string, opt Options, dopt DistributedOptions) (*Result, error) {
-	return runDistributed(path, opt, dopt, func(ln net.Listener, job dtrain.Job) (*topicmodel.Model, error) {
-		return dtrain.Train(ln, job, dopt.internal())
-	})
+	return runDistributed(path, opt, dopt, dtrain.Train)
 }
 
 // ResumeDistributed restarts a dead distributed run from a .tpd
@@ -180,15 +200,16 @@ func ResumeDistributed(path, ckptPath string, opt Options, dopt DistributedOptio
 	if err != nil {
 		return nil, err
 	}
-	return runDistributed(path, opt, dopt, func(ln net.Listener, job dtrain.Job) (*topicmodel.Model, error) {
-		return dtrain.Resume(ln, job, ck, dopt.internal())
+	return runDistributed(path, opt, dopt, func(ln net.Listener, job dtrain.Job, iopt dtrain.Options) (*topicmodel.Model, error) {
+		return dtrain.Resume(ln, job, ck, iopt)
 	})
 }
 
 // runDistributed is the shared coordinator-side harness: open (and
-// possibly re-mine) the corpus, listen, run the protocol via train,
-// wrap the trained model into a Result.
-func runDistributed(path string, opt Options, dopt DistributedOptions, train func(net.Listener, dtrain.Job) (*topicmodel.Model, error)) (*Result, error) {
+// possibly re-mine) the corpus, listen, stand up the observability
+// plane when requested, run the protocol via train, wrap the trained
+// model into a Result.
+func runDistributed(path string, opt Options, dopt DistributedOptions, train func(net.Listener, dtrain.Job, dtrain.Options) (*topicmodel.Model, error)) (*Result, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
@@ -222,6 +243,28 @@ func runDistributed(path string, opt Options, dopt DistributedOptions, train fun
 		return nil, fmt.Errorf("topmine: TrainDistributed: %w", err)
 	}
 	defer ln.Close()
+
+	iopt := dopt.internal()
+	if dopt.StatusAddr != "" || dopt.TraceLog != nil {
+		iopt.Telemetry = dtrain.NewTelemetry(dopt.TraceLog)
+	}
+	if dopt.StatusAddr != "" {
+		statusLn, err := net.Listen("tcp", dopt.StatusAddr)
+		if err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("topmine: TrainDistributed: status plane: %w", err)
+		}
+		srv := &http.Server{Handler: iopt.Telemetry.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go srv.Serve(statusLn)
+		// The plane serves the final "done"/"failed" snapshot until the
+		// run returns; in-flight scrapes after that race the close, which
+		// is fine for a monitoring endpoint.
+		defer srv.Close()
+		if dopt.Logf != nil {
+			dopt.Logf("topmine: training status plane on http://%s (/metrics, /v1/progress, /debug/pprof/)", statusLn.Addr())
+		}
+	}
+
 	model, err := train(ln, dtrain.Job{
 		CorpusPath:   path,
 		Docs:         docs,
@@ -230,7 +273,7 @@ func runDistributed(path string, opt Options, dopt DistributedOptions, train fun
 		SigAlpha:     opt.SigThreshold,
 		MaxPhraseLen: opt.MaxPhraseLen,
 		Model:        toModelOptions(opt, nil),
-	})
+	}, iopt)
 	if err != nil {
 		cf.Close()
 		return nil, err

@@ -90,6 +90,12 @@ type Options struct {
 	// the fold + rebroadcast, Checkpoint the .tpd write (when one
 	// happened), Recovered the cumulative re-accepted worker count.
 	SweepStats func(topicmodel.SweepStats)
+	// Telemetry, when set, receives the full observability feed — per
+	// sweep, per worker-delta, per checkpoint and per recovery — and
+	// exposes it as /metrics, /v1/progress and a structured trace log
+	// (see NewTelemetry). Purely observational: a nil Telemetry runs
+	// the identical training trajectory.
+	Telemetry *Telemetry
 	// Logf, when set, receives lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -158,9 +164,10 @@ type coordinator struct {
 	// first sweep and refreshed at every wantZ barrier. Its Sweep field
 	// is where the next epoch resumes.
 	recov      *Checkpoint
-	recovered  int // workers re-accepted after failures, cumulative
-	recoveries int // recovery rounds consumed, vs opt.MaxRecoveries
-	syncEvery  int // in-memory snapshot cadence (0 = only hyper/ckpt barriers)
+	recovered  int   // workers re-accepted after failures, cumulative
+	recoveries int   // recovery rounds consumed, vs opt.MaxRecoveries
+	syncEvery  int   // in-memory snapshot cadence (0 = only hyper/ckpt barriers)
+	tokens     int64 // corpus tokens sampled per sweep (for throughput telemetry)
 }
 
 func validateJob(job Job, opt Options) error {
@@ -176,6 +183,9 @@ func validateJob(job Job, opt Options) error {
 
 func newCoordinator(ln net.Listener, job Job, opt Options, mopt topicmodel.Options, recov *Checkpoint) *coordinator {
 	c := &coordinator{ln: ln, job: job, opt: opt, mopt: mopt, corpusSum: recov.CorpusChecksum, recov: recov}
+	for i := range job.Docs {
+		c.tokens += int64(job.Docs[i].NumTokens())
+	}
 	if opt.Elastic {
 		c.syncEvery = opt.Checkpoint.Every
 		if c.syncEvery <= 0 {
@@ -225,8 +235,11 @@ func Resume(ln net.Listener, job Job, ck *Checkpoint, opt Options) (*topicmodel.
 }
 
 func (c *coordinator) train() (*topicmodel.Model, error) {
+	tel := c.opt.Telemetry
+	tel.runStarted(c.mopt.Iterations, c.recov.Sweep, c.tokens, c.opt.Workers, c.recov.Sweep > 0)
 	ws, err := acceptWorkers(c.ln, c.opt.Workers, time.Now().Add(c.opt.AcceptTimeout), c.opt, false)
 	if err != nil {
+		tel.runFinished(err)
 		return nil, err
 	}
 	defer func() {
@@ -237,10 +250,12 @@ func (c *coordinator) train() (*topicmodel.Model, error) {
 	for {
 		m, failed, err := c.epoch(ws)
 		if err == nil {
+			tel.runFinished(nil)
 			return m, nil
 		}
 		ws, err = c.recoverOrFail(ws, failed, err)
 		if err != nil {
+			tel.runFinished(err)
 			return nil, err
 		}
 	}
@@ -289,6 +304,7 @@ func (c *coordinator) recoverOrFail(ws []*wconn, failed *wconn, cause error) ([]
 	c.recovered += len(fresh)
 	c.opt.logf("dtrain: recovery %d/%d: continuing from sweep %d with %d workers (%d re-accepted)",
 		c.recoveries, c.opt.MaxRecoveries, c.recov.Sweep, len(survivors)+len(fresh), len(fresh))
+	c.opt.Telemetry.recoveryDone(c.recov.Sweep, failed.index, len(survivors), len(fresh), cause.Error())
 	return append(survivors, fresh...), nil
 }
 
@@ -323,10 +339,17 @@ func (c *coordinator) epoch(ws []*wconn) (*topicmodel.Model, *wconn, error) {
 		return nil, w, cause
 	}
 	c.opt.logf("dtrain: all shards verified, training sweeps %d..%d", c.recov.Sweep+1, c.mopt.Iterations)
+	c.opt.Telemetry.epochStarted(len(ws), c.recov.Sweep+1)
 
 	deltas := make([]*topicmodel.CountRows, len(ws))
 	zs := make([][][]int32, len(ws))
 	sampleNs := make([]int64, len(ws))
+	// Telemetry capture slots, written lock-free by the per-worker
+	// barrier goroutines (each owns its own index, like sampleNs) and
+	// consumed synchronously after the barrier.
+	arrivalNs := make([]int64, len(ws))
+	deltaBytes := make([]int64, len(ws))
+	deltaRows := make([]int64, len(ws))
 	for it := c.recov.Sweep + 1; it <= c.mopt.Iterations; it++ {
 		base := m.NextSweepBase()
 		hyper := c.mopt.OptimizeHyper && it > c.mopt.BurnIn && it%c.mopt.HyperEvery == 0
@@ -362,9 +385,12 @@ func (c *coordinator) epoch(ws []*wconn) (*topicmodel.Model, *wconn, error) {
 			if err != nil {
 				return err
 			}
+			arrivalNs[w.index] = int64(time.Since(t0))
+			deltaBytes[w.index] = int64(len(payload))
 			if err := decodeDelta(payload, w, m.K, m.V, deltas, sampleNs); err != nil {
 				return err
 			}
+			deltaRows[w.index] = int64(len(deltas[w.index].Words))
 			if wantZ {
 				payload, err := w.fr.recvExpect(fCkpt)
 				if err != nil {
@@ -427,6 +453,7 @@ func (c *coordinator) epoch(ws []*wconn) (*topicmodel.Model, *wconn, error) {
 				}
 				ckptDur = time.Since(tc)
 				c.opt.logf("dtrain: sweep %d: checkpoint written to %s (%v)", it, c.opt.Checkpoint.Path, ckptDur)
+				c.opt.Telemetry.checkpointWritten(it, ckptDur, c.opt.Checkpoint.Path)
 			}
 		}
 
@@ -436,6 +463,7 @@ func (c *coordinator) epoch(ws []*wconn) (*topicmodel.Model, *wconn, error) {
 				per[i] = time.Duration(ns)
 			}
 			c.opt.SweepStats(topicmodel.SweepStats{
+				Sweep:        it,
 				Workers:      len(ws),
 				Sample:       sampleDur,
 				Reconcile:    reconcileDur,
@@ -444,6 +472,21 @@ func (c *coordinator) epoch(ws []*wconn) (*topicmodel.Model, *wconn, error) {
 				Recovered:    c.recovered,
 			})
 		}
+		c.opt.Telemetry.sweepDone(sweepObs{
+			sweep:       it,
+			totalSweeps: c.mopt.Iterations,
+			workers:     len(ws),
+			sample:      sampleDur,
+			reconcile:   reconcileDur,
+			checkpoint:  ckptDur,
+			arrivalNs:   arrivalNs,
+			sampleNs:    sampleNs,
+			deltaBytes:  deltaBytes,
+			deltaRows:   deltaRows,
+			tokens:      c.tokens,
+			recoveries:  c.recoveries,
+			recovered:   c.recovered,
+		})
 	}
 
 	// FINISH: collect final shard assignments and install them.

@@ -1,0 +1,467 @@
+package dtrain
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topmine/internal/obs"
+)
+
+// trainBuckets spans sub-millisecond barrier phases on toy corpora up
+// to multi-minute sweeps on corpora that page.
+var trainBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Progress is one atomic snapshot of a coordinator's run state — the
+// payload of the status plane's /v1/progress endpoint. WorkerLagMs is
+// indexed by the current epoch's worker indices; after an elastic
+// re-shard the indices (and the slice length) change with the
+// topology. Age and elapsed fields are computed at read time from the
+// monotonic clock.
+type Progress struct {
+	// Phase is one of "waiting" (accepting workers), "training",
+	// "recovering" (rolling back after a lost worker), "done", "failed".
+	Phase       string `json:"phase"`
+	Sweep       int    `json:"sweep"`
+	TotalSweeps int    `json:"total_sweeps"`
+	Workers     int    `json:"workers"`
+	// TokensPerSec is the last completed sweep's sampling throughput
+	// (corpus tokens over the sweep's sample+reconcile+checkpoint wall
+	// time).
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// WorkerLagMs is each worker's barrier lag on the last sweep: how
+	// long after the first worker's DELTA its own arrived. The gating
+	// (slowest) worker holds the maximum.
+	WorkerLagMs              []float64 `json:"worker_lag_ms"`
+	LastCheckpointSweep      int       `json:"last_checkpoint_sweep"`
+	LastCheckpointAgeSeconds float64   `json:"last_checkpoint_age_seconds"`
+	Recoveries               int       `json:"recoveries"`
+	RecoveredWorkers         int       `json:"recovered_workers"`
+	ElapsedSeconds           float64   `json:"elapsed_seconds"`
+	Error                    string    `json:"error,omitempty"`
+}
+
+// progSnap is the immutable snapshot behind the atomic pointer; the
+// monotonic times ride alongside so ages can be materialised per read.
+type progSnap struct {
+	p          Progress
+	lastCkptAt time.Time
+}
+
+// Telemetry is a coordinator run's observability plane: an
+// obs.Registry of training series, an atomically swapped progress
+// snapshot behind /v1/progress, and an optional structured trace log
+// (one JSON line per run/setup/delta/sweep/checkpoint/recovery/finish
+// event, timestamped with the monotonic clock). All instrument updates
+// happen on the coordinator's own goroutine after each barrier — the
+// per-worker barrier path only stamps arrival times into pre-sized
+// slices — so a scrape never contends with the sweep loop. A nil
+// *Telemetry is valid and inert: every method no-ops.
+type Telemetry struct {
+	start time.Time
+	reg   *obs.Registry
+
+	sweep        *obs.Gauge
+	totalSweeps  *obs.Gauge
+	sweepsTotal  *obs.Counter
+	workers      *obs.Gauge
+	tokensTotal  *obs.Counter
+	tokensPerSec *obs.FloatGauge
+	sampleHist   *obs.Histogram
+	reconcile    *obs.Histogram
+	ckptWrite    *obs.Histogram
+	ckptSweep    *obs.Gauge
+	recoveries   *obs.Counter
+	reaccepted   *obs.Counter
+	deltaBytes   *obs.Counter
+	deltaRows    *obs.Counter
+	workerLag    *obs.HistogramVec
+	workerSample *obs.HistogramVec
+
+	snap atomic.Pointer[progSnap]
+
+	traceMu sync.Mutex
+	trace   io.Writer
+}
+
+// NewTelemetry builds the training observability plane. trace, when
+// non-nil, receives the structured event log (callers own its
+// lifetime; writes are serialised here).
+func NewTelemetry(trace io.Writer) *Telemetry {
+	t := &Telemetry{
+		start: time.Now(),
+		reg:   obs.NewRegistry(),
+		trace: trace,
+		sweep: obs.NewGauge("topmine_train_sweep",
+			"Last completed training sweep (rewinds on elastic rollback)."),
+		totalSweeps: obs.NewGauge("topmine_train_total_sweeps",
+			"Sweeps in the training schedule."),
+		sweepsTotal: obs.NewCounter("topmine_train_sweeps_total",
+			"Sweep barriers completed, including sweeps replayed after recoveries."),
+		workers: obs.NewGauge("topmine_train_workers",
+			"Workers in the current epoch's topology."),
+		tokensTotal: obs.NewCounter("topmine_train_tokens_total",
+			"Corpus tokens sampled across all completed sweeps."),
+		tokensPerSec: obs.NewFloatGauge("topmine_train_tokens_per_second",
+			"Sampling throughput of the last completed sweep."),
+		sampleHist: obs.NewHistogram("topmine_train_sample_seconds",
+			"Per-sweep barrier wait: sweep start to the slowest worker's delta.", trainBuckets),
+		reconcile: obs.NewHistogram("topmine_train_reconcile_seconds",
+			"Per-sweep delta fold + row rebroadcast (and hyperparameter update).", trainBuckets),
+		ckptWrite: obs.NewHistogram("topmine_train_checkpoint_write_seconds",
+			"On-disk .tpd checkpoint write latency.", trainBuckets),
+		ckptSweep: obs.NewGauge("topmine_train_checkpoint_last_sweep",
+			"Sweep of the last on-disk checkpoint (0 = none yet)."),
+		recoveries: obs.NewCounter("topmine_train_recoveries_total",
+			"Elastic recovery rounds: lost worker, rollback, re-shard."),
+		reaccepted: obs.NewCounter("topmine_train_recovered_workers_total",
+			"Replacement workers re-accepted across all recoveries."),
+		deltaBytes: obs.NewCounter("topmine_train_delta_bytes_total",
+			"DELTA payload bytes received from workers."),
+		deltaRows: obs.NewCounter("topmine_train_delta_rows_total",
+			"Sparse word-topic rows received in worker deltas."),
+		workerLag: obs.NewHistogramVec("topmine_train_worker_barrier_lag_seconds",
+			"Per-worker barrier lag: delta arrival after the sweep's first arrival.",
+			trainBuckets, "worker"),
+		workerSample: obs.NewHistogramVec("topmine_train_worker_sample_seconds",
+			"Per-worker self-reported shard sample time.",
+			trainBuckets, "worker"),
+	}
+	t.reg.Register(
+		t.sweep, t.totalSweeps, t.sweepsTotal, t.workers,
+		t.tokensTotal, t.tokensPerSec,
+		t.sampleHist, t.reconcile, t.ckptWrite, t.ckptSweep,
+		obs.GaugeFunc("topmine_train_checkpoint_age_seconds",
+			"Seconds since the last on-disk checkpoint (0 = none yet).",
+			func() obs.Value {
+				if s := t.snap.Load(); s != nil && !s.lastCkptAt.IsZero() {
+					return obs.Float(time.Since(s.lastCkptAt).Seconds())
+				}
+				return obs.Float(0)
+			}),
+		t.recoveries, t.reaccepted, t.deltaBytes, t.deltaRows,
+		t.workerLag, t.workerSample,
+		obs.GaugeFunc("topmine_train_uptime_seconds",
+			"Seconds since the telemetry plane was constructed.",
+			func() obs.Value { return obs.Float(time.Since(t.start).Seconds()) }),
+	)
+	return t
+}
+
+// Registry exposes the training series for embedding into a larger
+// exposition (tests, future multi-run daemons).
+func (t *Telemetry) Registry() *obs.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Progress returns the latest snapshot with live age/elapsed fields.
+func (t *Telemetry) Progress() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	s := t.snap.Load()
+	if s == nil {
+		return Progress{Phase: "waiting"}
+	}
+	p := s.p
+	if !s.lastCkptAt.IsZero() {
+		p.LastCheckpointAgeSeconds = roundMs(time.Since(s.lastCkptAt)) / 1000
+	}
+	p.ElapsedSeconds = roundMs(time.Since(t.start)) / 1000
+	return p
+}
+
+// Handler serves the status plane: /metrics (Prometheus text),
+// /v1/progress (JSON) and /debug/pprof/*.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", t.reg.Handler())
+	mux.HandleFunc("/v1/progress", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t.Progress())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// roundMs converts a duration to milliseconds with 3 decimals, the
+// precision every trace timestamp and duration field carries.
+func roundMs(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+func (t *Telemetry) now() float64 { return roundMs(time.Since(t.start)) }
+
+// emit marshals one trace event and appends it to the trace log.
+func (t *Telemetry) emit(ev any) {
+	if t == nil || t.trace == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	t.traceMu.Lock()
+	t.trace.Write(b)
+	t.traceMu.Unlock()
+}
+
+// swap installs a new progress snapshot derived from the current one.
+func (t *Telemetry) swap(f func(*progSnap)) {
+	var next progSnap
+	if cur := t.snap.Load(); cur != nil {
+		next = *cur
+	}
+	f(&next)
+	t.snap.Store(&next)
+}
+
+// Trace event shapes. Every event carries ev (the discriminator) and
+// t_ms, milliseconds since the run started on the monotonic clock.
+type traceRun struct {
+	Ev             string  `json:"ev"` // "run"
+	TMs            float64 `json:"t_ms"`
+	TotalSweeps    int     `json:"total_sweeps"`
+	StartSweep     int     `json:"start_sweep"`
+	TokensPerSweep int64   `json:"tokens_per_sweep"`
+	WantWorkers    int     `json:"want_workers"`
+	Resumed        bool    `json:"resumed,omitempty"`
+}
+
+type traceSetup struct {
+	Ev        string  `json:"ev"` // "setup"
+	TMs       float64 `json:"t_ms"`
+	FromSweep int     `json:"from_sweep"`
+	Workers   int     `json:"workers"`
+}
+
+type traceDelta struct {
+	Ev        string  `json:"ev"` // "delta"
+	TMs       float64 `json:"t_ms"`
+	Sweep     int     `json:"sweep"`
+	Worker    int     `json:"worker"`
+	ArrivalMs float64 `json:"arrival_ms"` // since sweep broadcast
+	LagMs     float64 `json:"lag_ms"`     // since first arrival this sweep
+	SampleMs  float64 `json:"sample_ms"`  // worker's self-reported sample time
+	Bytes     int64   `json:"bytes"`
+	Rows      int64   `json:"rows"`
+}
+
+type traceSweep struct {
+	Ev           string  `json:"ev"` // "sweep"
+	TMs          float64 `json:"t_ms"`
+	Sweep        int     `json:"sweep"`
+	Workers      int     `json:"workers"`
+	SampleMs     float64 `json:"sample_ms"`
+	ReconcileMs  float64 `json:"reconcile_ms"`
+	CheckpointMs float64 `json:"checkpoint_ms,omitempty"`
+	GatingWorker int     `json:"gating_worker"`
+	GatingLagMs  float64 `json:"gating_lag_ms"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+}
+
+type traceCheckpoint struct {
+	Ev      string  `json:"ev"` // "checkpoint"
+	TMs     float64 `json:"t_ms"`
+	Sweep   int     `json:"sweep"`
+	WriteMs float64 `json:"write_ms"`
+	Path    string  `json:"path"`
+}
+
+type traceRecovery struct {
+	Ev            string  `json:"ev"` // "recovery"
+	TMs           float64 `json:"t_ms"`
+	RollbackSweep int     `json:"rollback_sweep"`
+	LostWorker    int     `json:"lost_worker"`
+	Survivors     int     `json:"survivors"`
+	Reaccepted    int     `json:"reaccepted"`
+	Cause         string  `json:"cause"`
+}
+
+type traceFinish struct {
+	Ev    string  `json:"ev"` // "finish"
+	TMs   float64 `json:"t_ms"`
+	Error string  `json:"error,omitempty"`
+}
+
+// sweepObs is everything the coordinator measured for one completed
+// sweep barrier. The slices are the coordinator's reusable per-epoch
+// buffers — consumed synchronously, never retained.
+type sweepObs struct {
+	sweep       int
+	totalSweeps int
+	workers     int
+	sample      time.Duration
+	reconcile   time.Duration
+	checkpoint  time.Duration
+	arrivalNs   []int64 // per-worker DELTA arrival, ns since broadcast
+	sampleNs    []int64 // per-worker self-reported sample ns
+	deltaBytes  []int64
+	deltaRows   []int64
+	tokens      int64 // corpus tokens sampled per sweep
+	recoveries  int
+	recovered   int
+}
+
+func (t *Telemetry) runStarted(totalSweeps, startSweep int, tokensPerSweep int64, wantWorkers int, resumed bool) {
+	if t == nil {
+		return
+	}
+	t.totalSweeps.Set(int64(totalSweeps))
+	t.swap(func(s *progSnap) {
+		s.p.Phase = "waiting"
+		s.p.Sweep = startSweep
+		s.p.TotalSweeps = totalSweeps
+	})
+	t.emit(traceRun{Ev: "run", TMs: t.now(), TotalSweeps: totalSweeps,
+		StartSweep: startSweep, TokensPerSweep: tokensPerSweep,
+		WantWorkers: wantWorkers, Resumed: resumed})
+}
+
+func (t *Telemetry) epochStarted(workers, fromSweep int) {
+	if t == nil {
+		return
+	}
+	t.workers.Set(int64(workers))
+	t.swap(func(s *progSnap) {
+		s.p.Phase = "training"
+		s.p.Workers = workers
+	})
+	t.emit(traceSetup{Ev: "setup", TMs: t.now(), FromSweep: fromSweep, Workers: workers})
+}
+
+func (t *Telemetry) sweepDone(o sweepObs) {
+	if t == nil {
+		return
+	}
+	tms := t.now()
+	minArr := int64(math.MaxInt64)
+	for _, a := range o.arrivalNs[:o.workers] {
+		if a < minArr {
+			minArr = a
+		}
+	}
+	gating, gatingLag := 0, int64(0)
+	lagMs := make([]float64, o.workers)
+	var bytes, rows int64
+	for i := 0; i < o.workers; i++ {
+		lag := o.arrivalNs[i] - minArr
+		if lag > gatingLag {
+			gating, gatingLag = i, lag
+		}
+		lagMs[i] = roundMs(time.Duration(lag))
+		bytes += o.deltaBytes[i]
+		rows += o.deltaRows[i]
+		wl := strconv.Itoa(i)
+		t.workerLag.Observe(time.Duration(lag).Seconds(), wl)
+		t.workerSample.Observe(time.Duration(o.sampleNs[i]).Seconds(), wl)
+		t.emit(traceDelta{Ev: "delta", TMs: tms, Sweep: o.sweep, Worker: i,
+			ArrivalMs: roundMs(time.Duration(o.arrivalNs[i])),
+			LagMs:     lagMs[i],
+			SampleMs:  roundMs(time.Duration(o.sampleNs[i])),
+			Bytes:     o.deltaBytes[i], Rows: o.deltaRows[i]})
+	}
+	wall := o.sample + o.reconcile + o.checkpoint
+	tps := 0.0
+	if wall > 0 {
+		tps = float64(o.tokens) / wall.Seconds()
+	}
+
+	t.sweep.Set(int64(o.sweep))
+	t.sweepsTotal.Inc()
+	t.workers.Set(int64(o.workers))
+	t.tokensTotal.Add(uint64(o.tokens))
+	t.tokensPerSec.Set(tps)
+	t.sampleHist.Observe(o.sample.Seconds())
+	t.reconcile.Observe(o.reconcile.Seconds())
+	if o.checkpoint > 0 {
+		t.ckptWrite.Observe(o.checkpoint.Seconds())
+	}
+	t.deltaBytes.Add(uint64(bytes))
+	t.deltaRows.Add(uint64(rows))
+
+	t.swap(func(s *progSnap) {
+		s.p.Phase = "training"
+		s.p.Sweep = o.sweep
+		s.p.TotalSweeps = o.totalSweeps
+		s.p.Workers = o.workers
+		s.p.TokensPerSec = tps
+		s.p.WorkerLagMs = lagMs
+		s.p.Recoveries = o.recoveries
+		s.p.RecoveredWorkers = o.recovered
+	})
+	t.emit(traceSweep{Ev: "sweep", TMs: tms, Sweep: o.sweep, Workers: o.workers,
+		SampleMs:    roundMs(o.sample),
+		ReconcileMs: roundMs(o.reconcile), CheckpointMs: roundMs(o.checkpoint),
+		GatingWorker: gating, GatingLagMs: roundMs(time.Duration(gatingLag)),
+		TokensPerSec: tps})
+}
+
+func (t *Telemetry) checkpointWritten(sweep int, write time.Duration, path string) {
+	if t == nil {
+		return
+	}
+	t.ckptSweep.Set(int64(sweep))
+	now := time.Now()
+	t.swap(func(s *progSnap) {
+		s.p.LastCheckpointSweep = sweep
+		s.lastCkptAt = now
+	})
+	t.emit(traceCheckpoint{Ev: "checkpoint", TMs: t.now(), Sweep: sweep,
+		WriteMs: roundMs(write), Path: path})
+}
+
+func (t *Telemetry) recoveryDone(rollbackSweep, lostWorker, survivors, reaccepted int, cause string) {
+	if t == nil {
+		return
+	}
+	t.recoveries.Inc()
+	t.reaccepted.Add(uint64(reaccepted))
+	t.swap(func(s *progSnap) {
+		s.p.Phase = "recovering"
+		s.p.Sweep = rollbackSweep
+		s.p.Recoveries++
+		s.p.RecoveredWorkers += reaccepted
+	})
+	t.emit(traceRecovery{Ev: "recovery", TMs: t.now(), RollbackSweep: rollbackSweep,
+		LostWorker: lostWorker, Survivors: survivors, Reaccepted: reaccepted, Cause: cause})
+}
+
+func (t *Telemetry) runFinished(err error) {
+	if t == nil {
+		return
+	}
+	msg := ""
+	phase := "done"
+	if err != nil {
+		msg = err.Error()
+		phase = "failed"
+	}
+	t.swap(func(s *progSnap) {
+		s.p.Phase = phase
+		s.p.Error = msg
+	})
+	t.emit(traceFinish{Ev: "finish", TMs: t.now(), Error: msg})
+}

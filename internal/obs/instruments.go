@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector renders one or more metric families into a Writer at
+// scrape time. Instruments implement it over their own state; code
+// whose truth lives elsewhere (a cache, a registry) implements it as a
+// CollectorFunc reading the owner live, which keeps a single source of
+// truth and makes the series impossible to leave stale.
+type Collector interface {
+	Collect(w *Writer)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(*Writer)
+
+func (f CollectorFunc) Collect(w *Writer) { f(w) }
+
+// Counter is a lock-free monotonically increasing counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+func NewCounter(name, help string) *Counter {
+	return &Counter{name: name, help: help}
+}
+
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Add(n uint64)  { c.v.Add(n) }
+func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Collect(w *Writer) {
+	w.Family(c.name, "counter", c.help)
+	w.Sample(c.name, nil, Uint(c.v.Load()))
+}
+
+// Gauge is a lock-free integer gauge.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+func NewGauge(name, help string) *Gauge {
+	return &Gauge{name: name, help: help}
+}
+
+func (g *Gauge) Set(v int64)  { g.v.Store(v) }
+func (g *Gauge) Add(d int64)  { g.v.Add(d) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Collect(w *Writer) {
+	w.Family(g.name, "gauge", g.help)
+	w.Sample(g.name, nil, Int(g.v.Load()))
+}
+
+// FloatGauge is a lock-free float gauge (rates, ages, ratios).
+type FloatGauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+func NewFloatGauge(name, help string) *FloatGauge {
+	return &FloatGauge{name: name, help: help}
+}
+
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *FloatGauge) Value() float64 {
+	return math.Float64frombits(g.bits.Load())
+}
+func (g *FloatGauge) Collect(w *Writer) {
+	w.Family(g.name, "gauge", g.help)
+	w.Sample(g.name, nil, Float(g.Value()))
+}
+
+// GaugeFunc returns a collector for a gauge family whose single sample
+// is read live from f at scrape time.
+func GaugeFunc(name, help string, f func() Value) Collector {
+	return CollectorFunc(func(w *Writer) {
+		w.Family(name, "gauge", help)
+		w.Sample(name, nil, f())
+	})
+}
+
+// CounterFunc returns a collector for a counter family whose single
+// sample is read live from f at scrape time.
+func CounterFunc(name, help string, f func() uint64) Collector {
+	return CollectorFunc(func(w *Writer) {
+		w.Family(name, "counter", help)
+		w.Sample(name, nil, Uint(f()))
+	})
+}
+
+// Histogram is a fixed-bucket cumulative histogram. One mutex guards
+// the counts; an observation is nanoseconds against the milliseconds
+// of the operations being timed, so contention is irrelevant.
+type Histogram struct {
+	name, help string
+	buckets    []float64 // ascending upper bounds; +Inf implicit
+	mu         sync.Mutex
+	counts     []uint64 // len(buckets)+1, last is overflow
+	sum        float64
+	count      uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The bounds slice is copied; a trailing +Inf bound, if
+// present, is dropped (the overflow bucket always exists).
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	bs := normalizeBuckets(buckets)
+	return &Histogram{
+		name:    name,
+		help:    help,
+		buckets: bs,
+		counts:  make([]uint64, len(bs)+1),
+	}
+}
+
+func normalizeBuckets(buckets []float64) []float64 {
+	bs := append([]float64(nil), buckets...)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	if n := len(bs); n > 0 && math.IsInf(bs[n-1], +1) {
+		bs = bs[:n-1]
+	}
+	return bs
+}
+
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+func (h *Histogram) Collect(w *Writer) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	w.Family(h.name, "histogram", h.help)
+	w.Histogram(h.name, nil, h.buckets, counts, sum, count)
+}
+
+// vecKey joins label values with NUL, which no caller's label values
+// contain and which sorts below every other byte, so lexical order of
+// keys equals lexicographic order of the value tuples.
+func vecKey(values []string) string { return strings.Join(values, "\x00") }
+
+// CounterVec is a counter family keyed by label values. Series appear
+// on first use and are emitted sorted by value tuple.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	m          map[string]*vecCounter
+}
+
+type vecCounter struct {
+	values []string
+	n      uint64
+}
+
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{
+		name:   name,
+		help:   help,
+		labels: labelNames,
+		m:      make(map[string]*vecCounter),
+	}
+}
+
+func (v *CounterVec) Add(n uint64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic("obs: wrong label value count for " + v.name)
+	}
+	k := vecKey(labelValues)
+	v.mu.Lock()
+	c := v.m[k]
+	if c == nil {
+		c = &vecCounter{values: append([]string(nil), labelValues...)}
+		v.m[k] = c
+	}
+	c.n += n
+	v.mu.Unlock()
+}
+
+func (v *CounterVec) Inc(labelValues ...string) { v.Add(1, labelValues...) }
+
+func (v *CounterVec) zip(values []string) []Label {
+	ls := make([]Label, len(v.labels))
+	for i, n := range v.labels {
+		ls[i] = Label{Name: n, Value: values[i]}
+	}
+	return ls
+}
+
+func (v *CounterVec) Collect(w *Writer) {
+	w.Family(v.name, "counter", v.help)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		values []string
+		n      uint64
+	}
+	rows := make([]row, len(keys))
+	for i, k := range keys {
+		rows[i] = row{v.m[k].values, v.m[k].n}
+	}
+	v.mu.Unlock()
+	for _, r := range rows {
+		w.Sample(v.name, v.zip(r.values), Uint(r.n))
+	}
+}
+
+// HistogramVec is a histogram family keyed by label values; the le
+// label is appended after the declared labels on bucket lines.
+type HistogramVec struct {
+	name, help string
+	labels     []string
+	buckets    []float64
+	mu         sync.Mutex
+	m          map[string]*vecHistogram
+}
+
+type vecHistogram struct {
+	values []string
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{
+		name:    name,
+		help:    help,
+		labels:  labelNames,
+		buckets: normalizeBuckets(buckets),
+		m:       make(map[string]*vecHistogram),
+	}
+}
+
+func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic("obs: wrong label value count for " + v.name)
+	}
+	i := sort.SearchFloat64s(v.buckets, val)
+	k := vecKey(labelValues)
+	v.mu.Lock()
+	h := v.m[k]
+	if h == nil {
+		h = &vecHistogram{
+			values: append([]string(nil), labelValues...),
+			counts: make([]uint64, len(v.buckets)+1),
+		}
+		v.m[k] = h
+	}
+	h.counts[i]++
+	h.sum += val
+	h.count++
+	v.mu.Unlock()
+}
+
+func (v *HistogramVec) Collect(w *Writer) {
+	w.Family(v.name, "histogram", v.help)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		values []string
+		counts []uint64
+		sum    float64
+		count  uint64
+	}
+	rows := make([]row, len(keys))
+	for i, k := range keys {
+		h := v.m[k]
+		rows[i] = row{h.values, append([]uint64(nil), h.counts...), h.sum, h.count}
+	}
+	v.mu.Unlock()
+	for _, r := range rows {
+		ls := make([]Label, len(v.labels))
+		for i, n := range v.labels {
+			ls[i] = Label{Name: n, Value: r.values[i]}
+		}
+		w.Histogram(v.name, ls, v.buckets, r.counts, r.sum, r.count)
+	}
+}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a text-exposition payload against the Prometheus
+// 0.0.4 text format: metric and label name syntax, label-value escape
+// sequences, numeric sample values, HELP/TYPE headers preceding their
+// samples, no duplicate series, and — for histograms — a mandatory
+// +Inf bucket, cumulative (non-decreasing) bucket counts, and a _count
+// equal to the +Inf bucket. It is the parse-back test both the serve
+// and train registries are pinned by.
+func Lint(data []byte) error {
+	type histSeries struct {
+		buckets map[string]uint64 // le value -> cumulative count
+		count   *uint64
+		hasSum  bool
+	}
+	famType := map[string]string{}
+	famHelp := map[string]bool{}
+	var cur, curType string
+	seen := map[string]bool{}
+	hists := map[string]map[string]*histSeries{} // family -> series key -> state
+
+	lineNo := 0
+	text := string(data)
+	for len(text) > 0 {
+		lineNo++
+		var line string
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line = text[:i]
+			text = text[i+1:]
+		} else {
+			return fmt.Errorf("line %d: missing trailing newline", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch kind {
+			case "HELP":
+				if famHelp[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				famHelp[name] = true
+			case "TYPE":
+				if _, dup := famType[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid type %q for %s", lineNo, rest, name)
+				}
+				famType[name] = rest
+				cur, curType = name, rest
+			}
+			continue
+		}
+
+		name, labels, valStr, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, valStr)
+		}
+		base := name
+		suffix := ""
+		if curType == "histogram" && cur != name {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if name == cur+s {
+					base, suffix = cur, s
+					break
+				}
+			}
+		}
+		if base != cur {
+			return fmt.Errorf("line %d: sample %s outside its family (current family %q)", lineNo, name, cur)
+		}
+		if famType[base] == "counter" && val < 0 {
+			return fmt.Errorf("line %d: negative counter value %s", lineNo, valStr)
+		}
+		key := name + "{" + joinLabels(labels) + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+
+		if famType[base] == "histogram" {
+			series := hists[base]
+			if series == nil {
+				series = map[string]*histSeries{}
+				hists[base] = series
+			}
+			le := ""
+			var rest []Label
+			for _, l := range labels {
+				if l.Name == "le" {
+					le = l.Value
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			sk := joinLabels(rest)
+			hs := series[sk]
+			if hs == nil {
+				hs = &histSeries{buckets: map[string]uint64{}}
+				series[sk] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				hs.buckets[le] = uint64(val)
+			case "_count":
+				c := uint64(val)
+				hs.count = &c
+			case "_sum":
+				hs.hasSum = true
+			default:
+				return fmt.Errorf("line %d: bare sample %s in histogram family", lineNo, name)
+			}
+		}
+	}
+
+	for fam, series := range hists {
+		for sk, hs := range series {
+			inf, ok := hs.buckets["+Inf"]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", fam, sk)
+			}
+			if hs.count == nil || hs.hasSum == false {
+				return fmt.Errorf("histogram %s{%s}: missing _sum or _count", fam, sk)
+			}
+			if *hs.count != inf {
+				return fmt.Errorf("histogram %s{%s}: _count %d != +Inf bucket %d", fam, sk, *hs.count, inf)
+			}
+			type bk struct {
+				ub  float64
+				cum uint64
+			}
+			bks := make([]bk, 0, len(hs.buckets))
+			for le, cum := range hs.buckets {
+				ub, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s{%s}: bad le %q", fam, sk, le)
+				}
+				bks = append(bks, bk{ub, cum})
+			}
+			sort.Slice(bks, func(i, j int) bool { return bks[i].ub < bks[j].ub })
+			for i := 1; i < len(bks); i++ {
+				if bks[i].cum < bks[i-1].cum {
+					return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative at le=%v", fam, sk, bks[i].ub)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if strings.HasPrefix(line, k) {
+			body := line[len(k):]
+			sp := strings.IndexByte(body, ' ')
+			if sp < 0 {
+				return "", "", "", fmt.Errorf("truncated %s line", strings.TrimSpace(k))
+			}
+			return strings.TrimSpace(k[2:]), body[:sp], body[sp+1:], nil
+		}
+	}
+	return "", "", "", fmt.Errorf("unrecognized comment %q", line)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits one sample line into name, labels (unescaped) and
+// the value string, rejecting malformed label syntax and invalid
+// escape sequences on the way.
+func parseSample(line string) (name string, labels []Label, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("label without '='")
+			}
+			ln := rest[:eq]
+			if !validLabelName(ln) {
+				return "", nil, "", fmt.Errorf("invalid label name %q", ln)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("label value for %s not quoted", ln)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", nil, "", fmt.Errorf("dangling escape in label %s", ln)
+					}
+					switch rest[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("invalid escape \\%c in label %s", rest[j+1], ln)
+					}
+					j++
+					continue
+				}
+				if c == '"' {
+					labels = append(labels, Label{Name: ln, Value: val.String()})
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", fmt.Errorf("unterminated label value for %s", ln)
+			}
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	if rest == "" || rest[0] != ' ' {
+		return "", nil, "", fmt.Errorf("missing value separator in %q", line)
+	}
+	value = rest[1:]
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", nil, "", fmt.Errorf("malformed value %q", value)
+	}
+	return name, labels, value, nil
+}
+
+// joinLabels renders labels back into a canonical key for duplicate
+// detection; the escaped form keeps distinct values distinct.
+func joinLabels(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}

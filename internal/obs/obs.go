@@ -1,0 +1,178 @@
+// Package obs is the shared telemetry core: stdlib-only counters,
+// gauges, fixed-bucket histograms and labeled families, rendered in
+// the Prometheus text exposition format (version 0.0.4) through a
+// Registry. It was extracted from the serving fleet's hand-rolled
+// metrics writer so the training stack could share one exposition
+// path; both sides register their series here and the wire bytes stay
+// identical to what each emitted before the extraction.
+//
+// Exposition order is registration order — Prometheus does not care,
+// but deterministic output keeps scrapes diffable in tests — and
+// within a labeled family samples are sorted by label values.
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is one sample value. Counters and integer gauges render with
+// integer formatting ("3", not "3e+00"); float gauges and histogram
+// sums render in the shortest round-trip 'g' form with IEEE infinities
+// spelled +Inf/-Inf. Keeping the distinction in the type preserves the
+// exact bytes the pre-extraction writers produced.
+type Value struct {
+	f    float64
+	i    int64
+	u    uint64
+	kind uint8 // 0 float, 1 int64, 2 uint64
+}
+
+// Float wraps a float64 sample value.
+func Float(v float64) Value { return Value{f: v} }
+
+// Int wraps a signed integer sample value.
+func Int(v int64) Value { return Value{i: v, kind: 1} }
+
+// Uint wraps an unsigned integer sample value (counter reads).
+func Uint(v uint64) Value { return Value{u: v, kind: 2} }
+
+func (v Value) String() string {
+	switch v.kind {
+	case 1:
+		return strconv.FormatInt(v.i, 10)
+	case 2:
+		return strconv.FormatUint(v.u, 10)
+	}
+	return FormatFloat(v.f)
+}
+
+// FormatFloat renders a float for the exposition format: shortest
+// round-trip decimal, with infinities spelled the way the text format
+// (and PromQL) expects.
+func FormatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label is one name="value" pair. Values are escaped at write time;
+// names are the caller's responsibility (they come from a fixed set
+// declared next to each instrument, not from request data).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// escapeLabel writes a label value with the three escapes the 0.0.4
+// text format defines for quoted label values: backslash, double
+// quote, and line feed.
+func escapeLabel(buf *bytes.Buffer, v string) {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		buf.WriteString(v)
+		return
+	}
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			buf.WriteString(`\\`)
+		case '"':
+			buf.WriteString(`\"`)
+		case '\n':
+			buf.WriteString(`\n`)
+		default:
+			buf.WriteByte(c)
+		}
+	}
+}
+
+// escapeHelp writes HELP text, which escapes only backslash and line
+// feed (quotes are legal verbatim on comment lines).
+func escapeHelp(buf *bytes.Buffer, v string) {
+	if !strings.ContainsAny(v, "\\\n") {
+		buf.WriteString(v)
+		return
+	}
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			buf.WriteString(`\\`)
+		case '\n':
+			buf.WriteString(`\n`)
+		default:
+			buf.WriteByte(c)
+		}
+	}
+}
+
+// Writer accumulates exposition text. Collectors render into one
+// Writer per scrape; the Registry flushes it with a single Write so a
+// slow scraper never holds any instrument's lock.
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// Family emits the # HELP and # TYPE header for a metric family.
+// typ is one of "counter", "gauge", "histogram".
+func (w *Writer) Family(name, typ, help string) {
+	w.buf.WriteString("# HELP ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	escapeHelp(&w.buf, help)
+	w.buf.WriteString("\n# TYPE ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(typ)
+	w.buf.WriteByte('\n')
+}
+
+// Sample emits one sample line: name{labels} value.
+func (w *Writer) Sample(name string, labels []Label, v Value) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteString(l.Name)
+			w.buf.WriteString(`="`)
+			escapeLabel(&w.buf, l.Value)
+			w.buf.WriteByte('"')
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(v.String())
+	w.buf.WriteByte('\n')
+}
+
+// Histogram emits a full cumulative histogram: one _bucket line per
+// upper bound, the mandatory +Inf bucket, then _sum and _count.
+// counts holds per-bucket (non-cumulative) observation counts with
+// counts[len(buckets)] the overflow bucket; labels (may be nil) are
+// emitted before the le label on every bucket line.
+func (w *Writer) Histogram(name string, labels []Label, buckets []float64, counts []uint64, sum float64, count uint64) {
+	ls := make([]Label, len(labels)+1)
+	copy(ls, labels)
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += counts[i]
+		ls[len(labels)] = Label{Name: "le", Value: FormatFloat(ub)}
+		w.Sample(name+"_bucket", ls, Uint(cum))
+	}
+	cum += counts[len(buckets)]
+	ls[len(labels)] = Label{Name: "le", Value: "+Inf"}
+	w.Sample(name+"_bucket", ls, Uint(cum))
+	w.Sample(name+"_sum", labels, Float(sum))
+	w.Sample(name+"_count", labels, Uint(count))
+}
+
+// Bytes exposes the accumulated exposition text.
+func (w *Writer) Bytes() []byte { return w.buf.Bytes() }

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("test_ops_total", "Operations.")
+	g := NewGauge("test_depth", "Queue depth.")
+	fg := NewFloatGauge("test_rate", "Rate.")
+	r.Register(c, g, fg)
+	c.Add(3)
+	g.Set(-2)
+	fg.Set(1.5)
+	got := render(t, r)
+	want := "# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 3\n" +
+		"# HELP test_depth Queue depth.\n# TYPE test_depth gauge\ntest_depth -2\n" +
+		"# HELP test_rate Rate.\n# TYPE test_rate gauge\ntest_rate 1.5\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := NewCounterVec("test_weird_total", "Weird labels.", "path")
+	r.Register(v)
+	v.Inc(`C:\dir`)
+	v.Inc("say \"hi\"")
+	v.Inc("two\nlines")
+	got := render(t, r)
+	for _, want := range []string{
+		`test_weird_total{path="C:\\dir"} 1`,
+		`test_weird_total{path="say \"hi\""} 1`,
+		`test_weird_total{path="two\nlines"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing escaped sample %q in:\n%s", want, got)
+		}
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Fatalf("lint rejects escaped output: %v\n%s", err, got)
+	}
+}
+
+func TestHistogramCumulativeAndInf(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram("test_seconds", "Durations.", []float64{0.1, 1, 10})
+	r.Register(h)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	got := render(t, r)
+	want := "# HELP test_seconds Durations.\n# TYPE test_seconds histogram\n" +
+		"test_seconds_bucket{le=\"0.1\"} 1\n" +
+		"test_seconds_bucket{le=\"1\"} 3\n" +
+		"test_seconds_bucket{le=\"10\"} 4\n" +
+		"test_seconds_bucket{le=\"+Inf\"} 5\n" +
+		"test_seconds_sum 56.05\n" +
+		"test_seconds_count 5\n"
+	if got != want {
+		t.Fatalf("histogram mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram("test_seconds", "d", []float64{1})
+	h.Observe(1) // le="1" is inclusive per the spec
+	var w Writer
+	h.Collect(&w)
+	if s := string(w.Bytes()); !strings.Contains(s, "test_seconds_bucket{le=\"1\"} 1\n") {
+		t.Fatalf("boundary observation not in inclusive bucket:\n%s", s)
+	}
+}
+
+func TestHistogramVecSortedByLabel(t *testing.T) {
+	r := NewRegistry()
+	v := NewHistogramVec("test_lag_seconds", "Lag.", []float64{1}, "worker")
+	r.Register(v)
+	v.Observe(0.5, "1")
+	v.Observe(2, "0")
+	v.Observe(0.2, "10")
+	got := render(t, r)
+	i0 := strings.Index(got, `worker="0",le=`)
+	i1 := strings.Index(got, `worker="1",le=`)
+	i10 := strings.Index(got, `worker="10",le=`)
+	if !(i0 >= 0 && i0 < i1 && i1 < i10) {
+		t.Fatalf("series not sorted by label value: 0@%d 1@%d 10@%d\n%s", i0, i1, i10, got)
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestCounterVecTupleSort(t *testing.T) {
+	v := NewCounterVec("test_req_total", "r", "endpoint", "code")
+	v.Inc("/v1/infer", "200")
+	v.Inc("/v1/infer", "400")
+	v.Inc("/healthz", "200")
+	var w Writer
+	v.Collect(&w)
+	got := string(w.Bytes())
+	wantOrder := []string{
+		`test_req_total{endpoint="/healthz",code="200"} 1`,
+		`test_req_total{endpoint="/v1/infer",code="200"} 1`,
+		`test_req_total{endpoint="/v1/infer",code="400"} 1`,
+	}
+	last := -1
+	for _, line := range wantOrder {
+		i := strings.Index(got, line)
+		if i < 0 || i < last {
+			t.Fatalf("order wrong, want %q after %d in:\n%s", line, last, got)
+		}
+		last = i
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no trailing newline": "# HELP a b\n# TYPE a counter\na 1",
+		"sample before TYPE":  "a 1\n",
+		"bad escape":          "# HELP a b\n# TYPE a counter\na{x=\"\\q\"} 1\n",
+		"bad value":           "# HELP a b\n# TYPE a counter\na bogus\n",
+		"duplicate series":    "# HELP a b\n# TYPE a counter\na 1\na 2\n",
+		"negative counter":    "# HELP a b\n# TYPE a counter\na -1\n",
+		"missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count != +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+		"foreign sample in family": "# HELP a b\n# TYPE a counter\nother 1\n",
+		"unterminated labels":      "# HELP a b\n# TYPE a counter\na{x=\"1\" 1\n",
+	}
+	for name, payload := range cases {
+		if err := Lint([]byte(payload)); err == nil {
+			t.Errorf("%s: lint accepted bad payload:\n%s", name, payload)
+		}
+	}
+}
+
+func TestLintAcceptsInfValues(t *testing.T) {
+	payload := "# HELP a b\n# TYPE a gauge\na +Inf\n"
+	if err := Lint([]byte(payload)); err != nil {
+		t.Fatalf("lint rejects +Inf gauge: %v", err)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("test_total", "t")
+	c.Inc()
+	r.Register(c)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "test_total 1\n") {
+		t.Fatalf("payload missing sample:\n%s", buf.String())
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramVec("test_seconds", "d", []float64{0.001, 1}, "w")
+	c := NewCounter("test_total", "t")
+	r.Register(h, c)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(0.5, "0")
+				h.Observe(2, "1")
+				c.Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if err := Lint(buf.Bytes()); err != nil {
+			t.Fatalf("scrape %d: torn exposition: %v\n%s", i, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Registry is an ordered set of collectors rendered together by one
+// scrape. Registration order is exposition order, so callers control
+// the layout of their /metrics payload exactly.
+type Registry struct {
+	mu   sync.Mutex
+	cols []Collector
+}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends collectors to the exposition sequence.
+func (r *Registry) Register(cs ...Collector) {
+	r.mu.Lock()
+	r.cols = append(r.cols, cs...)
+	r.mu.Unlock()
+}
+
+// WriteText renders every registered collector into an in-memory
+// buffer and writes it out in one shot: instrument locks are shared
+// with hot paths, so none may be held while blocked on a scraper's
+// connection.
+func (r *Registry) WriteText(out io.Writer) error {
+	r.mu.Lock()
+	cols := make([]Collector, len(r.cols))
+	copy(cols, r.cols)
+	r.mu.Unlock()
+	var w Writer
+	for _, c := range cols {
+		c.Collect(&w)
+	}
+	_, err := out.Write(w.Bytes())
+	return err
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}

@@ -179,7 +179,7 @@ func TestCoalescePanicSharedAcrossWaiters(t *testing.T) {
 			t.Fatalf("request %d: 500 body is not the standard error shape: %s", i, bodies[i])
 		}
 	}
-	if got := s.met.panics.Load(); got != n {
+	if got := s.met.panics.Value(); got != n {
 		t.Fatalf("panics_total = %d, want %d (each request recovers its own copy)", got, n)
 	}
 	// The poisoned flight must be gone so the key can recover.

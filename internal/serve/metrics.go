@@ -1,52 +1,32 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
-	"io"
 	"log"
 	"math"
 	"net/http"
 	"runtime/debug"
-	"sort"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"topmine/internal/obs"
 )
 
-// metrics instruments the serve path with stdlib-only counters and
-// histograms rendered in the Prometheus text exposition format
-// (version 0.0.4). Request/latency series are keyed by the registered
-// endpoint pattern (a small fixed set), so the maps stay tiny; one
-// mutex guards them — an increment is nanoseconds against the
-// milliseconds of an inference request, so contention is irrelevant.
-// Cache, batch-slot, and per-model series are not stored here at all:
-// they are read live from their owners at scrape time, which keeps a
-// single source of truth and makes them impossible to leave stale.
+// metrics holds the serve-path instruments that accumulate state of
+// their own: request/latency series keyed by the registered endpoint
+// pattern (a small fixed set, so the vecs stay tiny) and the panic
+// counter. Everything else on /metrics — cache, batch slots, per-model
+// registry state — is not stored here at all: those collectors read
+// their owners live at scrape time, which keeps a single source of
+// truth and makes the series impossible to leave stale. The instruments
+// come from internal/obs (extracted from this file) and are assembled
+// into an exposition registry by buildMetricsRegistry.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[requestKey]uint64
-	latency  map[string]*histogram
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	panics   *obs.Counter
 	start    time.Time
-	// panics counts handler panics recovered by instrument; lock-free
-	// because the increment happens on the recovery path, outside the
-	// map-guarding critical section.
-	panics atomic.Uint64
-}
-
-type requestKey struct {
-	endpoint string
-	code     int
-}
-
-// histogram is a fixed-bucket cumulative latency histogram in seconds.
-type histogram struct {
-	counts [len(latencyBuckets) + 1]uint64 // +1 for +Inf
-	sum    float64
-	count  uint64
 }
 
 // latencyBuckets spans sub-millisecond cache hits up to multi-second
@@ -58,26 +38,22 @@ var latencyBuckets = [...]float64{
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[requestKey]uint64),
-		latency:  make(map[string]*histogram),
-		start:    time.Now(),
+		requests: obs.NewCounterVec("topmined_requests_total",
+			"Requests served, by endpoint and status code.", "endpoint", "code"),
+		latency: obs.NewHistogramVec("topmined_request_duration_seconds",
+			"Request latency by endpoint.", latencyBuckets[:], "endpoint"),
+		panics: obs.NewCounter("topmined_panics_total",
+			"Handler panics recovered into 500 responses."),
+		start: time.Now(),
 	}
 }
 
-// observe records one finished request.
+// observe records one finished request. Three-digit status codes sort
+// the same lexically as numerically, so the vec's sorted exposition
+// matches the old (endpoint, numeric code) ordering byte for byte.
 func (m *metrics) observe(endpoint string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[requestKey{endpoint, code}]++
-	h := m.latency[endpoint]
-	if h == nil {
-		h = &histogram{}
-		m.latency[endpoint] = h
-	}
-	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
-	h.counts[i]++
-	h.sum += seconds
-	h.count++
+	m.requests.Inc(endpoint, strconv.Itoa(code))
+	m.latency.Observe(seconds, endpoint)
 }
 
 // statusWriter captures the response code and byte count for
@@ -238,140 +214,104 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-func fmtFloat(v float64) string {
-	if math.IsInf(v, +1) {
-		return "+Inf"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+// buildMetricsRegistry assembles every serve-path series into one
+// obs.Registry in the exact family order (and with the exact series
+// names) the pre-extraction hand-rolled writer emitted, so scrapes
+// stay byte-compatible across the refactor. Called once at
+// construction, after the owners the live collectors read (cache,
+// flights, batch slots, model registry) exist.
+func (s *Server) buildMetricsRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Register(
+		s.met.requests,
+		s.met.latency,
+		// Cache effectiveness, read live from the LRU — one stats()
+		// snapshot feeds all six families so they stay mutually
+		// consistent within a scrape.
+		obs.CollectorFunc(s.collectCache),
+		// Batch fan-out occupancy, read live from the slot pool.
+		obs.CollectorFunc(func(w *obs.Writer) {
+			w.Family("topmined_batch_slots_in_use", "gauge", "Batch fan-out worker slots currently claimed.")
+			w.Sample("topmined_batch_slots_in_use", nil, obs.Int(int64(cap(s.batchSlots)-len(s.batchSlots))))
+			w.Family("topmined_batch_slots_capacity", "gauge", "Total batch fan-out worker slots.")
+			w.Sample("topmined_batch_slots_capacity", nil, obs.Int(int64(cap(s.batchSlots))))
+		}),
+		// Coalescing and robustness, read live from their owners.
+		obs.CounterFunc("topmined_coalesced_total",
+			"Requests served a shared in-flight computation instead of running their own.",
+			s.coalesced.Load),
+		obs.GaugeFunc("topmined_inflight_requests",
+			"Requests currently being handled.",
+			func() obs.Value { return obs.Int(s.inflight.Load()) }),
+		obs.GaugeFunc("topmined_inflight_computations",
+			"Distinct coalesced computations currently running.",
+			func() obs.Value { return obs.Int(int64(s.flights.active())) }),
+		s.met.panics,
+		// Per-model load/reload state, read live from the registry.
+		obs.CollectorFunc(s.collectModels),
+		obs.GaugeFunc("topmined_uptime_seconds",
+			"Seconds since the server was constructed.",
+			func() obs.Value { return obs.Float(time.Since(s.met.start).Seconds()) }),
+	)
+	return reg
 }
 
-// writePrometheus renders every serve-path series into an in-memory
-// buffer and writes it out in one shot: the metrics mutex is shared
-// with every request's observe() call, so it must never be held while
-// blocked on a scraper's connection. Map iteration is sorted so
-// scrapes are deterministic (and diffable in tests).
-func (s *Server) writePrometheus(out io.Writer) {
-	var buf bytes.Buffer
-	w := &buf
-	m := s.met
-	m.mu.Lock()
-	reqKeys := make([]requestKey, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	sort.Slice(reqKeys, func(i, j int) bool {
-		if reqKeys[i].endpoint != reqKeys[j].endpoint {
-			return reqKeys[i].endpoint < reqKeys[j].endpoint
-		}
-		return reqKeys[i].code < reqKeys[j].code
-	})
-	latKeys := make([]string, 0, len(m.latency))
-	for k := range m.latency {
-		latKeys = append(latKeys, k)
-	}
-	sort.Strings(latKeys)
-
-	fmt.Fprintf(w, "# HELP topmined_requests_total Requests served, by endpoint and status code.\n")
-	fmt.Fprintf(w, "# TYPE topmined_requests_total counter\n")
-	for _, k := range reqKeys {
-		fmt.Fprintf(w, "topmined_requests_total{endpoint=%q,code=\"%d\"} %d\n",
-			k.endpoint, k.code, m.requests[k])
-	}
-
-	fmt.Fprintf(w, "# HELP topmined_request_duration_seconds Request latency by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE topmined_request_duration_seconds histogram\n")
-	for _, ep := range latKeys {
-		h := m.latency[ep]
-		cum := uint64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "topmined_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
-				ep, fmtFloat(ub), cum)
-		}
-		cum += h.counts[len(latencyBuckets)]
-		fmt.Fprintf(w, "topmined_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
-		fmt.Fprintf(w, "topmined_request_duration_seconds_sum{endpoint=%q} %s\n", ep, fmtFloat(h.sum))
-		fmt.Fprintf(w, "topmined_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
-	}
-	uptime := time.Since(m.start).Seconds()
-	m.mu.Unlock()
-
-	// Cache effectiveness, read live from the LRU.
+func (s *Server) collectCache(w *obs.Writer) {
 	cs := s.cache.stats()
-	fmt.Fprintf(w, "# HELP topmined_cache_hits_total Response cache hits.\n# TYPE topmined_cache_hits_total counter\n")
-	fmt.Fprintf(w, "topmined_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "# HELP topmined_cache_misses_total Response cache misses.\n# TYPE topmined_cache_misses_total counter\n")
-	fmt.Fprintf(w, "topmined_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "# HELP topmined_cache_evictions_total Response cache LRU evictions.\n# TYPE topmined_cache_evictions_total counter\n")
-	fmt.Fprintf(w, "topmined_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(w, "# HELP topmined_cache_entries Cached responses currently held.\n# TYPE topmined_cache_entries gauge\n")
-	fmt.Fprintf(w, "topmined_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "# HELP topmined_cache_bytes Bytes of cached responses currently held.\n# TYPE topmined_cache_bytes gauge\n")
-	fmt.Fprintf(w, "topmined_cache_bytes %d\n", cs.Bytes)
-	fmt.Fprintf(w, "# HELP topmined_cache_max_bytes Response cache byte budget (0 when disabled).\n# TYPE topmined_cache_max_bytes gauge\n")
-	fmt.Fprintf(w, "topmined_cache_max_bytes %d\n", cs.MaxBytes)
+	w.Family("topmined_cache_hits_total", "counter", "Response cache hits.")
+	w.Sample("topmined_cache_hits_total", nil, obs.Uint(cs.Hits))
+	w.Family("topmined_cache_misses_total", "counter", "Response cache misses.")
+	w.Sample("topmined_cache_misses_total", nil, obs.Uint(cs.Misses))
+	w.Family("topmined_cache_evictions_total", "counter", "Response cache LRU evictions.")
+	w.Sample("topmined_cache_evictions_total", nil, obs.Uint(cs.Evictions))
+	w.Family("topmined_cache_entries", "gauge", "Cached responses currently held.")
+	w.Sample("topmined_cache_entries", nil, obs.Int(int64(cs.Entries)))
+	w.Family("topmined_cache_bytes", "gauge", "Bytes of cached responses currently held.")
+	w.Sample("topmined_cache_bytes", nil, obs.Int(cs.Bytes))
+	w.Family("topmined_cache_max_bytes", "gauge", "Response cache byte budget (0 when disabled).")
+	w.Sample("topmined_cache_max_bytes", nil, obs.Int(cs.MaxBytes))
+}
 
-	// Batch fan-out occupancy, read live from the slot pool.
-	fmt.Fprintf(w, "# HELP topmined_batch_slots_in_use Batch fan-out worker slots currently claimed.\n# TYPE topmined_batch_slots_in_use gauge\n")
-	fmt.Fprintf(w, "topmined_batch_slots_in_use %d\n", cap(s.batchSlots)-len(s.batchSlots))
-	fmt.Fprintf(w, "# HELP topmined_batch_slots_capacity Total batch fan-out worker slots.\n# TYPE topmined_batch_slots_capacity gauge\n")
-	fmt.Fprintf(w, "topmined_batch_slots_capacity %d\n", cap(s.batchSlots))
-
-	// Coalescing and robustness, read live from their owners.
-	fmt.Fprintf(w, "# HELP topmined_coalesced_total Requests served a shared in-flight computation instead of running their own.\n# TYPE topmined_coalesced_total counter\n")
-	fmt.Fprintf(w, "topmined_coalesced_total %d\n", s.coalesced.Load())
-	fmt.Fprintf(w, "# HELP topmined_inflight_requests Requests currently being handled.\n# TYPE topmined_inflight_requests gauge\n")
-	fmt.Fprintf(w, "topmined_inflight_requests %d\n", s.inflight.Load())
-	fmt.Fprintf(w, "# HELP topmined_inflight_computations Distinct coalesced computations currently running.\n# TYPE topmined_inflight_computations gauge\n")
-	fmt.Fprintf(w, "topmined_inflight_computations %d\n", s.flights.active())
-	fmt.Fprintf(w, "# HELP topmined_panics_total Handler panics recovered into 500 responses.\n# TYPE topmined_panics_total counter\n")
-	fmt.Fprintf(w, "topmined_panics_total %d\n", s.met.panics.Load())
-
-	// Per-model load/reload state, read live from the registry.
+func (s *Server) collectModels(w *obs.Writer) {
 	names := s.reg.Names()
-	fmt.Fprintf(w, "# HELP topmined_model_ready Whether the model currently holds a servable snapshot.\n# TYPE topmined_model_ready gauge\n")
+	w.Family("topmined_model_ready", "gauge", "Whether the model currently holds a servable snapshot.")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
-		ready := 0
+		ready := int64(0)
 		if e.Ready() {
 			ready = 1
 		}
-		fmt.Fprintf(w, "topmined_model_ready{model=%q} %d\n", n, ready)
+		w.Sample("topmined_model_ready", []obs.Label{{Name: "model", Value: n}}, obs.Int(ready))
 	}
-	fmt.Fprintf(w, "# HELP topmined_model_generation Model content generation; changes on every successful reload.\n# TYPE topmined_model_generation gauge\n")
+	w.Family("topmined_model_generation", "gauge", "Model content generation; changes on every successful reload.")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
-		fmt.Fprintf(w, "topmined_model_generation{model=%q} %d\n", n, e.Generation())
+		w.Sample("topmined_model_generation", []obs.Label{{Name: "model", Value: n}}, obs.Uint(e.Generation()))
 	}
-	fmt.Fprintf(w, "# HELP topmined_model_reloads_total Successful hot reloads per model.\n# TYPE topmined_model_reloads_total counter\n")
+	w.Family("topmined_model_reloads_total", "counter", "Successful hot reloads per model.")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
-		fmt.Fprintf(w, "topmined_model_reloads_total{model=%q} %d\n", n, e.Reloads())
+		w.Sample("topmined_model_reloads_total", []obs.Label{{Name: "model", Value: n}}, obs.Uint(e.Reloads()))
 	}
-	fmt.Fprintf(w, "# HELP topmined_model_loaded_timestamp_seconds Unix time of the model's last successful (re)load.\n# TYPE topmined_model_loaded_timestamp_seconds gauge\n")
+	w.Family("topmined_model_loaded_timestamp_seconds", "gauge", "Unix time of the model's last successful (re)load.")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
-		fmt.Fprintf(w, "topmined_model_loaded_timestamp_seconds{model=%q} %s\n",
-			n, fmtFloat(float64(e.LoadedAt().UnixNano())/1e9))
+		w.Sample("topmined_model_loaded_timestamp_seconds", []obs.Label{{Name: "model", Value: n}},
+			obs.Float(float64(e.LoadedAt().UnixNano())/1e9))
 	}
 	// Every registered model gets a sample even while unready (0
 	// topics): dropping the series during a failed load leaves gaps
 	// that break dashboards and rate() queries exactly when the model
 	// needs watching most.
-	fmt.Fprintf(w, "# HELP topmined_model_topics Topic count per model (0 = mining-only or unready; segment may work but infer does not).\n# TYPE topmined_model_topics gauge\n")
+	w.Family("topmined_model_topics", "gauge", "Topic count per model (0 = mining-only or unready; segment may work but infer does not).")
 	for _, n := range names {
 		e, _ := s.reg.Lookup(n)
 		topics := 0
 		if inf := e.Inferencer(); inf != nil {
 			topics = inf.Stats().Topics
 		}
-		fmt.Fprintf(w, "topmined_model_topics{model=%q} %d\n", n, topics)
+		w.Sample("topmined_model_topics", []obs.Label{{Name: "model", Value: n}}, obs.Int(int64(topics)))
 	}
-
-	fmt.Fprintf(w, "# HELP topmined_uptime_seconds Seconds since the server was constructed.\n# TYPE topmined_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "topmined_uptime_seconds %s\n", fmtFloat(uptime))
-
-	out.Write(buf.Bytes())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -379,5 +319,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writePrometheus(w)
+	s.metricsReg.WriteText(w)
 }

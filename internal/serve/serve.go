@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"topmine"
+	"topmine/internal/obs"
 )
 
 // Options configures request handling limits.
@@ -134,6 +135,9 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *respCache
 	met   *metrics
+	// metricsReg is the assembled exposition registry behind /metrics;
+	// see buildMetricsRegistry for the series and their ordering.
+	metricsReg *obs.Registry
 	// batchSlots is a server-wide token pool bounding the extra
 	// goroutines all concurrent batch requests may spawn combined, so
 	// overlapping batches cannot oversubscribe the CPUs and starve
@@ -193,6 +197,7 @@ func NewWithRegistry(reg *Registry, opt Options) *Server {
 	for i := 0; i < cap(s.batchSlots); i++ {
 		s.batchSlots <- struct{}{}
 	}
+	s.metricsReg = s.buildMetricsRegistry()
 	s.mux.HandleFunc("/v1/infer", s.instrument("/v1/infer", s.handleInfer))
 	s.mux.HandleFunc("/v1/segment", s.instrument("/v1/segment", s.handleSegment))
 	s.mux.HandleFunc("/v1/topics", s.instrument("/v1/topics", s.handleTopics))

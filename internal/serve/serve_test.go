@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"topmine"
+	"topmine/internal/obs"
 )
 
 var (
@@ -672,6 +673,29 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if w := do(t, s, http.MethodPost, "/metrics", "{}", nil); w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /metrics = %d, want 405", w.Code)
+	}
+}
+
+// TestMetricsExpositionParsesBack pins the whole /metrics payload
+// against the obs parse-back linter: every line well-formed per the
+// 0.0.4 text format, histograms cumulative with +Inf buckets, no
+// duplicate series — after enough traffic to populate every family.
+func TestMetricsExpositionParsesBack(t *testing.T) {
+	s := newTwoModelServer(t, Options{CacheBytes: 1 << 20})
+	do(t, s, http.MethodPost, "/v1/infer", `{"text": "database systems", "iters": 5}`, nil)
+	do(t, s, http.MethodPost, "/v1/infer", `{"text": "database systems", "iters": 5}`, nil) // cache hit
+	do(t, s, http.MethodPost, "/v1/infer", `bad json`, nil)
+	do(t, s, http.MethodPost, "/v1/segment", `{"text": "database systems"}`, nil)
+	do(t, s, http.MethodGet, "/v1/models", "", nil)
+	do(t, s, http.MethodGet, "/healthz", "", nil)
+	do(t, s, http.MethodGet, "/readyz", "", nil)
+
+	w := do(t, s, http.MethodGet, "/metrics", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	if err := obs.Lint(w.Body.Bytes()); err != nil {
+		t.Fatalf("exposition fails parse-back lint: %v\n%s", err, w.Body.String())
 	}
 }
 

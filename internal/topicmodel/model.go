@@ -128,6 +128,7 @@ type Model struct {
 	sp         *sparseSampler
 	par        *parState
 	sweepStats func(SweepStats) // optional timing hook; never serialised
+	sweepSeq   int              // SweepParallel calls since construction; never serialised
 	fold       *foldState       // coordinator-side delta fold scratch (dist.go)
 }
 

@@ -76,6 +76,12 @@ func ShardRanges(docs []Doc, workers int) [][2]int {
 // arriving) — and Reconcile covers folding the deltas back into the
 // global counts (plus the rebroadcast, when distributed).
 type SweepStats struct {
+	// Sweep is the 1-based sweep this breakdown describes. In-process
+	// parallel training counts SweepParallel calls since the model was
+	// built; a distributed run reports the coordinator's schedule
+	// iteration, which rewinds with the rollback after an elastic
+	// recovery (so the same sweep number can be reported twice).
+	Sweep        int
 	Workers      int
 	Sample       time.Duration
 	Reconcile    time.Duration
@@ -103,6 +109,7 @@ func (m *Model) NextSweepBase() uint64 { return m.rng.Uint64() }
 // SweepParallel runs one Gibbs pass with the given number of workers.
 // workers <= 1 falls back to the exact serial sweep.
 func (m *Model) SweepParallel(workers int) {
+	m.sweepSeq++
 	if workers <= 1 || len(m.Docs) < 2*workers {
 		m.Sweep()
 		return
@@ -177,6 +184,7 @@ func (m *Model) SweepParallel(workers int) {
 
 	if stats != nil {
 		stats(SweepStats{
+			Sweep:        m.sweepSeq,
 			Workers:      workers,
 			Sample:       sampleDur,
 			Reconcile:    time.Since(t1),
